@@ -1,0 +1,76 @@
+// Command airbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	airbench -exp table1            # one experiment
+//	airbench -exp all               # everything
+//	airbench -exp fig10 -scale 0.2 -queries 400 -preset germany
+//
+// Experiments: table1 table2 table3 fig10 fig11 fig12 fig13 fig14 all.
+// The -scale flag shrinks the synthetic networks (1.0 = paper-sized); the
+// heap budget of Table 2 scales along, so the feasibility frontier keeps
+// its shape. See EXPERIMENTS.md for recorded outputs and the comparison
+// against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|all")
+		preset  = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
+		scale   = flag.Float64("scale", 0.05, "network scale factor (1.0 = paper-sized)")
+		queries = flag.Int("queries", 400, "queries per experiment")
+		seed    = flag.Int64("seed", 2010, "random seed")
+		regions = flag.Int("regions", 0, "EB/NR regions (0 = auto-tuned per network)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Preset:  *preset,
+		Scale:   *scale,
+		Queries: *queries,
+		Seed:    *seed,
+		Regions: *regions,
+		Out:     os.Stdout,
+	}
+
+	runners := map[string]func(harness.Config) error{
+		"table1": func(c harness.Config) error { _, err := harness.Table1(c); return err },
+		"table2": func(c harness.Config) error { _, err := harness.Table2(c); return err },
+		"table3": func(c harness.Config) error { _, err := harness.Table3(c); return err },
+		"fig10":  func(c harness.Config) error { _, err := harness.Figure10(c); return err },
+		"fig11":  func(c harness.Config) error { _, err := harness.Figure11(c); return err },
+		"fig12":  func(c harness.Config) error { _, err := harness.Figure12(c); return err },
+		"fig13":  func(c harness.Config) error { _, err := harness.Figure13(c); return err },
+		"fig14":  func(c harness.Config) error { _, err := harness.Figure14(c); return err },
+	}
+	order := []string{"table1", "table2", "table3", "fig10", "fig11", "fig12", "fig13", "fig14"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			if _, ok := runners[e]; !ok {
+				fmt.Fprintf(os.Stderr, "airbench: unknown experiment %q\n", e)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		if err := runners[e](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "airbench: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

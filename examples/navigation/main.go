@@ -1,0 +1,75 @@
+// Navigation: the paper's motivating scenario — many independent devices
+// navigating a city, all served by one broadcast channel at zero marginal
+// server cost. This example simulates a morning's worth of navigation
+// queries against EB and NR side by side and prints the fleet-level
+// economics: total energy, mean wait, and the server load (which is zero
+// regardless of fleet size — the whole point of the model).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const fleet = 200
+
+func main() {
+	g, err := repro.GeneratePreset("milan", 0.1, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
+	fmt.Printf("simulating %d navigation queries (one per device)\n\n", fleet)
+
+	rng := rand.New(rand.NewSource(99))
+	type trip struct {
+		s, t   repro.NodeID
+		tuneIn int
+	}
+	trips := make([]trip, fleet)
+	for i := range trips {
+		trips[i] = trip{
+			s: repro.NodeID(rng.Intn(g.NumNodes())),
+			t: repro.NodeID(rng.Intn(g.NumNodes())),
+		}
+	}
+
+	fmt.Printf("%-8s %10s %12s %12s %12s %14s\n",
+		"method", "cycle", "tuning/query", "wait/query", "energy/query", "fleet energy")
+	for _, m := range []repro.Method{repro.EB, repro.NR} {
+		srv, err := repro.NewServer(m, g, repro.Params{Regions: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch, err := repro.NewChannel(srv, 0.01 /* realistic 1% loss */, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range trips {
+			trips[i].tuneIn = rng.Intn(srv.Cycle().Len())
+		}
+		var tuning, latency int
+		var energy float64
+		client := srv.NewClient()
+		for _, tr := range trips {
+			tuner := repro.NewTuner(ch, tr.tuneIn)
+			res, err := client.Query(tuner, repro.QueryFor(g, tr.s, tr.t))
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuning += res.Metrics.TuningPackets
+			latency += res.Metrics.LatencyPackets
+			energy += repro.EnergyJoules(res.Metrics, repro.Rate384Kbps)
+		}
+		fmt.Printf("%-8s %10d %12.0f %11.2fs %11.3fJ %13.1fJ\n",
+			m, srv.Cycle().Len(),
+			float64(tuning)/fleet,
+			float64(latency)/fleet*128*8/float64(repro.Rate384Kbps),
+			energy/fleet, energy)
+	}
+
+	fmt.Println("\nserver-side work per query: 0 (the broadcast is identical for 1 or 1M devices)")
+}

@@ -1,0 +1,73 @@
+// Poifinder: the paper's Section 8 future work — on-air spatial queries in
+// road networks. A broadcast cycle carries the road network with points of
+// interest flagged (fuel stations, say); a client asks "every station
+// within 15 minutes" (network range) and "the 3 nearest stations" (network
+// kNN) without any uplink, pruning the regions it listens to with the EB
+// index's inter-region distance bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	g, err := repro.GeneratePreset("germany", 0.1, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Flag ~5% of nodes as fuel stations.
+	rng := rand.New(rand.NewSource(1))
+	poi := make([]bool, g.NumNodes())
+	nPOI := 0
+	for i := range poi {
+		if rng.Float64() < 0.05 {
+			poi[i] = true
+			nPOI++
+		}
+	}
+	fmt.Printf("network: %d nodes, %d arcs, %d fuel stations on air\n",
+		g.NumNodes(), g.NumArcs(), nPOI)
+
+	srv, err := repro.NewSpatialServer(g, poi, repro.Params{Regions: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := srv.NewChannel(0.01, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast cycle: %d packets\n\n", srv.Cycle().Len())
+
+	from := repro.NodeID(g.NumNodes() / 2)
+
+	// "Which stations can I reach within this travel budget?"
+	radius := 1500.0
+	within, m, err := srv.RangeOnAir(ch, g, from, radius, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query from node %d, radius %.0f:\n", from, radius)
+	fmt.Printf("  %d stations; tuned %d of %d packets\n",
+		len(within), m.TuningPackets, srv.Cycle().Len())
+	for i, r := range within {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(within)-5)
+			break
+		}
+		fmt.Printf("  station at node %-6d network distance %.0f\n", r.Node, r.Dist)
+	}
+
+	// "Where are the 3 nearest stations?"
+	nearest, m2, err := srv.KNNOnAir(ch, g, from, 3, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n3 nearest stations from node %d (tuned %d packets):\n", from, m2.TuningPackets)
+	for i, r := range nearest {
+		fmt.Printf("  #%d node %-6d network distance %.0f\n", i+1, r.Node, r.Dist)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a road network, put the NR air index on a simulated
+// broadcast channel, and answer one shortest-path query entirely on the
+// client, exactly as a mobile device would — tune in, follow the index,
+// sleep between the needed regions, and search locally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A synthetic stand-in for the paper's Germany road network at 10%
+	// size: ~2,900 nodes connected by road chains with arterial highways.
+	g, err := repro.GeneratePreset("germany", 0.1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
+
+	// Server side: partition with a kd-tree, pre-compute border-pair
+	// shortest paths, assemble the broadcast cycle with per-region local
+	// indexes (the paper's Next Region method).
+	srv, err := repro.NewServer(repro.NR, g, repro.Params{Regions: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast cycle: %d packets of 128 bytes\n", srv.Cycle().Len())
+
+	// The channel repeats the cycle forever; clients tune in whenever a
+	// query is posed.
+	ch, err := repro.NewChannel(srv, 0 /* no loss */, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, t := repro.NodeID(3), repro.NodeID(g.NumNodes()-3)
+	res, err := repro.Ask(ch, srv, g, s, t, 1234 /* tune-in position */)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, _, _ := repro.ShortestPath(g, s, t)
+	fmt.Printf("\nshortest path %d -> %d\n", s, t)
+	fmt.Printf("  distance     %.1f (reference %.1f)\n", res.Dist, ref)
+	fmt.Printf("  path length  %d nodes\n", len(res.Path))
+	fmt.Printf("  tuning time  %d packets (energy proxy)\n", res.Metrics.TuningPackets)
+	fmt.Printf("  latency      %d packets\n", res.Metrics.LatencyPackets)
+	fmt.Printf("  peak memory  %.1f KB\n", float64(res.Metrics.PeakMemBytes)/1024)
+	fmt.Printf("  energy       %.3f J at 2 Mbps\n", repro.EnergyJoules(res.Metrics, repro.Rate2Mbps))
+}

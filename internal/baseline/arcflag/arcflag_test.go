@@ -1,0 +1,50 @@
+package arcflag
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+func TestArcFlagCorrectness(t *testing.T) {
+	g := conformance.Network(t, 500, 750, 21)
+	srv, err := New(g, Options{Regions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Queries: 25, Seed: 3, MaxCycles: 2.05})
+}
+
+func TestArcFlagWithLoss(t *testing.T) {
+	g := conformance.Network(t, 300, 450, 22)
+	srv, err := New(g, Options{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Loss: 0.08, Queries: 15, Seed: 4})
+}
+
+func TestFlagsPruneSearch(t *testing.T) {
+	g := conformance.Network(t, 600, 900, 23)
+	srv, err := New(g, Options{Regions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flags must be selective: a decent fraction of (arc, region) bits unset.
+	setBits, total := 0, 0
+	for _, fv := range srv.flags {
+		for _, w := range fv {
+			for ; w != 0; w &= w - 1 {
+				setBits++
+			}
+		}
+		total += 16
+	}
+	frac := float64(setBits) / float64(total)
+	if frac > 0.95 {
+		t.Errorf("flag density %.2f: flags prune almost nothing", frac)
+	}
+	if frac < 0.05 {
+		t.Errorf("flag density %.2f: implausibly sparse, likely a computation bug", frac)
+	}
+}

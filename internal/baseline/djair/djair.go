@@ -1,0 +1,78 @@
+// Package djair adapts Dijkstra's algorithm to the broadcast model
+// (paper Section 3.2): the broadcast cycle carries only the road network —
+// the shortest possible cycle — and the client listens to all of it, then
+// runs Dijkstra locally over the complete network. Tuning time and memory
+// are maximal; the cycle (and hence worst-case access latency) is minimal.
+package djair
+
+import (
+	"time"
+
+	"repro/internal/baseline/fullcycle"
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netdata"
+	"repro/internal/packet"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// Server is the Dijkstra method's broadcast side.
+type Server struct {
+	g     *graph.Graph
+	cycle *broadcast.Cycle
+}
+
+// New assembles the data-only cycle for g.
+func New(g *graph.Graph) *Server {
+	nodes := make([]graph.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	asm := broadcast.NewAssembler()
+	asm.Append(packet.KindData, -1, "network", netdata.EncodeNodes(g, nodes, nil, nil))
+	return &Server{g: g, cycle: asm.Finish()}
+}
+
+// Name implements scheme.Server.
+func (s *Server) Name() string { return "DJ" }
+
+// Cycle implements scheme.Server.
+func (s *Server) Cycle() *broadcast.Cycle { return s.cycle }
+
+// PrecomputeTime implements scheme.Server: Dijkstra broadcasts raw network
+// data and pre-computes nothing.
+func (s *Server) PrecomputeTime() time.Duration { return 0 }
+
+// NewClient implements scheme.Server.
+func (s *Server) NewClient() scheme.Client { return &Client{} }
+
+// Client receives the entire cycle and searches the full network.
+type Client struct{}
+
+// Name implements scheme.Client.
+func (c *Client) Name() string { return "DJ" }
+
+// Query implements scheme.Client.
+func (c *Client) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error) {
+	var mem metrics.Mem
+	coll := netdata.NewCollector(0, &mem)
+	fullcycle.ReceiveAll(t, coll.Process)
+
+	start := time.Now()
+	mem.Alloc(metrics.DistEntryBytes * coll.Net.NumPresent())
+	r := spath.DijkstraNetwork(coll.Net, q.S, q.T)
+	cpu := time.Since(start)
+
+	return scheme.Result{
+		Dist: r.Dist,
+		Path: r.Path,
+		Metrics: metrics.Query{
+			TuningPackets:  t.Tuning(),
+			LatencyPackets: t.Latency(),
+			PeakMemBytes:   mem.Peak(),
+			CPU:            cpu,
+		},
+	}, nil
+}

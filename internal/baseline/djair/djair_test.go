@@ -1,0 +1,30 @@
+package djair
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+func TestDijkstraAirCorrectness(t *testing.T) {
+	g := conformance.Network(t, 500, 750, 11)
+	conformance.Check(t, g, New(g), conformance.Config{Queries: 25, Seed: 1, MaxCycles: 2.05})
+}
+
+func TestDijkstraAirWithLoss(t *testing.T) {
+	g := conformance.Network(t, 300, 450, 12)
+	conformance.Check(t, g, New(g), conformance.Config{Loss: 0.08, Queries: 15, Seed: 2})
+}
+
+func TestCycleIsDataOnly(t *testing.T) {
+	g := conformance.Network(t, 200, 320, 13)
+	srv := New(g)
+	for _, p := range srv.Cycle().Packets {
+		if p.Kind != 2 { // packet.KindData
+			t.Fatalf("DJ cycle contains non-data packet kind %v", p.Kind)
+		}
+	}
+	if srv.PrecomputeTime() != 0 {
+		t.Errorf("DJ claims pre-computation time %v", srv.PrecomputeTime())
+	}
+}

@@ -1,0 +1,43 @@
+// Package fullcycle implements the reception strategy shared by every
+// adapted competitor in the paper's Section 3.2 (Dijkstra, ArcFlag,
+// Landmark, SPQ): selective tuning is impossible for them, so the client
+// listens to the entire broadcast cycle and processes the query locally.
+// Packets lost on air are re-listened in subsequent cycles until the whole
+// cycle has been received intact.
+package fullcycle
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/packet"
+)
+
+// ReceiveAll listens to one full cycle starting at the tuner's current
+// position, invoking handle for every intact packet with its cycle
+// position. Lost positions are retried in later cycles until none remain,
+// so handle eventually sees every position exactly once.
+func ReceiveAll(t *broadcast.Tuner, handle func(cyclePos int, p packet.Packet)) {
+	l := t.CycleLen()
+	var lost []int
+	for k := 0; k < l; k++ {
+		abs := t.Pos()
+		p, ok := t.Listen()
+		if !ok {
+			lost = append(lost, abs%l)
+			continue
+		}
+		handle(abs%l, p)
+	}
+	for len(lost) > 0 {
+		var still []int
+		for _, cp := range lost {
+			t.SleepTo(t.NextOccurrence(cp))
+			p, ok := t.Listen()
+			if !ok {
+				still = append(still, cp)
+				continue
+			}
+			handle(cp, p)
+		}
+		lost = still
+	}
+}

@@ -1,0 +1,63 @@
+package fullcycle
+
+import (
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/packet"
+)
+
+func testCycle(n int) *broadcast.Cycle {
+	asm := broadcast.NewAssembler()
+	pkts := make([]packet.Packet, n)
+	for i := range pkts {
+		payload := make([]byte, packet.PayloadSize)
+		payload[0] = packet.TagNode
+		payload[1] = 1
+		payload[3] = byte(i)
+		pkts[i] = packet.Packet{Kind: packet.KindData, Payload: payload}
+	}
+	asm.Append(packet.KindData, -1, "data", pkts)
+	return asm.Finish()
+}
+
+func TestReceiveAllLossless(t *testing.T) {
+	c := testCycle(40)
+	ch, _ := broadcast.NewChannel(c, 0, 1)
+	tn := broadcast.NewTuner(ch, 13) // mid-cycle tune-in
+	got := map[int]int{}
+	ReceiveAll(tn, func(cp int, p packet.Packet) { got[cp]++ })
+	if len(got) != 40 {
+		t.Fatalf("received %d positions, want 40", len(got))
+	}
+	for cp, n := range got {
+		if n != 1 {
+			t.Fatalf("position %d delivered %d times", cp, n)
+		}
+	}
+	if tn.Tuning() != 40 {
+		t.Errorf("tuning %d, want 40", tn.Tuning())
+	}
+	if tn.Latency() != 40 {
+		t.Errorf("latency %d, want exactly one cycle", tn.Latency())
+	}
+}
+
+func TestReceiveAllWithLoss(t *testing.T) {
+	c := testCycle(60)
+	ch, _ := broadcast.NewChannel(c, 0.15, 7)
+	tn := broadcast.NewTuner(ch, 0)
+	got := map[int]int{}
+	ReceiveAll(tn, func(cp int, p packet.Packet) { got[cp]++ })
+	if len(got) != 60 {
+		t.Fatalf("received %d positions, want 60", len(got))
+	}
+	for cp, n := range got {
+		if n != 1 {
+			t.Fatalf("position %d delivered %d times", cp, n)
+		}
+	}
+	if tn.Tuning() <= 60 {
+		t.Errorf("tuning %d should exceed one cycle under loss", tn.Tuning())
+	}
+}

@@ -1,0 +1,40 @@
+package landmark
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+func TestLandmarkCorrectness(t *testing.T) {
+	g := conformance.Network(t, 500, 750, 31)
+	srv, err := New(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Queries: 25, Seed: 5, MaxCycles: 2.05})
+}
+
+func TestLandmarkWithLoss(t *testing.T) {
+	g := conformance.Network(t, 300, 450, 32)
+	srv, err := New(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Loss: 0.08, Queries: 15, Seed: 6})
+}
+
+func TestLandmarksAreSpread(t *testing.T) {
+	g := conformance.Network(t, 400, 600, 33)
+	srv, err := New(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, m := range srv.marks {
+		if seen[int64(m)] {
+			t.Fatalf("duplicate landmark %d", m)
+		}
+		seen[int64(m)] = true
+	}
+}

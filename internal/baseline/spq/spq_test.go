@@ -1,0 +1,79 @@
+package spq
+
+import (
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+func TestSPQCorrectness(t *testing.T) {
+	g := conformance.Network(t, 300, 450, 51)
+	srv, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Queries: 20, Seed: 9, MaxCycles: 2.05})
+}
+
+func TestSPQWithLoss(t *testing.T) {
+	g := conformance.Network(t, 200, 300, 52)
+	srv, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance.Check(t, g, srv, conformance.Config{Loss: 0.08, Queries: 10, Seed: 10})
+}
+
+func TestQuadtreeRoundTrip(t *testing.T) {
+	// A 2x2 point set with distinct colors must look up exactly.
+	colors := []int16{0, 1, 2, 3}
+	xs := []float64{0, 10, 0, 10}
+	ys := []float64{0, 0, 10, 10}
+	pts := []int32{0, 1, 2, 3}
+	buf := buildQuad(nil, pts, colors, xs, ys, 0, 0, 11, 11, 0)
+	for i := range pts {
+		got := lookupQuad(buf, xs[i], ys[i], 0, 0, 11, 11)
+		if got != uint8(colors[i]) {
+			t.Errorf("point %d: color %d, want %d", i, got, colors[i])
+		}
+	}
+}
+
+func TestQuadtreeUniform(t *testing.T) {
+	colors := []int16{5, 5, 5}
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 2, 3}
+	buf := buildQuad(nil, []int32{0, 1, 2}, colors, xs, ys, 0, 0, 4, 4, 0)
+	if len(buf) != 1 || buf[0] != 5 {
+		t.Errorf("uniform set should compress to one leaf, got %v", buf)
+	}
+}
+
+func TestSPQCycleDominatedByTrees(t *testing.T) {
+	g := conformance.Network(t, 400, 600, 53)
+	srv, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeBytes := 0
+	for _, tr := range srv.trees {
+		treeBytes += len(tr)
+	}
+	if treeBytes == 0 {
+		t.Fatal("no quadtrees built")
+	}
+	// Paper Table 1: SPQ's cycle is several times DJ's. The aux section
+	// must exceed the data section.
+	var aux, data int
+	for _, sec := range srv.Cycle().Sections {
+		switch sec.Label {
+		case "quadtrees":
+			aux = sec.N
+		case "network":
+			data = sec.N
+		}
+	}
+	if aux <= data {
+		t.Errorf("quadtrees (%d pkts) should dominate network data (%d pkts)", aux, data)
+	}
+}

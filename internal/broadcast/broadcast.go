@@ -1,0 +1,174 @@
+// Package broadcast implements the wireless broadcast substrate: cycle
+// assembly with section bookkeeping, the (1,m) interleaving rule of [6],
+// a deterministic lossy channel, and the client tuner that accounts tuning
+// time, access latency, and sleep/wake behaviour (paper Sections 2.2, 3.1
+// and 6.2).
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/packet"
+)
+
+// Section describes a contiguous packet range in a cycle: one index copy,
+// one region's data segment, one auxiliary block, and so on. Sections are
+// server-side bookkeeping (and test scaffolding); clients learn positions
+// only from packet headers and index contents.
+type Section struct {
+	Kind   packet.Kind
+	Region int // region the section belongs to, or -1
+	Label  string
+	Start  int // first packet position in the cycle
+	N      int // number of packets
+}
+
+// Cycle is one broadcast cycle: the fixed packet sequence a server repeats
+// forever.
+type Cycle struct {
+	Packets  []packet.Packet
+	Sections []Section
+}
+
+// Len returns the cycle length in packets.
+func (c *Cycle) Len() int { return len(c.Packets) }
+
+// SectionsOf returns all sections of the given kind.
+func (c *Cycle) SectionsOf(kind packet.Kind) []Section {
+	var out []Section
+	for _, s := range c.Sections {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RegionSection returns the first section with the given kind and region.
+func (c *Cycle) RegionSection(kind packet.Kind, region int) (Section, bool) {
+	for _, s := range c.Sections {
+		if s.Kind == kind && s.Region == region {
+			return s, true
+		}
+	}
+	return Section{}, false
+}
+
+// Assembler builds a Cycle section by section.
+type Assembler struct {
+	c Cycle
+}
+
+// NewAssembler returns an empty Assembler.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// Append adds pkts as a section and returns its start position.
+func (a *Assembler) Append(kind packet.Kind, region int, label string, pkts []packet.Packet) int {
+	start := len(a.c.Packets)
+	a.c.Packets = append(a.c.Packets, pkts...)
+	a.c.Sections = append(a.c.Sections, Section{
+		Kind: kind, Region: region, Label: label, Start: start, N: len(pkts),
+	})
+	return start
+}
+
+// Len returns the packets appended so far.
+func (a *Assembler) Len() int { return len(a.c.Packets) }
+
+// Finish fixes up every packet's next-index pointer (the paper requires the
+// pointer on all packets) and returns the cycle. The pointer names the start
+// of the next index section *strictly after* the packet, so a client that
+// just listened to any packet can sleep forward to a whole index copy (or,
+// for NR, a whole local index). With no index sections the pointers stay
+// zero.
+func (a *Assembler) Finish() *Cycle {
+	c := &a.c
+	n := len(c.Packets)
+	if n == 0 {
+		return c
+	}
+	// Starts of index sections (copy boundaries).
+	var starts []int
+	for _, s := range c.Sections {
+		if s.Kind == packet.KindIndex {
+			starts = append(starts, s.Start)
+		}
+	}
+	if len(starts) > 0 {
+		j := 0 // first section start > current scan point
+		for i := range c.Packets {
+			for j < len(starts) && starts[j] <= i {
+				j++
+			}
+			var next int
+			if j < len(starts) {
+				next = starts[j]
+			} else {
+				next = starts[0] + n // wrap to the first copy of the next cycle
+			}
+			c.Packets[i].NextIndex = uint32(next - i)
+		}
+	}
+	return c
+}
+
+// OptimalM computes the (1,m) replication factor of [6]:
+// m = sqrt(dataPackets / indexPackets), at least 1.
+func OptimalM(dataPackets, indexPackets int) int {
+	if indexPackets <= 0 || dataPackets <= 0 {
+		return 1
+	}
+	m := int(math.Round(math.Sqrt(float64(dataPackets) / float64(indexPackets))))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Channel is a broadcast channel repeating a cycle forever, with optional
+// deterministic Bernoulli packet loss. Whether the transmission at absolute
+// position p is lost depends only on (seed, p): every listener experiences
+// the same air, and experiments are reproducible.
+type Channel struct {
+	cycle *Cycle
+	loss  float64
+	seed  uint64
+}
+
+// NewChannel returns a channel for the cycle with the given loss rate in
+// [0, 1) and seed.
+func NewChannel(c *Cycle, lossRate float64, seed int64) (*Channel, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("broadcast: empty cycle")
+	}
+	if lossRate < 0 || lossRate >= 1 {
+		return nil, fmt.Errorf("broadcast: loss rate %v outside [0,1)", lossRate)
+	}
+	return &Channel{cycle: c, loss: lossRate, seed: uint64(seed)}, nil
+}
+
+// Cycle returns the broadcast cycle.
+func (ch *Channel) Cycle() *Cycle { return ch.cycle }
+
+// Len returns the cycle length in packets.
+func (ch *Channel) Len() int { return ch.cycle.Len() }
+
+// at returns the packet transmitted at absolute position abs and whether it
+// was received intact.
+func (ch *Channel) at(abs int) (packet.Packet, bool) {
+	p := ch.cycle.Packets[abs%ch.cycle.Len()]
+	if ch.loss > 0 && ch.lostAt(abs) {
+		return packet.Packet{Kind: p.Kind}, false
+	}
+	return p, true
+}
+
+// lostAt hashes (seed, abs) with splitmix64 into a uniform [0,1) draw.
+func (ch *Channel) lostAt(abs int) bool {
+	z := ch.seed + uint64(abs)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < ch.loss
+}

@@ -1,0 +1,95 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Tuner is a client's view of the channel. It advances through absolute
+// packet positions, either listening (receiving the packet, which costs
+// tuning time / energy) or sleeping (skipping ahead for free). It accounts
+// the paper's tuning-time and access-latency factors.
+//
+// Position bookkeeping: Pos is the absolute position of the packet the
+// client would receive next. Positions increase forever; the cycle repeats
+// underneath (position p carries cycle packet p mod L).
+type Tuner struct {
+	ch    *Channel
+	pos   int
+	start int
+	// tuning counts packets listened to, including ones that arrived
+	// corrupted: the radio was receiving either way.
+	tuning int
+	last   int // absolute position of the last packet listened to
+}
+
+// NewTuner returns a tuner that tunes in at absolute position start: the
+// moment the query is posed.
+func NewTuner(ch *Channel, start int) *Tuner {
+	return &Tuner{ch: ch, pos: start, start: start, last: start - 1}
+}
+
+// Channel returns the underlying channel.
+func (t *Tuner) Channel() *Channel { return t.ch }
+
+// CycleLen returns the cycle length in packets.
+func (t *Tuner) CycleLen() int { return t.ch.Len() }
+
+// Pos returns the absolute position of the next packet.
+func (t *Tuner) Pos() int { return t.pos }
+
+// CyclePos returns Pos modulo the cycle length.
+func (t *Tuner) CyclePos() int { return t.pos % t.ch.Len() }
+
+// Listen receives the packet at the current position and advances. The
+// boolean reports whether the packet arrived intact; a lost packet still
+// counts toward tuning time.
+func (t *Tuner) Listen() (packet.Packet, bool) {
+	p, ok := t.ch.at(t.pos)
+	t.last = t.pos
+	t.pos++
+	t.tuning++
+	return p, ok
+}
+
+// SleepTo advances to absolute position abs without listening. It panics if
+// abs is in the past — that would be a scheme bug (clients cannot rewind a
+// broadcast).
+func (t *Tuner) SleepTo(abs int) {
+	if abs < t.pos {
+		panic(fmt.Sprintf("broadcast: SleepTo(%d) before current position %d", abs, t.pos))
+	}
+	t.pos = abs
+}
+
+// NextOccurrence returns the smallest absolute position >= Pos whose cycle
+// position equals cyclePos.
+func (t *Tuner) NextOccurrence(cyclePos int) int {
+	l := t.ch.Len()
+	cur := t.pos % l
+	delta := cyclePos - cur
+	if delta < 0 {
+		delta += l
+	}
+	return t.pos + delta
+}
+
+// Tuning returns the packets listened to so far.
+func (t *Tuner) Tuning() int { return t.tuning }
+
+// Latency returns the access latency in packets: from the tune-in position
+// through the last packet listened to.
+func (t *Tuner) Latency() int {
+	if t.last < t.start {
+		return 0
+	}
+	return t.last - t.start + 1
+}
+
+// ElapsedCycles returns how many full cycle lengths the tuner has advanced
+// since tune-in; tests use it to check the paper's "access latency does not
+// exceed one broadcast cycle" claims.
+func (t *Tuner) ElapsedCycles() float64 {
+	return float64(t.pos-t.start) / float64(t.ch.Len())
+}

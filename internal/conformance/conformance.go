@@ -1,0 +1,83 @@
+// Package conformance provides the shared correctness harness every scheme's
+// tests run: queries answered on the air must match a reference Dijkstra on
+// the full network, reported paths must be real paths of the reported cost,
+// and lossless access latency must stay within the expected cycle bounds.
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/netgen"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// Network generates a deterministic test road network.
+func Network(t testing.TB, nodes, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := netgen.Generate(nodes, edges, seed)
+	if err != nil {
+		t.Fatalf("netgen: %v", err)
+	}
+	return g
+}
+
+// Config tunes a conformance run.
+type Config struct {
+	Loss      float64
+	Queries   int
+	Seed      int64
+	MaxCycles float64 // 0 disables the latency check
+	// PathOptional allows Dist-only results (HiTi does not expand paths).
+	PathOptional bool
+}
+
+// Check runs random queries against srv over a (possibly lossy) channel and
+// verifies them against the full-network reference.
+func Check(t *testing.T, g *graph.Graph, srv scheme.Server, cfg Config) {
+	t.Helper()
+	ch, err := broadcast.NewChannel(srv.Cycle(), cfg.Loss, cfg.Seed)
+	if err != nil {
+		t.Fatalf("channel: %v", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	client := srv.NewClient()
+	for i := 0; i < cfg.Queries; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		q := scheme.QueryFor(g, s, d)
+		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		res, err := client.Query(tuner, q)
+		if err != nil {
+			t.Fatalf("%s query %d (%d->%d): %v", srv.Name(), i, s, d, err)
+		}
+		want, _, _ := spath.PointToPoint(g, s, d)
+		if math.Abs(res.Dist-want) > 1e-3*(1+want) {
+			t.Errorf("%s query %d (%d->%d): got dist %v, want %v", srv.Name(), i, s, d, res.Dist, want)
+		}
+		if res.Path == nil && !cfg.PathOptional && s != d {
+			t.Errorf("%s query %d: missing path", srv.Name(), i)
+		}
+		if res.Path != nil && len(res.Path) > 0 {
+			if res.Path[0] != s || res.Path[len(res.Path)-1] != d {
+				t.Errorf("%s query %d: path endpoints %v..%v, want %v..%v",
+					srv.Name(), i, res.Path[0], res.Path[len(res.Path)-1], s, d)
+			}
+			cost := spath.PathCost(g, res.Path)
+			if math.Abs(cost-res.Dist) > 1e-3*(1+res.Dist) {
+				t.Errorf("%s query %d: path cost %v != reported dist %v", srv.Name(), i, cost, res.Dist)
+			}
+		}
+		if cfg.Loss == 0 && cfg.MaxCycles > 0 && tuner.ElapsedCycles() > cfg.MaxCycles {
+			t.Errorf("%s query %d: lossless latency %.2f cycles exceeds %.2f",
+				srv.Name(), i, tuner.ElapsedCycles(), cfg.MaxCycles)
+		}
+		if res.Metrics.TuningPackets <= 0 || res.Metrics.LatencyPackets <= 0 {
+			t.Errorf("%s query %d: implausible metrics %+v", srv.Name(), i, res.Metrics)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/scheme"
+)
+
+// TestNRLatencyWithinCycle is a regression test for the index-boundary bug
+// where the NR client overran a local index into region data and then paid
+// a full extra cycle to re-reach the region it was already standing on:
+// on a lossless channel NR must finish well within ~1.5 cycles of tune-in.
+func TestNRLatencyWithinCycle(t *testing.T) {
+	g := testNetwork(t, 600, 900, 2)
+	srv, err := NewNR(g, Options{Regions: 16, Segments: true, SquareCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 43)
+	rng := rand.New(rand.NewSource(43))
+	client := srv.NewClient()
+	worst := 0.0
+	for i := 0; i < 60; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		if _, err := client.Query(tuner, scheme.QueryFor(g, s, d)); err != nil {
+			t.Fatal(err)
+		}
+		if c := tuner.ElapsedCycles(); c > worst {
+			worst = c
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("worst-case lossless NR latency %.2f cycles; want <= 1.5", worst)
+	}
+}
+
+// TestNRChaseVisitsOnlyNeededRegions checks the selective-tuning claim of
+// Section 5: on a lossless channel the NR client's tuning time stays far
+// below the cycle length because it receives only needed regions and the
+// local indexes adjacent to them.
+func TestNRChaseVisitsOnlyNeededRegions(t *testing.T) {
+	g := testNetwork(t, 600, 900, 2)
+	srv, err := NewNR(g, Options{Regions: 16, Segments: true, SquareCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 7)
+	rng := rand.New(rand.NewSource(7))
+	client := srv.NewClient()
+	sumTuning := 0
+	const nq = 40
+	for i := 0; i < nq; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		if _, err := client.Query(tuner, scheme.QueryFor(g, s, d)); err != nil {
+			t.Fatal(err)
+		}
+		sumTuning += tuner.Tuning()
+	}
+	mean := float64(sumTuning) / nq
+	if mean >= float64(srv.Cycle().Len()) {
+		t.Errorf("mean NR tuning %.0f packets >= cycle length %d; selective tuning is not working",
+			mean, srv.Cycle().Len())
+	}
+}

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/airidx"
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netdata"
+	"repro/internal/packet"
+	"repro/internal/partition"
+	"repro/internal/precompute"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// Options configure the EB and NR methods.
+type Options struct {
+	// Regions is the number of kd-tree partitions (power of two; the paper
+	// fine-tunes to 32 for both methods on the default network).
+	Regions int
+	// Segments enables the cross-border/local data segmentation of Section
+	// 4.1 (about a 20% tuning-time reduction in the paper). On by default
+	// via DefaultOptions.
+	Segments bool
+	// MemoryBound enables the client-side super-edge pre-computation of
+	// Section 6.1: regions are contracted as they arrive and their raw data
+	// is discarded, trading CPU for roughly 35% lower peak memory.
+	MemoryBound bool
+	// SquareCells disables (when false) the w×w square packing of EB's
+	// min/max matrix, falling back to row-major runs; exists for the
+	// loss-resilience ablation.
+	SquareCells bool
+	// POI marks points of interest (per node) for the on-air spatial query
+	// extension (range and kNN over the road network, the paper's stated
+	// future work). Nil when the cycle serves shortest-path queries only.
+	POI []bool
+}
+
+// DefaultOptions mirror the paper's defaults for the Germany network.
+func DefaultOptions() Options {
+	return Options{Regions: 32, Segments: true, SquareCells: true}
+}
+
+// EB is the Elliptic Boundary method's server side: it partitions the
+// network with a kd-tree, pre-computes the min/max inter-region distance
+// matrix over border-node shortest paths, and assembles a (1,m)-interleaved
+// broadcast cycle whose index copies sit between region data segments.
+type EB struct {
+	opts    Options
+	g       *graph.Graph
+	regions *precompute.Regions
+	border  *precompute.BorderData
+	cycle   *broadcast.Cycle
+	pre     time.Duration
+}
+
+// NewEB builds the EB server for g.
+func NewEB(g *graph.Graph, opts Options) (*EB, error) {
+	kd, err := partition.NewKDTree(g, opts.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("core: EB: %w", err)
+	}
+	regions := precompute.BuildRegions(g, kd)
+	border := precompute.Compute(g, regions)
+	e := &EB{opts: opts, g: g, regions: regions, border: border, pre: border.Elapsed}
+	e.cycle = e.assemble(kd)
+	return e, nil
+}
+
+// NewEBShared builds an EB server reusing pre-computed border data, so
+// experiments comparing EB and NR (which share pre-computation per the
+// paper) pay for it once.
+func NewEBShared(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regions, border *precompute.BorderData, opts Options) *EB {
+	e := &EB{opts: opts, g: g, regions: regions, border: border, pre: border.Elapsed}
+	e.cycle = e.assemble(kd)
+	return e
+}
+
+// Name implements scheme.Server.
+func (e *EB) Name() string { return "EB" }
+
+// Cycle implements scheme.Server.
+func (e *EB) Cycle() *broadcast.Cycle { return e.cycle }
+
+// PrecomputeTime implements scheme.Server.
+func (e *EB) PrecomputeTime() time.Duration { return e.pre }
+
+// Regions exposes the region structure (examples and the harness use it).
+func (e *EB) Regions() *precompute.Regions { return e.regions }
+
+// Border exposes the pre-computed border data.
+func (e *EB) Border() *precompute.BorderData { return e.border }
+
+// regionSegments orders each region's nodes (cross-border first when
+// segmentation is on) and returns per-region (cross, local) packet slices.
+func regionSegments(g *graph.Graph, regions *precompute.Regions, border *precompute.BorderData, segments bool, poi []bool) (cross, local [][]packet.Packet) {
+	n := regions.N
+	cross = make([][]packet.Packet, n)
+	local = make([][]packet.Packet, n)
+	for r := 0; r < n; r++ {
+		if segments {
+			ordered, nCross := precompute.SplitSegments(regions.Nodes[r], border.CrossBorder)
+			cross[r] = netdata.EncodeNodes(g, ordered[:nCross], regions.IsBorder, poi)
+			local[r] = netdata.EncodeNodes(g, ordered[nCross:], regions.IsBorder, poi)
+		} else {
+			// Without segmentation everything is "cross": clients always
+			// listen to the whole region.
+			cross[r] = netdata.EncodeNodes(g, regions.Nodes[r], regions.IsBorder, poi)
+		}
+	}
+	return cross, local
+}
+
+func (e *EB) assemble(kd *partition.KDTree) *broadcast.Cycle {
+	n := e.regions.N
+	cross, local := regionSegments(e.g, e.regions, e.border, e.opts.Segments, e.opts.POI)
+	totalData := 0
+	for r := 0; r < n; r++ {
+		totalData += len(cross[r]) + len(local[r])
+	}
+
+	cellW := 3
+	if !e.opts.SquareCells {
+		cellW = 1 // degenerate blocks: row-major runs of single cells
+	}
+	buildIndex := func(offs []airidx.RegionOffset) []packet.Packet {
+		var recs []airidx.Rec
+		recs = append(recs, airidx.KDSplitRecords(kd.Splits())...)
+		recs = append(recs, airidx.EBCellRecords(e.border.MinDist, e.border.MaxDist, cellW)...)
+		recs = append(recs, airidx.OffsetRecords(offs, false)...)
+		return airidx.PackIndex(recs, e.g.NumNodes(), n, airidx.GlobalRegion)
+	}
+
+	// Pass 1: index size with placeholder offsets (fixed-width fields, so
+	// the packet count is identical with real values).
+	nIdx := len(buildIndex(make([]airidx.RegionOffset, n)))
+	m := broadcast.OptimalM(totalData, nIdx)
+
+	// Layout: m index copies forced between regions (never cutting a
+	// region's data), at approximately even data intervals.
+	type item struct {
+		index  bool
+		region int
+	}
+	var layout []item
+	emitted := 0
+	copies := 0
+	for r := 0; r < n; r++ {
+		if copies < m && emitted*m >= copies*totalData {
+			layout = append(layout, item{index: true})
+			copies++
+		}
+		layout = append(layout, item{region: r})
+		emitted += len(cross[r]) + len(local[r])
+	}
+	for copies < m {
+		layout = append(layout, item{index: true})
+		copies++
+	}
+
+	// Compute final positions.
+	offs := make([]airidx.RegionOffset, n)
+	pos := 0
+	for _, it := range layout {
+		if it.index {
+			pos += nIdx
+			continue
+		}
+		r := it.region
+		offs[r] = airidx.RegionOffset{
+			DataStart: pos,
+			NCross:    len(cross[r]),
+			NLocal:    len(local[r]),
+		}
+		pos += len(cross[r]) + len(local[r])
+	}
+
+	idx := buildIndex(offs)
+	if len(idx) != nIdx {
+		panic("core: EB index size changed between passes")
+	}
+	asm := broadcast.NewAssembler()
+	for _, it := range layout {
+		if it.index {
+			asm.Append(packet.KindIndex, -1, "EB index", idx)
+			continue
+		}
+		asm.Append(packet.KindData, it.region, fmt.Sprintf("R%d cross", it.region), cross[it.region])
+		if len(local[it.region]) > 0 {
+			asm.Append(packet.KindData, it.region, fmt.Sprintf("R%d local", it.region), local[it.region])
+		}
+	}
+	return asm.Finish()
+}
+
+// NewClient implements scheme.Server.
+func (e *EB) NewClient() scheme.Client {
+	return &EBClient{opts: e.opts}
+}
+
+// EBClient answers queries per Section 4.2: receive one index copy, derive
+// the upper bound UB = A[Rs][Rt].max, prune regions by
+// min(Rs,R)+min(R,Rt) <= UB, receive the surviving regions' data, and run
+// Dijkstra over their union.
+type EBClient struct {
+	opts Options
+}
+
+// Name implements scheme.Client.
+func (c *EBClient) Name() string { return "EB" }
+
+// ebIndex is the client-side reassembly of one EB index copy.
+type ebIndex struct {
+	meta    airidx.Meta
+	haveLen bool
+	gotSeq  []bool
+	nGot    int
+
+	splits *airidx.SplitsAccum
+	cells  *airidx.CellsAccum
+	offs   *airidx.OffsetsAccum
+}
+
+func (x *ebIndex) process(abs int, copyStart int, p packet.Packet, ok bool) {
+	if !ok {
+		return
+	}
+	recs := packet.Records(p.Payload)
+	var meta airidx.Meta
+	found := false
+	for _, r := range recs {
+		if r.Tag == packet.TagMeta {
+			meta, found = airidx.DecodeMeta(r.Data)
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	if !x.haveLen {
+		x.meta = meta
+		x.haveLen = true
+		x.gotSeq = make([]bool, meta.Packets)
+		x.splits = airidx.NewSplitsAccum(meta.NumRegions)
+		x.cells = airidx.NewCellsAccum(meta.NumRegions)
+		x.offs = airidx.NewOffsetsAccum(meta.NumRegions)
+	}
+	if meta.Seq < len(x.gotSeq) && !x.gotSeq[meta.Seq] {
+		x.gotSeq[meta.Seq] = true
+		x.nGot++
+	}
+	for _, r := range recs {
+		switch r.Tag {
+		case packet.TagKDSplits:
+			x.splits.Add(r.Data)
+		case packet.TagEBCells:
+			x.cells.Add(r.Data)
+		case packet.TagRegionOffsets:
+			x.offs.Add(r.Data)
+		}
+	}
+}
+
+func (x *ebIndex) complete() bool {
+	return x.haveLen && x.splits.Complete() && x.cells.Complete() && x.offs.Complete()
+}
+
+// missingSeqs returns the copy-relative packet positions still needed.
+func (x *ebIndex) missingSeqs() []int {
+	if !x.haveLen {
+		return nil
+	}
+	var out []int
+	for s, got := range x.gotSeq {
+		if !got {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Query implements scheme.Client.
+func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error) {
+	var mem metrics.Mem
+	var cpu time.Duration
+
+	// Step 1: find and receive an index copy (Algorithm 1, lines 1-7).
+	idx := &ebIndex{}
+	copyStart, err := receiveFullIndex(t, idx)
+	if err != nil {
+		return scheme.Result{}, err
+	}
+	_ = copyStart
+	n := idx.meta.NumRegions
+	// Client retains splits, the n×n min/max matrix and the directory.
+	mem.Alloc(4*(n-1) + 8*n*n + 8*n)
+
+	start := time.Now()
+	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
+	if err != nil {
+		return scheme.Result{}, fmt.Errorf("core: EB client: %w", err)
+	}
+	rs := kd.RegionOf(q.SX, q.SY)
+	rt := kd.RegionOf(q.TX, q.TY)
+
+	// Step 2: prune regions with the elliptic condition (lines 8-10).
+	ub := idx.cells.MaxAt(rs, rt)
+	var needed []int
+	for r := 0; r < n; r++ {
+		if r == rs || r == rt || idx.cells.MinAt(rs, r)+idx.cells.MinAt(r, rt) <= ub {
+			needed = append(needed, r)
+		}
+	}
+	cpu += time.Since(start)
+
+	// Step 3: receive the needed regions (lines 11-15), contracting each
+	// into super-edges on arrival when memory-bound processing is on.
+	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
+	var ctr *contractor
+	var onComplete func(region int)
+	if c.opts.MemoryBound {
+		ctr = newContractor(kd, coll, q, rs, rt, &mem, &cpu)
+		onComplete = ctr.contract
+	}
+	receiveRegions(t, coll, idx.offs.Offs, needed, rs, rt, c.opts.Segments, onComplete)
+
+	// Step 4: Dijkstra over the union (line 16).
+	res := finishSearch(ctr, coll, q, &mem, &cpu)
+	res.Metrics = metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}
+	return res, nil
+}
+
+// finishSearch runs the final shortest-path computation: over the contracted
+// super-edge graph G' when memory-bound processing is on, over the union of
+// received regions otherwise.
+func finishSearch(ctr *contractor, coll *netdata.Collector, q scheme.Query, mem *metrics.Mem, cpu *time.Duration) scheme.Result {
+	start := time.Now()
+	defer func() { *cpu += time.Since(start) }()
+	if ctr != nil {
+		return ctr.finish()
+	}
+	mem.Alloc(metrics.DistEntryBytes * coll.Net.NumPresent())
+	r := spath.DijkstraNetwork(coll.Net, q.S, q.T)
+	return scheme.Result{Dist: r.Dist, Path: r.Path}
+}
+
+// receiveFullIndex positions the tuner on the next index copy (using the
+// per-packet next-index pointer) and receives it completely, patching
+// packets lost in one copy from subsequent copies (Section 6.2). It returns
+// the absolute position where the first visited copy started.
+func receiveFullIndex(t *broadcast.Tuner, idx *ebIndex) (int, error) {
+	// Initial packet: every packet carries the pointer to the next index.
+	ptr := -1
+	for tries := 0; ptr < 0; tries++ {
+		if tries > 10*t.CycleLen() {
+			return 0, fmt.Errorf("core: no intact packet found on channel")
+		}
+		p, ok := t.Listen()
+		if ok {
+			ptr = t.Pos() - 1 + int(p.NextIndex)
+		}
+	}
+	t.SleepTo(ptr)
+	first := ptr
+
+	copyStart := ptr
+	for rounds := 0; !idx.complete(); rounds++ {
+		if rounds > 64 {
+			return 0, fmt.Errorf("core: index not received after %d copies", rounds)
+		}
+		nextPtr := receiveIndexCopyAt(t, idx, copyStart)
+		if idx.complete() {
+			break
+		}
+		if nextPtr <= copyStart {
+			// Every packet of the copy was lost: listen on until an intact
+			// packet points at the next index copy.
+			for tries := 0; ; tries++ {
+				if tries > 10*t.CycleLen() {
+					return 0, fmt.Errorf("core: broken next-index pointer chain")
+				}
+				p, ok := t.Listen()
+				if ok {
+					nextPtr = t.Pos() - 1 + int(p.NextIndex)
+					break
+				}
+			}
+		}
+		copyStart = nextPtr
+		t.SleepTo(copyStart)
+	}
+	return first, nil
+}
+
+// receiveIndexCopyAt receives the (still missing parts of the) index copy
+// starting at absolute position copyStart, where the tuner is positioned.
+// It returns the absolute position of the following index copy as learned
+// from packet pointers (or -1 if no intact packet was seen).
+func receiveIndexCopyAt(t *broadcast.Tuner, idx *ebIndex, copyStart int) int {
+	nextPtr := -1
+	note := func(abs int, p packet.Packet, ok bool) {
+		idx.process(abs, copyStart, p, ok)
+		// Within a copy each packet's pointer names the next index packet,
+		// i.e. usually its own successor; only pointers landing beyond this
+		// copy locate the *next* copy. Meta arrives with any intact packet,
+		// so haveLen is set before this check matters.
+		if ok && idx.haveLen {
+			cand := abs + int(p.NextIndex)
+			if cand >= copyStart+idx.meta.Packets && (nextPtr < 0 || cand < nextPtr) {
+				nextPtr = cand
+			}
+		}
+	}
+	if idx.haveLen {
+		// Fetch only the missing copy-relative positions.
+		for _, s := range idx.missingSeqs() {
+			abs := copyStart + s
+			if abs < t.Pos() {
+				continue
+			}
+			t.SleepTo(abs)
+			p, ok := t.Listen()
+			note(abs, p, ok)
+		}
+		return nextPtr
+	}
+	// Length unknown: listen packet by packet while the header says index.
+	for guard := 0; guard <= t.CycleLen(); guard++ {
+		abs := t.Pos()
+		p, ok := t.Listen()
+		if p.Kind != packet.KindIndex {
+			break
+		}
+		note(abs, p, ok)
+		if idx.haveLen && abs-copyStart == idx.meta.Packets-1 {
+			break
+		}
+	}
+	return nextPtr
+}
+
+// receiveRegions wakes for each needed region in broadcast order and
+// listens to its cross-border segment (and the local segment for the
+// terminal regions rs and rt). Data packets lost on air are re-fetched in
+// subsequent cycles until every needed position has been received intact.
+// onComplete, when non-nil, fires once per region as soon as all its
+// packets have been received (the hook for Section 6.1's incremental
+// super-edge contraction).
+func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.RegionOffset, needed []int, rs, rt int, segments bool, onComplete func(region int)) {
+	l := t.CycleLen()
+	type span struct{ region, start, n int }
+	var spans []span
+	for _, r := range needed {
+		o := offs[r]
+		n := o.NCross
+		if !segments || r == rs || r == rt {
+			n += o.NLocal
+		}
+		spans = append(spans, span{r, o.DataStart, n})
+	}
+	// Receive in cyclic order from the current position.
+	cur := t.Pos() % l
+	sort.Slice(spans, func(i, j int) bool {
+		di := (spans[i].start - cur + l) % l
+		dj := (spans[j].start - cur + l) % l
+		return di < dj
+	})
+	type retry struct{ region, cyclePos int }
+	var lost []retry
+	pending := make(map[int]int) // region -> lost packets outstanding
+	done := func(r int) {
+		if onComplete != nil {
+			onComplete(r)
+		}
+	}
+	for _, sp := range spans {
+		if sp.n == 0 {
+			done(sp.region)
+			continue
+		}
+		t.SleepTo(t.NextOccurrence(sp.start))
+		for k := 0; k < sp.n; k++ {
+			abs := t.Pos()
+			p, ok := t.Listen()
+			if !ok {
+				lost = append(lost, retry{sp.region, abs % l})
+				pending[sp.region]++
+				continue
+			}
+			coll.Process(abs%l, p)
+		}
+		if pending[sp.region] == 0 {
+			done(sp.region)
+		}
+	}
+	for len(lost) > 0 {
+		cur := t.Pos() % l
+		sort.Slice(lost, func(i, j int) bool {
+			return (lost[i].cyclePos-cur+l)%l < (lost[j].cyclePos-cur+l)%l
+		})
+		var still []retry
+		for _, it := range lost {
+			t.SleepTo(t.NextOccurrence(it.cyclePos))
+			p, ok := t.Listen()
+			if !ok {
+				still = append(still, it)
+				continue
+			}
+			coll.Process(it.cyclePos, p)
+			pending[it.region]--
+			if pending[it.region] == 0 {
+				done(it.region)
+			}
+		}
+		lost = still
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netdata"
+	"repro/internal/partition"
+	"repro/internal/pq"
+	"repro/internal/scheme"
+)
+
+// This file implements the paper's stated future work (Section 8): "on-air
+// processing of spatial queries in road networks, e.g., range and nearest
+// neighbor retrieval". Points of interest are broadcast as flagged nodes in
+// the EB cycle (Options.POI); the EB index's min-distance rows prune the
+// regions a range query must receive, exactly as the elliptic bound prunes
+// shortest-path queries: a node within network distance r of the source
+// can only lie in a region R with minDist(Rs, R) <= r.
+
+// POIResult is one point of interest with its network distance from the
+// query source.
+type POIResult struct {
+	Node graph.NodeID
+	Dist float64
+}
+
+// SpatialClient answers on-air range and k-nearest-neighbor queries over an
+// EB cycle whose server was built with Options.POI.
+type SpatialClient struct {
+	opts Options
+}
+
+// NewSpatialClient returns a spatial client with the same options as the
+// serving EB instance.
+func (e *EB) NewSpatialClient() *SpatialClient {
+	return &SpatialClient{opts: e.opts}
+}
+
+// RangeOnAir returns every POI within network distance radius of the query
+// source, sorted by distance.
+func (c *SpatialClient) RangeOnAir(t *broadcast.Tuner, q scheme.Query, radius float64) ([]POIResult, metrics.Query, error) {
+	var mem metrics.Mem
+	var cpu time.Duration
+
+	idx := &ebIndex{}
+	if _, err := receiveFullIndex(t, idx); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	n := idx.meta.NumRegions
+	mem.Alloc(4*(n-1) + 8*n*n + 8*n)
+
+	start := time.Now()
+	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
+	if err != nil {
+		return nil, metrics.Query{}, fmt.Errorf("core: spatial client: %w", err)
+	}
+	rs := kd.RegionOf(q.SX, q.SY)
+	var needed []int
+	for r := 0; r < n; r++ {
+		if r == rs || idx.cells.MinAt(rs, r) <= radius {
+			needed = append(needed, r)
+		}
+	}
+	cpu += time.Since(start)
+
+	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
+	// Spatial queries need complete regions (POIs are often local nodes),
+	// so segmentation is disabled for the receive: rs/rt set to -1 forces
+	// full segments... the helper treats every region as terminal when
+	// segments are off.
+	receiveRegions(t, coll, idx.offs.Offs, needed, -1, -1, false, nil)
+
+	start = time.Now()
+	res := collectWithin(coll, q.S, radius, math.MaxInt32)
+	cpu += time.Since(start)
+
+	return res, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}
+
+// KNNOnAir returns the k POIs nearest to the query source in network
+// distance, sorted by distance. The client expands its search radius
+// (receiving additional regions from later parts of the broadcast) until k
+// POIs are confirmed closer than every unexplored region's lower bound.
+func (c *SpatialClient) KNNOnAir(t *broadcast.Tuner, q scheme.Query, k int) ([]POIResult, metrics.Query, error) {
+	var mem metrics.Mem
+	var cpu time.Duration
+
+	idx := &ebIndex{}
+	if _, err := receiveFullIndex(t, idx); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	n := idx.meta.NumRegions
+	mem.Alloc(4*(n-1) + 8*n*n + 8*n)
+	if k <= 0 {
+		return nil, metrics.Query{}, fmt.Errorf("core: kNN: k must be positive")
+	}
+
+	start := time.Now()
+	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
+	if err != nil {
+		return nil, metrics.Query{}, fmt.Errorf("core: spatial client: %w", err)
+	}
+	rs := kd.RegionOf(q.SX, q.SY)
+	// Regions ordered by their lower-bound distance from Rs.
+	order := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		order = append(order, r)
+	}
+	lower := func(r int) float64 {
+		if r == rs {
+			return 0
+		}
+		return idx.cells.MinAt(rs, r)
+	}
+	sort.Slice(order, func(i, j int) bool { return lower(order[i]) < lower(order[j]) })
+	cpu += time.Since(start)
+
+	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
+	received := 0
+	var res []POIResult
+	for received < len(order) {
+		// Receive the next batch of regions by increasing lower bound.
+		batch := []int{}
+		for len(batch) < 4 && received < len(order) {
+			batch = append(batch, order[received])
+			received++
+		}
+		receiveRegions(t, coll, idx.offs.Offs, batch, -1, -1, false, nil)
+
+		start = time.Now()
+		res = collectWithin(coll, q.S, math.Inf(1), k)
+		cpu += time.Since(start)
+		// Confirmed when k POIs are closer than the next unexplored
+		// region's lower bound.
+		if len(res) >= k && (received >= len(order) || res[k-1].Dist <= lower(order[received])) {
+			res = res[:k]
+			break
+		}
+	}
+	if len(res) > k {
+		res = res[:k]
+	}
+	if len(res) < k {
+		return nil, metrics.Query{}, fmt.Errorf("core: kNN: only %d POIs on the network, k=%d", len(res), k)
+	}
+	return res, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}
+
+// collectWithin runs bounded Dijkstra from s over the collected partial
+// network and returns up to maxOut POIs within radius, sorted by distance.
+func collectWithin(coll *netdata.Collector, s graph.NodeID, radius float64, maxOut int) []POIResult {
+	net := coll.Net
+	nn := net.NumNodes()
+	dist := make([]float64, nn)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := pq.New(nn)
+	dist[s] = 0
+	h.Push(int32(s), 0)
+	var out []POIResult
+	for h.Len() > 0 {
+		item, d := h.Pop()
+		if d > radius {
+			break
+		}
+		v := graph.NodeID(item)
+		if coll.POI[v] {
+			out = append(out, POIResult{Node: v, Dist: d})
+		}
+		for _, a := range net.Arcs(v) {
+			nd := d + a.Weight
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				h.PushOrDecrease(int32(a.To), nd)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Node < out[j].Node
+	})
+	if len(out) > maxOut {
+		out = out[:maxOut]
+	}
+	return out
+}

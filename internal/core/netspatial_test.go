@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// spatialFixture builds an EB server with every 9th node flagged as a POI.
+func spatialFixture(t *testing.T, seed int64) (*graph.Graph, *EB, []bool) {
+	t.Helper()
+	g := testNetwork(t, 700, 800, seed)
+	poi := make([]bool, g.NumNodes())
+	for i := range poi {
+		poi[i] = i%9 == 0
+	}
+	srv, err := NewEB(g, Options{Regions: 16, Segments: true, SquareCells: true, POI: poi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, srv, poi
+}
+
+// refRange computes the reference network range result.
+func refRange(g *graph.Graph, poi []bool, s graph.NodeID, radius float64) map[graph.NodeID]float64 {
+	tree := spath.Dijkstra(g, s)
+	out := map[graph.NodeID]float64{}
+	for v, d := range tree.Dist {
+		if poi[v] && d <= radius {
+			out[graph.NodeID(v)] = d
+		}
+	}
+	return out
+}
+
+func TestRangeOnAir(t *testing.T) {
+	g, srv, poi := spatialFixture(t, 31)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+	client := srv.NewSpatialClient()
+	rng := rand.New(rand.NewSource(2))
+	diam := g.Diameter(spath.Distances)
+	for i := 0; i < 8; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		radius := diam * (0.05 + 0.2*rng.Float64())
+		q := scheme.QueryFor(g, s, s)
+		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		got, m, err := client.RangeOnAir(tuner, q, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refRange(g, poi, s, radius)
+		if len(got) != len(want) {
+			t.Fatalf("range %d: got %d POIs, want %d", i, len(got), len(want))
+		}
+		for _, r := range got {
+			w, ok := want[r.Node]
+			if !ok {
+				t.Fatalf("range %d: unexpected POI %d", i, r.Node)
+			}
+			if math.Abs(r.Dist-w) > 1e-3*(1+w) {
+				t.Fatalf("range %d: POI %d dist %v, want %v", i, r.Node, r.Dist, w)
+			}
+		}
+		if m.TuningPackets <= 0 {
+			t.Fatal("no tuning recorded")
+		}
+	}
+}
+
+func TestRangeOnAirSelective(t *testing.T) {
+	g, srv, _ := spatialFixture(t, 32)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+	client := srv.NewSpatialClient()
+	diam := g.Diameter(spath.Distances)
+	q := scheme.QueryFor(g, 5, 5)
+	tuner := broadcast.NewTuner(ch, 3)
+	_, m, err := client.RangeOnAir(tuner, q, diam*0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TuningPackets >= srv.Cycle().Len() {
+		t.Errorf("small-radius range tuned %d of %d packets: no pruning", m.TuningPackets, srv.Cycle().Len())
+	}
+}
+
+func TestKNNOnAir(t *testing.T) {
+	g, srv, poi := spatialFixture(t, 33)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+	client := srv.NewSpatialClient()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 6; i++ {
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		k := 1 + rng.Intn(6)
+		q := scheme.QueryFor(g, s, s)
+		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		got, _, err := client.KNNOnAir(tuner, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("kNN %d: got %d results, want %d", i, len(got), k)
+		}
+		// Reference: k smallest POI distances.
+		tree := spath.Dijkstra(g, s)
+		var dists []float64
+		for v, d := range tree.Dist {
+			if poi[v] {
+				dists = append(dists, d)
+			}
+		}
+		sortFloats(dists)
+		for j, r := range got {
+			if math.Abs(r.Dist-dists[j]) > 1e-3*(1+dists[j]) {
+				t.Fatalf("kNN %d: rank %d dist %v, want %v", i, j, r.Dist, dists[j])
+			}
+		}
+	}
+}
+
+func TestKNNOnAirWithLoss(t *testing.T) {
+	g, srv, poi := spatialFixture(t, 34)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0.05, 9)
+	client := srv.NewSpatialClient()
+	q := scheme.QueryFor(g, 10, 10)
+	got, _, err := client.KNNOnAir(broadcast.NewTuner(ch, 100), q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := spath.Dijkstra(g, 10)
+	var dists []float64
+	for v, d := range tree.Dist {
+		if poi[v] {
+			dists = append(dists, d)
+		}
+	}
+	sortFloats(dists)
+	for j, r := range got {
+		if math.Abs(r.Dist-dists[j]) > 1e-3*(1+dists[j]) {
+			t.Fatalf("lossy kNN rank %d: %v, want %v", j, r.Dist, dists[j])
+		}
+	}
+}
+
+func TestKNNOnAirValidation(t *testing.T) {
+	g, srv, _ := spatialFixture(t, 35)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+	client := srv.NewSpatialClient()
+	if _, _, err := client.KNNOnAir(broadcast.NewTuner(ch, 0), scheme.QueryFor(g, 1, 1), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := client.KNNOnAir(broadcast.NewTuner(ch, 0), scheme.QueryFor(g, 1, 1), g.NumNodes()); err == nil {
+		t.Error("k greater than POI count accepted")
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"testing"
+)
+
+// small returns a CI-sized config. The scale is the smallest at which the
+// paper's regime holds (index overhead amortized against data volume);
+// below it the fixed-size indexes dominate and the shapes invert.
+func small() Config {
+	return Config{Scale: 0.1, Queries: 40, Seed: 99}
+}
+
+// rowOf finds a Table 1 row by method name.
+func rowOf(rows []Table1Row, name string) Table1Row {
+	for _, r := range rows {
+		if r.Method == name {
+			return r
+		}
+	}
+	return Table1Row{}
+}
+
+// TestTable1Shape checks the paper's Table 1 ordering: DJ has the shortest
+// cycle, NR and EB follow closely, LD and AF are longer, SPQ and HiTi carry
+// extra information several times the network itself.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj := rowOf(rows, "DJ").Packets
+	nr := rowOf(rows, "NR").Packets
+	eb := rowOf(rows, "EB").Packets
+	ld := rowOf(rows, "LD").Packets
+	af := rowOf(rows, "AF").Packets
+	spq := rowOf(rows, "SPQ").Packets
+	hiti := rowOf(rows, "HiTi").Packets
+	if dj <= 0 {
+		t.Fatal("no DJ row")
+	}
+	if !(dj <= nr && dj <= eb) {
+		t.Errorf("DJ cycle (%d) must be shortest; NR=%d EB=%d", dj, nr, eb)
+	}
+	if !(nr < ld && eb < ld) {
+		t.Errorf("NR (%d) and EB (%d) must beat LD (%d)", nr, eb, ld)
+	}
+	if !(ld < spq && af < spq) {
+		t.Errorf("SPQ (%d) must exceed LD (%d) and AF (%d)", spq, ld, af)
+	}
+	if float64(spq) < 1.8*float64(dj) && float64(hiti) < 1.8*float64(dj) {
+		t.Errorf("SPQ (%d) or HiTi (%d) should be well above DJ (%d): their indexes dominate", spq, hiti, dj)
+	}
+}
+
+// TestFigure10Shape checks the headline result: NR wins tuning time and
+// memory, EB is runner-up, and the full-cycle competitors cluster above.
+func TestFigure10Shape(t *testing.T) {
+	fig, err := Figure10(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) FigureSeries {
+		for _, s := range fig.Series {
+			if s.Method == name {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s", name)
+		return FigureSeries{}
+	}
+	mean := func(v []float64) float64 {
+		sum := 0.0
+		n := 0
+		for _, x := range v {
+			if x > 0 {
+				sum += x
+				n++
+			}
+		}
+		return sum / float64(max(n, 1))
+	}
+	nr, eb, dj := get("NR"), get("EB"), get("DJ")
+	if !(mean(nr.Tuning) < mean(eb.Tuning)) {
+		t.Errorf("NR tuning %.0f should beat EB %.0f", mean(nr.Tuning), mean(eb.Tuning))
+	}
+	if !(mean(eb.Tuning) < mean(dj.Tuning)) {
+		t.Errorf("EB tuning %.0f should beat DJ %.0f", mean(eb.Tuning), mean(dj.Tuning))
+	}
+	if !(mean(nr.Memory) < mean(dj.Memory)) {
+		t.Errorf("NR memory %.3f should beat DJ %.3f", mean(nr.Memory), mean(dj.Memory))
+	}
+	// Paper: "NR achieves lower access latency even than Dijkstra"; at CI
+	// scale NR's per-region indexes weigh relatively more, so allow a
+	// narrow margin above DJ while still requiring NR to beat EB, LD, AF.
+	if mean(nr.Latency) > 1.25*mean(dj.Latency) {
+		t.Errorf("NR latency %.0f should be close to or below DJ %.0f", mean(nr.Latency), mean(dj.Latency))
+	}
+	if !(mean(nr.Latency) < mean(get("LD").Latency)) {
+		t.Errorf("NR latency %.0f should beat LD %.0f", mean(nr.Latency), mean(get("LD").Latency))
+	}
+	// EB degrades toward long paths: last bucket tuning > first bucket.
+	if len(eb.Tuning) == 4 && eb.Tuning[3] > 0 && eb.Tuning[0] > 0 && eb.Tuning[3] < eb.Tuning[0] {
+		t.Errorf("EB tuning should grow with path length: %.0f .. %.0f", eb.Tuning[0], eb.Tuning[3])
+	}
+}
+
+// TestFigure13Shape checks Section 6.1's claim: client-side pre-computation
+// lowers peak memory (the paper reports about 35%) at extra CPU cost.
+func TestFigure13Shape(t *testing.T) {
+	fig, err := Figure13(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]FigureSeries{}
+	for _, s := range fig.Series {
+		vals[s.Method] = s
+	}
+	for _, m := range []string{"NR", "EB"} {
+		with := vals[m+" (w/ precomp)"].Memory[0]
+		without := vals[m+" (w/o precomp)"].Memory[0]
+		if !(with < without) {
+			t.Errorf("%s: memory with precomp (%.3f MB) should be below without (%.3f MB)", m, with, without)
+		}
+	}
+}
+
+// TestFigure14Shape checks that loss increases tuning time and latency, and
+// that NR stays the winner at every loss rate.
+func TestFigure14Shape(t *testing.T) {
+	cfg := small()
+	cfg.Scale = 0.05
+	cfg.Queries = 15
+	fig, err := Figure14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeries := map[string]FigureSeries{}
+	for _, s := range fig.Series {
+		bySeries[s.Method] = s
+	}
+	nr, dj := bySeries["NR"], bySeries["DJ"]
+	for i := range nr.Tuning {
+		if !(nr.Tuning[i] < dj.Tuning[i]) {
+			t.Errorf("loss step %d: NR tuning %.0f should beat DJ %.0f", i, nr.Tuning[i], dj.Tuning[i])
+		}
+	}
+	// Tuning at 10% loss must exceed tuning at 0.1% for the full-cycle DJ.
+	if !(dj.Tuning[len(dj.Tuning)-1] > dj.Tuning[0]) {
+		t.Errorf("DJ tuning should grow with loss: %v", dj.Tuning)
+	}
+}
+
+// TestTables2and3Run exercises the remaining table generators end to end.
+func TestTables2and3Run(t *testing.T) {
+	cfg := small()
+	cfg.Scale = 0.05
+	cfg.Queries = 10
+	rows2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 5 {
+		t.Fatalf("Table 2: got %d networks, want 5", len(rows2))
+	}
+	// The scale-independent shape of Table 2 is the ordering of the memory
+	// frontier: NR <= EB <= DJ <= LD and NR <= EB <= DJ <= AF per network,
+	// so feasibility is lost in exactly that order as networks grow.
+	for _, r := range rows2 {
+		if !(r.PeakMB["NR"] <= r.PeakMB["EB"]+1e-9) {
+			t.Errorf("%s: NR peak %.2f MB should not exceed EB %.2f MB", r.Network, r.PeakMB["NR"], r.PeakMB["EB"])
+		}
+		if !(r.PeakMB["EB"] <= r.PeakMB["DJ"]+1e-9) {
+			t.Errorf("%s: EB peak %.2f MB should not exceed DJ %.2f MB", r.Network, r.PeakMB["EB"], r.PeakMB["DJ"])
+		}
+		if !(r.PeakMB["DJ"] <= r.PeakMB["LD"]+1e-9) {
+			t.Errorf("%s: DJ peak %.2f MB should not exceed LD %.2f MB", r.Network, r.PeakMB["DJ"], r.PeakMB["LD"])
+		}
+		if !(r.PeakMB["DJ"] <= r.PeakMB["AF"]+1e-9) {
+			t.Errorf("%s: DJ peak %.2f MB should not exceed AF %.2f MB", r.Network, r.PeakMB["DJ"], r.PeakMB["AF"])
+		}
+	}
+	rows3, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows3) != 5 {
+		t.Fatalf("Table 3: got %d networks, want 5", len(rows3))
+	}
+}
+
+// TestFigure11Runs exercises the fine-tuning sweep at a reduced size.
+func TestFigure11Runs(t *testing.T) {
+	cfg := small()
+	cfg.Scale = 0.05
+	cfg.Queries = 10
+	fig, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("Figure 11: got %d series, want 5", len(fig.Series))
+	}
+}
+
+// TestFigure12Runs exercises the per-network comparison at a reduced size.
+func TestFigure12Runs(t *testing.T) {
+	cfg := small()
+	cfg.Scale = 0.05
+	cfg.Queries = 8
+	fig, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.X) != 5 {
+		t.Fatalf("Figure 12: got %d networks, want 5", len(fig.X))
+	}
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/arcflag"
+	"repro/internal/baseline/djair"
+	"repro/internal/baseline/landmark"
+	"repro/internal/graph"
+	"repro/internal/scheme"
+)
+
+// mustServers builds a subset of the cheap servers by name.
+func mustServers(cfg Config, g *graph.Graph, names ...string) map[string]scheme.Server {
+	out := map[string]scheme.Server{}
+	for _, n := range names {
+		switch n {
+		case "DJ":
+			out[n] = djair.New(g)
+		default:
+			panic("harness: mustServers supports DJ only")
+		}
+	}
+	return out
+}
+
+func buildLandmark(g *graph.Graph, marks int) (scheme.Server, error) {
+	return landmark.New(g, landmark.Options{Landmarks: marks})
+}
+
+func buildArcFlag(g *graph.Graph, regions int) (scheme.Server, error) {
+	return arcflag.New(g, arcflag.Options{Regions: regions})
+}
+
+func fmtRange(lo, hi float64) string {
+	return fmt.Sprintf("%.1fk-%.1fk", lo/1000, hi/1000)
+}

@@ -1,0 +1,90 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	const order = 8
+	for d := uint64(0); d < 1<<(2*order); d += 7 {
+		x, y := Decode(order, d)
+		if got := Encode(order, x, y); got != d {
+			t.Fatalf("Encode(Decode(%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestCurveIsBijective(t *testing.T) {
+	const order = 5
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<order; x++ {
+		for y := uint32(0); y < 1<<order; y++ {
+			d := Encode(order, x, y)
+			if d >= 1<<(2*order) {
+				t.Fatalf("(%d,%d) -> %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("curve position %d visited twice", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+// TestCurveLocality: consecutive curve positions are adjacent grid cells —
+// the property that makes Hilbert ordering useful for spatial indexing.
+func TestCurveLocality(t *testing.T) {
+	const order = 6
+	px, py := Decode(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := Decode(order, d)
+		dx, dy := int64(x)-int64(px), int64(y)-int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d are not grid neighbors", d-1, d)
+		}
+		px, py = x, y
+	}
+}
+
+// TestCellRangeContiguity: every cell of an aligned block falls inside the
+// block's reported curve interval, and the interval has exactly the
+// block's area.
+func TestCellRangeContiguity(t *testing.T) {
+	const order = 6
+	for level := uint(0); level <= 3; level++ {
+		span := uint64(1) << (2 * level)
+		for x := uint32(0); x < 1<<order; x += 1 << level {
+			for y := uint32(0); y < 1<<order; y += 1 << level {
+				lo, hi := CellRange(order, level, x, y)
+				if hi-lo+1 != span {
+					t.Fatalf("level %d block (%d,%d): span %d, want %d", level, x, y, hi-lo+1, span)
+				}
+				for dx := uint32(0); dx < 1<<level; dx++ {
+					for dy := uint32(0); dy < 1<<level; dy++ {
+						d := Encode(order, x+dx, y+dy)
+						if d < lo || d > hi {
+							t.Fatalf("cell (%d,%d) position %d outside block range [%d,%d]",
+								x+dx, y+dy, d, lo, hi)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellRangeProperty(t *testing.T) {
+	f := func(xs, ys uint16, lvl uint8) bool {
+		const order = 10
+		x := uint32(xs) % (1 << order)
+		y := uint32(ys) % (1 << order)
+		level := uint(lvl) % 5
+		lo, hi := CellRange(order, level, x, y)
+		d := Encode(order, x, y)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPacketSeconds(t *testing.T) {
+	// 14019 packets at 2 Mbps: the paper's Table 1 reports 6.845 s for DJ.
+	got := PacketSeconds(14019, RateFast)
+	if math.Abs(got-7.178) > 0.01 {
+		t.Errorf("PacketSeconds = %v", got)
+	}
+	// Ratio between the two rates is exact.
+	if r := PacketSeconds(100, RateSlow) / PacketSeconds(100, RateFast); math.Abs(r-float64(RateFast)/float64(RateSlow)) > 1e-9 {
+		t.Errorf("rate ratio %v", r)
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	var m Mem
+	m.Alloc(100)
+	m.Alloc(50)
+	m.Free(120)
+	m.Alloc(10)
+	if m.Cur() != 40 {
+		t.Errorf("cur %d", m.Cur())
+	}
+	if m.Peak() != 150 {
+		t.Errorf("peak %d", m.Peak())
+	}
+}
+
+func TestMemOverFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var m Mem
+	m.Alloc(10)
+	m.Free(11)
+}
+
+func TestEnergyModel(t *testing.T) {
+	q := Query{TuningPackets: 100, LatencyPackets: 1000, CPU: 10 * time.Millisecond}
+	e := q.EnergyJoules(RateFast)
+	// Components: receive 100 pkts, sleep 900 pkts, cpu 10ms.
+	recv := PacketSeconds(100, RateFast) * PowerReceiveW
+	sleep := PacketSeconds(900, RateFast) * PowerSleepW
+	cpu := 0.010 * PowerCPUW
+	if math.Abs(e-(recv+sleep+cpu)) > 1e-9 {
+		t.Errorf("energy %v, want %v", e, recv+sleep+cpu)
+	}
+	// Receiving dominates sleeping per packet.
+	allRecv := Query{TuningPackets: 1000, LatencyPackets: 1000}
+	if allRecv.EnergyJoules(RateFast) <= q.EnergyJoules(RateFast) {
+		t.Error("full-tuning query should cost more energy")
+	}
+}
+
+func TestAggMeans(t *testing.T) {
+	var a Agg
+	a.Add(Query{TuningPackets: 10, LatencyPackets: 20, PeakMemBytes: 1000, CPU: time.Millisecond})
+	a.Add(Query{TuningPackets: 30, LatencyPackets: 40, PeakMemBytes: 3000, CPU: 3 * time.Millisecond})
+	if a.MeanTuning() != 20 || a.MeanLatency() != 30 || a.MeanPeakMem() != 2000 {
+		t.Errorf("means wrong: %v %v %v", a.MeanTuning(), a.MeanLatency(), a.MeanPeakMem())
+	}
+	if a.MeanCPU() != 2*time.Millisecond {
+		t.Errorf("mean cpu %v", a.MeanCPU())
+	}
+	if a.MaxPeakMem != 3000 {
+		t.Errorf("max peak %d", a.MaxPeakMem)
+	}
+	var empty Agg
+	if empty.MeanCPU() != 0 || empty.MeanTuning() != 0 {
+		t.Error("empty agg should report zeros")
+	}
+}
+
+func TestGraphBytes(t *testing.T) {
+	if GraphBytes(10, 20) != 10*NodeRecBytes+20*ArcRecBytes {
+		t.Error("GraphBytes formula drifted")
+	}
+}

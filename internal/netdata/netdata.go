@@ -1,0 +1,183 @@
+// Package netdata serializes road-network adjacency data into broadcast
+// packets and decodes it back on the client. Every scheme's data segments
+// (the "adjacency lists of all nodes", paper Section 3.2) share this format:
+// self-contained per-node records, chunked so records never span packets
+// and a node with a long adjacency list splits into continuation records.
+package netdata
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/spath"
+)
+
+// maxArcsPerRecord keeps a node record within packet.MaxRecord:
+// header (id u32 + x f32 + y f32 + flags u8 + count u8) is 14 bytes, each
+// arc (target u32 + weight f32) is 8.
+const maxArcsPerRecord = (packet.MaxRecord - 14) / 8
+
+// Node record flags.
+const (
+	flagBorder = 1 << 0
+	flagPOI    = 1 << 1
+)
+
+// AppendNode writes node v of g as one or more TagNode records. border
+// marks v as a region border node (clients need the distinction for the
+// super-edge contraction of Section 6.1); poi marks v as a point of
+// interest for the on-air spatial query extension.
+func AppendNode(w *packet.Writer, g *graph.Graph, v graph.NodeID, border, poi bool) {
+	nd := g.Node(v)
+	dst, wgt := g.Out(v)
+	var flags uint8
+	if border {
+		flags |= flagBorder
+	}
+	if poi {
+		flags |= flagPOI
+	}
+	for start := 0; ; start += maxArcsPerRecord {
+		end := start + maxArcsPerRecord
+		if end > len(dst) {
+			end = len(dst)
+		}
+		var e packet.Enc
+		e.U32(uint32(v))
+		e.F32(nd.X)
+		e.F32(nd.Y)
+		e.U8(flags)
+		e.U8(uint8(end - start))
+		for i := start; i < end; i++ {
+			e.U32(uint32(dst[i]))
+			e.F32(wgt[i])
+		}
+		w.Add(packet.TagNode, e.Bytes())
+		if end == len(dst) {
+			return
+		}
+	}
+}
+
+// EncodeNodes packs the given nodes, in order, into data packets. isBorder
+// and isPOI may be nil when the respective marking is irrelevant.
+func EncodeNodes(g *graph.Graph, nodes []graph.NodeID, isBorder, isPOI []bool) []packet.Packet {
+	w := packet.NewWriter(packet.KindData)
+	for _, v := range nodes {
+		AppendNode(w, g, v, isBorder != nil && isBorder[v], isPOI != nil && isPOI[v])
+	}
+	return w.Packets()
+}
+
+// NodeRecord is a decoded TagNode record (possibly a continuation chunk of
+// a larger adjacency list).
+type NodeRecord struct {
+	ID     graph.NodeID
+	X, Y   float64
+	Border bool
+	POI    bool
+	Arcs   []graph.Arc
+}
+
+// DecodeNode parses a TagNode record payload. The boolean reports whether
+// the record was well-formed.
+func DecodeNode(data []byte) (NodeRecord, bool) {
+	d := packet.NewDec(data)
+	var r NodeRecord
+	r.ID = graph.NodeID(d.U32())
+	r.X = d.F32()
+	r.Y = d.F32()
+	flags := d.U8()
+	r.Border = flags&flagBorder != 0
+	r.POI = flags&flagPOI != 0
+	cnt := int(d.U8())
+	for i := 0; i < cnt; i++ {
+		to := graph.NodeID(d.U32())
+		w := d.F32()
+		r.Arcs = append(r.Arcs, graph.Arc{To: to, Weight: w})
+	}
+	if d.Err() {
+		return NodeRecord{}, false
+	}
+	return r, true
+}
+
+// Collector accumulates decoded node records into a client-side partial
+// network with duplicate suppression at packet granularity: re-processing
+// a packet at the same cycle position (e.g. when a region is received again
+// during packet-loss recovery) is a no-op, so arc lists never double up.
+// Retained bytes are charged to the memory tracker using the shared client
+// memory model.
+type Collector struct {
+	Net    *spath.SubNetwork
+	Mem    *metrics.Mem
+	Border map[graph.NodeID]bool
+	POI    map[graph.NodeID]bool
+	seen   map[int]bool
+}
+
+// NewCollector returns a collector over an ID space of n nodes, charging
+// memory to mem (which may be nil for untracked use).
+func NewCollector(n int, mem *metrics.Mem) *Collector {
+	return &Collector{
+		Net:    spath.NewSubNetwork(n),
+		Mem:    mem,
+		Border: make(map[graph.NodeID]bool),
+		POI:    make(map[graph.NodeID]bool),
+		seen:   make(map[int]bool),
+	}
+}
+
+// Processed reports whether the packet at the given cycle position has
+// already been folded in.
+func (c *Collector) Processed(cyclePos int) bool { return c.seen[cyclePos] }
+
+// Process decodes the TagNode records of a data packet received at the
+// given cycle position and merges them into the partial network. Non-node
+// records are ignored. Duplicate positions are skipped.
+func (c *Collector) Process(cyclePos int, p packet.Packet) {
+	if c.seen[cyclePos] {
+		return
+	}
+	c.seen[cyclePos] = true
+	for _, rec := range packet.Records(p.Payload) {
+		if rec.Tag != packet.TagNode {
+			continue
+		}
+		nr, ok := DecodeNode(rec.Data)
+		if !ok {
+			continue
+		}
+		if !c.Net.Has(nr.ID) {
+			c.Net.AddNode(nr.ID, nr.X, nr.Y, nil)
+			if c.Mem != nil {
+				c.Mem.Alloc(metrics.NodeRecBytes)
+			}
+		}
+		if nr.Border {
+			c.Border[nr.ID] = true
+		}
+		if nr.POI {
+			c.POI[nr.ID] = true
+		}
+		for _, a := range nr.Arcs {
+			c.Net.AddArc(nr.ID, a.To, a.Weight)
+		}
+		if c.Mem != nil {
+			c.Mem.Alloc(metrics.ArcRecBytes * len(nr.Arcs))
+		}
+	}
+}
+
+// Release discharges the collector's retained bytes from the tracker
+// (memory-bound processing frees region data after contraction).
+func (c *Collector) Release(v graph.NodeID) {
+	if !c.Net.Has(v) {
+		return
+	}
+	if c.Mem != nil {
+		c.Mem.Free(metrics.NodeRecBytes + metrics.ArcRecBytes*len(c.Net.Arcs(v)))
+	}
+	c.Net.Remove(v)
+	delete(c.Border, v)
+}

@@ -1,0 +1,104 @@
+package netdata
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/packet"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, err := netgen.Generate(150, 170, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]graph.NodeID, g.NumNodes())
+	isBorder := make([]bool, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+		isBorder[i] = i%3 == 0
+	}
+	pkts := EncodeNodes(g, nodes, isBorder, nil)
+	var mem metrics.Mem
+	coll := NewCollector(g.NumNodes(), &mem)
+	for i, p := range pkts {
+		coll.Process(i, p)
+	}
+	if coll.Net.NumPresent() != g.NumNodes() {
+		t.Fatalf("decoded %d of %d nodes", coll.Net.NumPresent(), g.NumNodes())
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if coll.Border[v] != isBorder[v] {
+			t.Fatalf("border flag of %d wrong", v)
+		}
+		if len(coll.Net.Arcs(v)) != g.OutDegree(v) {
+			t.Fatalf("node %d: %d arcs, want %d", v, len(coll.Net.Arcs(v)), g.OutDegree(v))
+		}
+	}
+	if mem.Peak() == 0 {
+		t.Fatal("memory accounting silent")
+	}
+}
+
+func TestCollectorDeduplicates(t *testing.T) {
+	g, _ := netgen.Generate(100, 120, 2)
+	nodes := []graph.NodeID{0, 1, 2}
+	pkts := EncodeNodes(g, nodes, nil, nil)
+	coll := NewCollector(g.NumNodes(), nil)
+	coll.Process(0, pkts[0])
+	before := len(coll.Net.Arcs(0))
+	coll.Process(0, pkts[0]) // duplicate cycle position
+	if len(coll.Net.Arcs(0)) != before {
+		t.Fatal("duplicate packet doubled arcs")
+	}
+	if !coll.Processed(0) || coll.Processed(99) {
+		t.Fatal("Processed tracking wrong")
+	}
+}
+
+func TestCollectorRelease(t *testing.T) {
+	g, _ := netgen.Generate(100, 120, 3)
+	pkts := EncodeNodes(g, []graph.NodeID{5}, nil, nil)
+	var mem metrics.Mem
+	coll := NewCollector(g.NumNodes(), &mem)
+	for i, p := range pkts {
+		coll.Process(i, p)
+	}
+	cur := mem.Cur()
+	if cur == 0 {
+		t.Fatal("nothing allocated")
+	}
+	coll.Release(5)
+	if mem.Cur() != 0 {
+		t.Fatalf("release left %d bytes accounted", mem.Cur())
+	}
+	coll.Release(5) // double release is a no-op
+}
+
+func TestDecodeNodeRejectsTruncated(t *testing.T) {
+	if _, ok := DecodeNode([]byte{1, 2, 3}); ok {
+		t.Fatal("truncated record decoded")
+	}
+}
+
+func TestHighDegreeChunking(t *testing.T) {
+	// A star node with degree 40 must split across records and reassemble.
+	b := graph.NewBuilder(41, 80)
+	b.AddNode(0, 0)
+	for i := 1; i <= 40; i++ {
+		b.AddNode(float64(i), 0)
+		b.AddArc(0, graph.NodeID(i), 1)
+	}
+	g := b.MustBuild()
+	pkts := EncodeNodes(g, []graph.NodeID{0}, nil, nil)
+	coll := NewCollector(41, nil)
+	for i, p := range pkts {
+		coll.Process(i, p)
+	}
+	if got := len(coll.Net.Arcs(0)); got != 40 {
+		t.Fatalf("reassembled %d arcs, want 40", got)
+	}
+	_ = packet.MaxRecord
+}

@@ -1,0 +1,291 @@
+// Package netgen generates synthetic road networks.
+//
+// The paper evaluates on five real road maps (Milan, Germany, Argentina,
+// India, San Francisco) that are not redistributable here; netgen
+// substitutes seeded synthetic networks with the same node and edge counts
+// and the structural properties the air-index schemes depend on. See
+// DESIGN.md ("Substitutions").
+//
+// Structure model. The paper's country-scale networks are extremely sparse
+// (Germany: 28,867 nodes but only 30,429 edges — average degree 2.1), which
+// means they are dominated by long chains of degree-2 polyline vertices
+// between comparatively few intersections. netgen reproduces exactly that:
+//
+//  1. An intersection graph is laid out on a jittered coarse grid with
+//     average degree ~3.2: a random spanning tree over grid-neighbor
+//     candidates guarantees connectivity, then random extra candidates top
+//     up the cycle count.
+//  2. Every intersection edge is subdivided into a chain of degree-2 nodes
+//     until the exact target node count is reached; each subdivision adds
+//     one node and one edge, so the target edge count is hit exactly too.
+//  3. A sparse set of arterial grid lines carries a ~3x lower travel cost
+//     per unit length, giving the network the functional road hierarchy
+//     that canalizes shortest paths onto corridors.
+//
+// Every undirected edge becomes two directed arcs, so generated networks
+// are strongly connected. Dense urban presets (Milan: degree 3.8) get
+// little or no subdivision and degenerate to a jittered street grid, which
+// is what dense city maps look like.
+package netgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Preset names one of the paper's five road networks with its node and
+// (undirected) edge counts, taken from the paper's Table 2.
+type Preset struct {
+	Name  string
+	Nodes int
+	Edges int
+}
+
+// Presets mirror the paper's Table 2 in the order the paper lists them.
+var Presets = []Preset{
+	{"milan", 14021, 26849},
+	{"germany", 28867, 30429},
+	{"argentina", 85287, 88357},
+	{"india", 149566, 155483},
+	{"sanfrancisco", 174956, 223001},
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("netgen: unknown preset %q (want one of milan, germany, argentina, india, sanfrancisco)", name)
+}
+
+// Scaled returns a copy of p with node and edge counts multiplied by scale
+// (clamped to a minimum viable size), preserving the preset's edge/node
+// ratio. The harness uses it to run paper-shaped experiments at CI-friendly
+// sizes.
+func (p Preset) Scaled(scale float64) Preset {
+	if scale <= 0 || scale >= 1 {
+		return p
+	}
+	n := int(float64(p.Nodes) * scale)
+	if n < 64 {
+		n = 64
+	}
+	ratio := float64(p.Edges) / float64(p.Nodes)
+	e := int(float64(n) * ratio)
+	if e < n-1 {
+		e = n - 1
+	}
+	return Preset{Name: p.Name, Nodes: n, Edges: e}
+}
+
+// Generate builds the preset's network with the given seed.
+func (p Preset) Generate(seed int64) (*graph.Graph, error) {
+	return Generate(p.Nodes, p.Edges, seed)
+}
+
+// targetIntersectionDegree is the average intersection degree of the coarse
+// road graph; real road intersection graphs sit between 3 and 4.
+const targetIntersectionDegree = 3.2
+
+// arterialEvery marks every k-th coarse grid row/column as an arterial.
+const arterialEvery = 6
+
+// Generate builds a connected synthetic road network with exactly the given
+// node count and undirected edge count (each contributing two directed
+// arcs). It fails when edges < nodes-1 (a spanning tree is impossible) or
+// when the requested density exceeds the jittered grid's candidate pool.
+func Generate(nodes, edges int, seed int64) (*graph.Graph, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("netgen: need at least 2 nodes, got %d", nodes)
+	}
+	if edges < nodes-1 {
+		return nil, fmt.Errorf("netgen: %d edges cannot connect %d nodes", edges, nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Split the budget between intersections and chain nodes. Each
+	// subdivision point adds one node and one edge, so with I intersections
+	// and eI intersection edges: nodes = I + (edges - eI), i.e.
+	// eI = edges - nodes + I, and the mean intersection degree is 2*eI/I.
+	// Choose I so that degree ~ targetIntersectionDegree.
+	cycles := edges - nodes + 1
+	intersections := int(2 * float64(cycles) / (targetIntersectionDegree - 2))
+	if intersections > nodes {
+		intersections = nodes
+	}
+	if intersections < 16 && nodes >= 16 {
+		intersections = 16
+	}
+	if intersections < 2 {
+		intersections = 2
+	}
+	eI := edges - nodes + intersections
+
+	// Lay out intersections on a jittered coarse grid.
+	cols := int(math.Ceil(math.Sqrt(float64(intersections))))
+	rows := (intersections + cols - 1) / cols
+	const cell = 800.0 // coarse spacing; chains subdivide it below
+	jitter := 0.30 * cell
+
+	xs := make([]float64, intersections)
+	ys := make([]float64, intersections)
+	for i := 0; i < intersections; i++ {
+		r, c := i/cols, i%cols
+		xs[i] = float64(c)*cell + rng.Float64()*2*jitter - jitter
+		ys[i] = float64(r)*cell + rng.Float64()*2*jitter - jitter
+	}
+
+	// Candidate intersection edges: 4-neighbors plus sparse diagonals.
+	type cand struct{ u, v int32 }
+	var cands []cand
+	at := func(r, c int) int { return r*cols + c }
+	for i := 0; i < intersections; i++ {
+		r, c := i/cols, i%cols
+		if c+1 < cols && at(r, c+1) < intersections {
+			cands = append(cands, cand{int32(i), int32(at(r, c+1))})
+		}
+		if r+1 < rows && at(r+1, c) < intersections {
+			cands = append(cands, cand{int32(i), int32(at(r+1, c))})
+		}
+		if r+1 < rows && c+1 < cols && at(r+1, c+1) < intersections && rng.Float64() < 0.3 {
+			cands = append(cands, cand{int32(i), int32(at(r+1, c+1))})
+		}
+		if r+1 < rows && c > 0 && at(r+1, c-1) < intersections && rng.Float64() < 0.3 {
+			cands = append(cands, cand{int32(i), int32(at(r+1, c-1))})
+		}
+	}
+	if len(cands) < eI {
+		return nil, fmt.Errorf("netgen: %d intersection edges exceed candidate pool of %d (%d intersections)", eI, len(cands), intersections)
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	// Spanning tree first (randomized Kruskal), then top up.
+	uf := newUnionFind(intersections)
+	var roads []cand
+	var leftovers []cand
+	for _, e := range cands {
+		if len(roads) == eI {
+			break
+		}
+		if uf.union(int(e.u), int(e.v)) {
+			roads = append(roads, e)
+		} else {
+			leftovers = append(leftovers, e)
+		}
+	}
+	if uf.components > 1 {
+		return nil, fmt.Errorf("netgen: internal error: candidate pool left %d components", uf.components)
+	}
+	for _, e := range leftovers {
+		if len(roads) == eI {
+			break
+		}
+		roads = append(roads, e)
+	}
+	if len(roads) != eI {
+		return nil, fmt.Errorf("netgen: internal error: placed %d/%d intersection edges", len(roads), eI)
+	}
+
+	// Distribute the chain nodes over the roads proportionally to length
+	// (longer roads get more polyline vertices), exactly nodes-intersections
+	// of them in total.
+	chainBudget := nodes - intersections
+	perRoad := make([]int, len(roads))
+	for spent := 0; spent < chainBudget; spent++ {
+		perRoad[spent%len(roads)]++
+	}
+	// Shuffle so the remainder does not bias early roads.
+	rng.Shuffle(len(perRoad), func(i, j int) { perRoad[i], perRoad[j] = perRoad[j], perRoad[i] })
+
+	// Emit nodes: intersections first, then chain nodes along each road.
+	b := graph.NewBuilder(nodes, 2*edges)
+	for i := 0; i < intersections; i++ {
+		b.AddNode(xs[i], ys[i])
+	}
+
+	arterial := func(i int32) (row, col bool) {
+		r, c := int(i)/cols, int(i)%cols
+		return r%arterialEvery == 0, c%arterialEvery == 0
+	}
+
+	for ri, road := range roads {
+		u, v := road.u, road.v
+		ur, uc := arterial(u)
+		vr, vc := arterial(v)
+		fast := (ur && vr) || (uc && vc)
+		// Travel-cost factor: arterials ~3x faster; always noisy so
+		// shortest paths are almost surely unique (see DESIGN.md).
+		factor := 1.0 + 0.4*rng.Float64()
+		if fast {
+			factor = 0.30 + 0.10*rng.Float64()
+		}
+		// Chain vertices along the segment with perpendicular jitter.
+		prev := graph.NodeID(u)
+		px, py := xs[u], ys[u]
+		k := perRoad[ri]
+		for s := 1; s <= k; s++ {
+			tfrac := float64(s) / float64(k+1)
+			nx := xs[u] + (xs[v]-xs[u])*tfrac + (rng.Float64()-0.5)*0.1*cell
+			ny := ys[u] + (ys[v]-ys[u])*tfrac + (rng.Float64()-0.5)*0.1*cell
+			id := b.AddNode(nx, ny)
+			d := math.Hypot(nx-px, ny-py)
+			b.AddEdge(prev, id, d*factor)
+			prev, px, py = id, nx, ny
+		}
+		d := math.Hypot(xs[v]-px, ys[v]-py)
+		b.AddEdge(prev, graph.NodeID(v), d*factor)
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumNodes() != nodes || g.NumArcs() != 2*edges {
+		return nil, fmt.Errorf("netgen: internal error: built %d nodes / %d arcs, want %d / %d",
+			g.NumNodes(), g.NumArcs(), nodes, 2*edges)
+	}
+	return g, nil
+}
+
+type unionFind struct {
+	parent     []int32
+	rank       []int8
+	components int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n), components: n}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != int32(x) {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	uf.components--
+	return true
+}

@@ -1,0 +1,147 @@
+package netgen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spath"
+)
+
+func TestExactCounts(t *testing.T) {
+	for _, tc := range []struct{ n, e int }{
+		{64, 63}, {64, 80}, {500, 520}, {1000, 1900}, {2000, 2100},
+	} {
+		g, err := Generate(tc.n, tc.e, 7)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tc.n, tc.e, err)
+		}
+		if g.NumNodes() != tc.n || g.NumArcs() != 2*tc.e {
+			t.Errorf("(%d,%d): got %d nodes, %d arcs", tc.n, tc.e, g.NumNodes(), g.NumArcs())
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := Generate(800, 900, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckStronglyConnected(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := Generate(300, 360, 42)
+	g2, _ := Generate(300, 360, 42)
+	if g1.NumArcs() != g2.NumArcs() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for v := graph.NodeID(0); int(v) < g1.NumNodes(); v++ {
+		a, wa := g1.Out(v)
+		b, wb := g2.Out(v)
+		for i := range a {
+			if a[i] != b[i] || wa[i] != wb[i] {
+				t.Fatalf("same seed diverged at node %d", v)
+			}
+		}
+	}
+	g3, _ := Generate(300, 360, 43)
+	same := true
+	for v := graph.NodeID(0); int(v) < g1.NumNodes() && same; v++ {
+		na, nb := g1.Node(v), g3.Node(v)
+		if na.X != nb.X || na.Y != nb.Y {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical layouts")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Generate(1, 5, 0); err == nil {
+		t.Error("1 node should be rejected")
+	}
+	if _, err := Generate(10, 5, 0); err == nil {
+		t.Error("too few edges should be rejected")
+	}
+	if _, err := Generate(100, 100000, 0); err == nil {
+		t.Error("absurd density should be rejected")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets) != 5 {
+		t.Fatalf("%d presets, want 5", len(Presets))
+	}
+	p, err := PresetByName("germany")
+	if err != nil || p.Nodes != 28867 || p.Edges != 30429 {
+		t.Fatalf("germany preset wrong: %+v, %v", p, err)
+	}
+	if _, err := PresetByName("atlantis"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestScaledPreservesRatio(t *testing.T) {
+	p, _ := PresetByName("sanfrancisco")
+	s := p.Scaled(0.1)
+	origRatio := float64(p.Edges) / float64(p.Nodes)
+	newRatio := float64(s.Edges) / float64(s.Nodes)
+	if newRatio < origRatio-0.05 || newRatio > origRatio+0.05 {
+		t.Errorf("ratio drifted: %.3f -> %.3f", origRatio, newRatio)
+	}
+	if full := p.Scaled(1.0); full != p {
+		t.Error("scale 1.0 should be identity")
+	}
+	if tiny := p.Scaled(0.00001); tiny.Nodes < 64 {
+		t.Error("scaled preset below minimum viable size")
+	}
+}
+
+func TestLowDegree(t *testing.T) {
+	g, _ := Generate(2000, 2200, 3)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := g.OutDegree(v); d > 10 {
+			t.Fatalf("node %d has degree %d: not road-like", v, d)
+		}
+	}
+}
+
+func TestArterialHierarchy(t *testing.T) {
+	g, _ := Generate(3000, 3200, 4)
+	fast, total := 0, 0
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		dst, wgt := g.Out(v)
+		for i := range dst {
+			if wgt[i] < 0.5*g.EuclideanDistance(v, dst[i]) {
+				fast++
+			}
+			total++
+		}
+	}
+	frac := float64(fast) / float64(total)
+	if frac < 0.02 || frac > 0.5 {
+		t.Errorf("arterial arc fraction %.3f outside plausible [0.02, 0.5]", frac)
+	}
+}
+
+// TestShortestPathsCanalize: the structural property the air indexes need —
+// a long-distance shortest path visits far fewer distinct neighborhoods
+// than a random walk would.
+func TestShortestPathsCanalize(t *testing.T) {
+	g, _ := Generate(3000, 3200, 5)
+	d, path, _ := spath.PointToPoint(g, 0, graph.NodeID(g.NumNodes()-1))
+	if len(path) == 0 {
+		t.Fatal("no path across the network")
+	}
+	straight := g.EuclideanDistance(0, graph.NodeID(g.NumNodes()-1))
+	// With arterials the travel cost of a cross-network route should stay
+	// within a small multiple of the straight-line distance.
+	if d > 3*straight {
+		t.Errorf("cross-network distance %.0f vs straight line %.0f: no canalization", d, straight)
+	}
+}

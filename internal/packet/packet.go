@@ -1,0 +1,162 @@
+// Package packet models the broadcast channel's smallest information unit:
+// the fixed-size packet (128 bytes in the paper's evaluation, Section 7).
+//
+// Every packet carries a small header — its kind and the offset (in packets)
+// to the next index copy in the cycle, which the paper requires of every
+// packet regardless of contents — followed by a payload of self-delimiting
+// records. Records never span packets, so each packet decodes independently:
+// this is what makes per-packet loss recoverable (Section 6.2) instead of
+// corrupting whole streams.
+package packet
+
+import "fmt"
+
+// Size is the fixed packet size in bytes (paper Section 7).
+const Size = 128
+
+// headerSize is kind (1 byte) + next-index offset (4 bytes).
+const headerSize = 5
+
+// PayloadSize is the per-packet record area.
+const PayloadSize = Size - headerSize
+
+// recordHeader is tag (1 byte) + length (2 bytes).
+const recordHeader = 3
+
+// MaxRecord is the largest record payload that fits in one packet.
+const MaxRecord = PayloadSize - recordHeader
+
+// Kind classifies a packet for accounting and for clients deciding whether
+// a packet they woke up for is index or data.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindPad   Kind = iota // filler
+	KindIndex             // global or local (per-region) air index
+	KindData              // road-network adjacency data
+	KindAux               // scheme-specific pre-computed information (flags, vectors, quadtrees, super-edge tables)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPad:
+		return "pad"
+	case KindIndex:
+		return "index"
+	case KindData:
+		return "data"
+	case KindAux:
+		return "aux"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one broadcast unit.
+type Packet struct {
+	Kind Kind
+	// NextIndex is the offset, in packets and relative to this packet's
+	// position, of the next index packet in the cycle (wrapping around).
+	// The paper mandates this pointer on every packet so a client tuning in
+	// anywhere can find the index.
+	NextIndex uint32
+	// Payload holds the framed records (PayloadSize bytes once sealed).
+	Payload []byte
+}
+
+// Record is one framed unit inside a packet payload.
+type Record struct {
+	Tag  uint8
+	Data []byte
+}
+
+// Record tags, shared across schemes. Tag 0 terminates a payload.
+const (
+	TagEnd           uint8 = iota // payload terminator / padding
+	TagNode                       // adjacency record: one node and its outgoing arcs
+	TagKDSplits                   // part of the kd-tree split sequence (EB/NR index component 1)
+	TagEBCells                    // a w×w square of EB's min/max matrix (index component 2)
+	TagRegionOffsets              // region -> start-packet table (EB index column / NR local index)
+	TagNRRow                      // part of one row of an NR local next-region array A^m
+	TagMeta                       // cycle metadata: node count, region count, cycle length
+	TagArcFlags                   // per-arc partition bit vectors (ArcFlag)
+	TagLandmarkVec                // per-node landmark distance vector (Landmark)
+	TagLandmarkPos                // landmark node IDs (Landmark)
+	TagHiTiEdge                   // HiTi super-edge batch (level, subgraph, border pairs)
+	TagHiTiMeta                   // HiTi hierarchy shape
+	TagSPQTree                    // part of one node's colored shortest-path quadtree (SPQ)
+	TagSegmentSplit               // cross-border/local segment boundary within a region (EB/NR)
+)
+
+// Writer frames records into packets. Records are placed whole; a record
+// that does not fit in the current packet's remaining space starts a new
+// packet. All packets produced by one Writer share a Kind.
+type Writer struct {
+	kind    Kind
+	packets []Packet
+	cur     []byte
+}
+
+// NewWriter returns a Writer producing packets of the given kind.
+func NewWriter(kind Kind) *Writer {
+	return &Writer{kind: kind}
+}
+
+// Add appends one record. It panics if data exceeds MaxRecord — callers
+// split large structures into parts at a higher level, because a record is
+// the unit of loss: a record must never straddle two packets.
+func (w *Writer) Add(tag uint8, data []byte) {
+	if tag == TagEnd {
+		panic("packet: record tag 0 is reserved for padding")
+	}
+	if len(data) > MaxRecord {
+		panic(fmt.Sprintf("packet: record of %d bytes exceeds MaxRecord=%d", len(data), MaxRecord))
+	}
+	need := recordHeader + len(data)
+	if len(w.cur)+need > PayloadSize {
+		w.flush()
+	}
+	w.cur = append(w.cur, tag, byte(len(data)), byte(len(data)>>8))
+	w.cur = append(w.cur, data...)
+}
+
+func (w *Writer) flush() {
+	if len(w.cur) == 0 {
+		return
+	}
+	p := Packet{Kind: w.kind, Payload: make([]byte, PayloadSize)}
+	copy(p.Payload, w.cur)
+	w.packets = append(w.packets, p)
+	w.cur = w.cur[:0]
+}
+
+// Packets seals the writer and returns the framed packets. The Writer can
+// keep accepting records afterwards; Packets may be called again.
+func (w *Writer) Packets() []Packet {
+	w.flush()
+	out := make([]Packet, len(w.packets))
+	copy(out, w.packets)
+	return out
+}
+
+// Records decodes the records in a packet payload. Decoding stops at the
+// first TagEnd byte or at a malformed length, so a truncated or padded
+// payload yields its valid prefix.
+func Records(payload []byte) []Record {
+	var out []Record
+	for off := 0; off+recordHeader <= len(payload); {
+		tag := payload[off]
+		if tag == TagEnd {
+			break
+		}
+		n := int(payload[off+1]) | int(payload[off+2])<<8
+		off += recordHeader
+		if off+n > len(payload) {
+			break // malformed; treat the rest as padding
+		}
+		out = append(out, Record{Tag: tag, Data: payload[off : off+n]})
+		off += n
+	}
+	return out
+}

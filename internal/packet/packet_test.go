@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterFraming(t *testing.T) {
+	w := NewWriter(KindData)
+	w.Add(TagNode, []byte{1, 2, 3})
+	w.Add(TagNode, bytes.Repeat([]byte{9}, 100))
+	w.Add(TagNode, bytes.Repeat([]byte{8}, 100)) // must start packet 2
+	pkts := w.Packets()
+	if len(pkts) != 2 {
+		t.Fatalf("%d packets, want 2", len(pkts))
+	}
+	for i, p := range pkts {
+		if len(p.Payload) != PayloadSize {
+			t.Fatalf("packet %d payload %d bytes, want %d", i, len(p.Payload), PayloadSize)
+		}
+		if p.Kind != KindData {
+			t.Fatalf("packet %d kind %v", i, p.Kind)
+		}
+	}
+	recs := Records(pkts[0].Payload)
+	if len(recs) != 2 || len(recs[0].Data) != 3 || len(recs[1].Data) != 100 {
+		t.Fatalf("packet 0 records wrong: %d", len(recs))
+	}
+	recs = Records(pkts[1].Payload)
+	if len(recs) != 1 || recs[0].Data[0] != 8 {
+		t.Fatalf("packet 1 records wrong")
+	}
+}
+
+func TestWriterPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("oversized record", func() {
+		NewWriter(KindData).Add(TagNode, make([]byte, MaxRecord+1))
+	})
+	expectPanic("reserved tag", func() {
+		NewWriter(KindData).Add(TagEnd, []byte{1})
+	})
+}
+
+func TestRecordsStopsAtPadding(t *testing.T) {
+	payload := make([]byte, PayloadSize)
+	payload[0] = TagNode
+	payload[1] = 2 // length 2
+	payload[3] = 0xAA
+	payload[4] = 0xBB
+	// rest is zero = padding
+	recs := Records(payload)
+	if len(recs) != 1 || !bytes.Equal(recs[0].Data, []byte{0xAA, 0xBB}) {
+		t.Fatalf("records %v", recs)
+	}
+}
+
+func TestRecordsMalformedLength(t *testing.T) {
+	payload := make([]byte, 8)
+	payload[0] = TagNode
+	payload[1] = 200 // longer than remaining
+	if recs := Records(payload); len(recs) != 0 {
+		t.Fatalf("malformed record decoded: %v", recs)
+	}
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.U16(1024)
+	e.U32(1 << 30)
+	e.F32(3.25)
+	d := NewDec(e.Bytes())
+	if d.U8() != 7 || d.U16() != 1024 || d.U32() != 1<<30 || d.F32() != 3.25 {
+		t.Fatal("round trip mismatch")
+	}
+	if d.Err() || d.Remaining() != 0 {
+		t.Fatal("decoder state wrong")
+	}
+}
+
+func TestDecErrorSticky(t *testing.T) {
+	d := NewDec([]byte{1})
+	d.U32() // short read
+	if !d.Err() {
+		t.Fatal("short read not detected")
+	}
+	if d.U8() != 0 || d.Remaining() != 0 {
+		t.Fatal("error-sticky behaviour wrong")
+	}
+}
+
+func TestF32Quantization(t *testing.T) {
+	var e Enc
+	v := 1.23456789123
+	e.F32(v)
+	got := NewDec(e.Bytes()).F32()
+	if got != float64(float32(v)) {
+		t.Fatalf("F32 %v, want %v", got, float64(float32(v)))
+	}
+	if math.Abs(got-v) > 1e-6 {
+		t.Fatalf("precision loss too large: %v", got-v)
+	}
+}
+
+// TestFramingRoundTripProperty: arbitrary record sequences survive framing.
+func TestFramingRoundTripProperty(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		w := NewWriter(KindAux)
+		var want [][]byte
+		for _, b := range blobs {
+			if len(b) > MaxRecord {
+				b = b[:MaxRecord]
+			}
+			w.Add(TagSPQTree, b)
+			want = append(want, b)
+		}
+		var got [][]byte
+		for _, p := range w.Packets() {
+			for _, r := range Records(p.Payload) {
+				got = append(got, r.Data)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPad: "pad", KindIndex: "index", KindData: "data", KindAux: "aux", Kind(9): "kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

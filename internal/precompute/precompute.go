@@ -1,0 +1,247 @@
+// Package precompute implements the server-side pre-computation shared by
+// the paper's EB and NR methods (Sections 4.1 and 5.1): shortest paths
+// between all border nodes of different regions, the n×n min/max inter-
+// region distance matrix (EB's index component 2), the region-traversal
+// sets behind NR's next-region pointers, and the cross-border/local node
+// classification that lets clients skip the local segment of transit
+// regions.
+package precompute
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/spath"
+)
+
+// RegionSet is a bitset over region indexes.
+type RegionSet []uint64
+
+// NewRegionSet returns an empty set able to hold n regions.
+func NewRegionSet(n int) RegionSet { return make(RegionSet, (n+63)/64) }
+
+// Set adds region r.
+func (s RegionSet) Set(r int) { s[r/64] |= 1 << (r % 64) }
+
+// Has reports whether region r is in the set.
+func (s RegionSet) Has(r int) bool { return s[r/64]&(1<<(r%64)) != 0 }
+
+// Or folds other into s.
+func (s RegionSet) Or(other RegionSet) {
+	for i := range s {
+		s[i] |= other[i]
+	}
+}
+
+// Count returns the number of regions in the set.
+func (s RegionSet) Count() int {
+	c := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// Regions bundles a partitioning with its node assignment and border
+// structure for one graph.
+type Regions struct {
+	Part     partition.Partitioning
+	N        int              // number of regions
+	Assign   []int            // region of each node
+	Nodes    [][]graph.NodeID // nodes per region, sorted by ID
+	Borders  [][]graph.NodeID // border nodes per region, sorted by ID
+	IsBorder []bool
+}
+
+// BuildRegions assigns every node of g to a region of part and identifies
+// border nodes.
+func BuildRegions(g *graph.Graph, part partition.Partitioning) *Regions {
+	assign := partition.Assign(g, part)
+	n := part.NumRegions()
+	borders, isBorder := partition.Borders(g, assign, n)
+	return &Regions{
+		Part:     part,
+		N:        n,
+		Assign:   assign,
+		Nodes:    partition.RegionNodes(assign, n),
+		Borders:  borders,
+		IsBorder: isBorder,
+	}
+}
+
+// BorderCount returns the total number of border nodes.
+func (r *Regions) BorderCount() int {
+	total := 0
+	for _, b := range r.Borders {
+		total += len(b)
+	}
+	return total
+}
+
+// BorderData is the result of the EB/NR pre-computation. The paper notes
+// the two methods share it exactly: "Pre-computation cost is identical to
+// EB (assuming the same partitioning), as the same shortest paths among
+// border nodes are computed."
+type BorderData struct {
+	// MinDist[i][j] and MaxDist[i][j] are the minimum and maximum shortest-
+	// path distance from any border node of region i to any border node of
+	// region j. The diagonal holds 0 and the max distance between distinct
+	// border nodes of the same region (the safe upper bound for same-region
+	// queries; see DESIGN.md).
+	MinDist [][]float64
+	MaxDist [][]float64
+	// Traverse[i][j] is the set of regions traversed by any pre-computed
+	// shortest path between border nodes of i and j: NR's n×n×n boolean
+	// array A (Section 5).
+	Traverse []RegionSet // flattened i*N+j
+	// CrossBorder[v] reports whether v lies on at least one pre-computed
+	// border-pair shortest path (Section 4.1's node classification).
+	CrossBorder []bool
+	// Elapsed is the wall-clock pre-computation time (the paper's Table 3).
+	Elapsed time.Duration
+}
+
+// Traversal returns the region-traversal set for the ordered pair (i, j).
+func (b *BorderData) Traversal(i, j, n int) RegionSet { return b.Traverse[i*n+j] }
+
+// Compute runs the full border-pair pre-computation: one Dijkstra per
+// border node, followed by two linear tree passes that aggregate, for every
+// target border node, the set of regions on its shortest path (a bitmask
+// propagated down the tree in pop order) and whether each node is an
+// ancestor of some border target (the cross-border classification).
+func Compute(g *graph.Graph, r *Regions) *BorderData {
+	start := time.Now()
+	n := r.N
+	nn := g.NumNodes()
+	bd := &BorderData{
+		MinDist:     newMatrix(n, math.Inf(1)),
+		MaxDist:     newMatrix(n, 0),
+		Traverse:    make([]RegionSet, n*n),
+		CrossBorder: make([]bool, nn),
+	}
+	for i := range bd.Traverse {
+		bd.Traverse[i] = NewRegionSet(n)
+	}
+	for i := 0; i < n; i++ {
+		bd.MinDist[i][i] = 0
+		bd.Traverse[i*n+i].Set(i)
+	}
+
+	words := (n + 63) / 64
+	ros := make([]uint64, nn*words) // regions-on-path bitmask per node
+	hasTarget := make([]bool, nn)
+
+	for ri := 0; ri < n; ri++ {
+		for _, b := range r.Borders[ri] {
+			tree := spath.Dijkstra(g, b)
+
+			// Pass 1 (pop order): regions on the path from b to v.
+			for _, v := range tree.PopOrder {
+				dst := ros[int(v)*words : int(v)*words+words]
+				if p := tree.Parent[v]; p != graph.Invalid {
+					src := ros[int(p)*words : int(p)*words+words]
+					copy(dst, src)
+				} else {
+					for k := range dst {
+						dst[k] = 0
+					}
+				}
+				reg := r.Assign[v]
+				dst[reg/64] |= 1 << (reg % 64)
+			}
+
+			// Aggregate distances and traversal sets per target region.
+			for rj := 0; rj < n; rj++ {
+				cell := bd.Traverse[ri*n+rj]
+				for _, bt := range r.Borders[rj] {
+					if bt == b {
+						continue
+					}
+					d := tree.Dist[bt]
+					if math.IsInf(d, 1) {
+						continue
+					}
+					if d < bd.MinDist[ri][rj] {
+						bd.MinDist[ri][rj] = d
+					}
+					if d > bd.MaxDist[ri][rj] {
+						bd.MaxDist[ri][rj] = d
+					}
+					src := ros[int(bt)*words : int(bt)*words+words]
+					for k := range cell {
+						cell[k] |= src[k]
+					}
+				}
+			}
+
+			// Pass 2 (reverse pop order): mark ancestors of border targets
+			// in other regions — the cross-border nodes.
+			for _, v := range tree.PopOrder {
+				hasTarget[v] = r.IsBorder[v] && r.Assign[v] != ri
+			}
+			for k := len(tree.PopOrder) - 1; k >= 0; k-- {
+				v := tree.PopOrder[k]
+				if hasTarget[v] {
+					bd.CrossBorder[v] = true
+					if p := tree.Parent[v]; p != graph.Invalid {
+						hasTarget[p] = true
+					}
+				}
+			}
+		}
+	}
+	// Border nodes themselves are endpoints of the pre-computed paths.
+	for v, isB := range r.IsBorder {
+		if isB {
+			bd.CrossBorder[v] = true
+		}
+	}
+	bd.Elapsed = time.Since(start)
+	return bd
+}
+
+func newMatrix(n int, fill float64) [][]float64 {
+	flat := make([]float64, n*n)
+	for i := range flat {
+		flat[i] = fill
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = flat[i*n : (i+1)*n]
+	}
+	return m
+}
+
+// SplitSegments orders a region's nodes into the broadcast layout of
+// Section 4.1: cross-border nodes first, local nodes second, each group
+// sorted by ID. It returns the combined order and the count of cross-border
+// nodes (the segment boundary).
+func SplitSegments(nodes []graph.NodeID, crossBorder []bool) (ordered []graph.NodeID, nCross int) {
+	ordered = make([]graph.NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if crossBorder[v] {
+			ordered = append(ordered, v)
+		}
+	}
+	nCross = len(ordered)
+	for _, v := range nodes {
+		if !crossBorder[v] {
+			ordered = append(ordered, v)
+		}
+	}
+	return ordered, nCross
+}
+
+// Need returns the regions NR must receive for a query from region i to
+// region j: the traversal set plus both terminals (Section 5.1).
+func (b *BorderData) Need(i, j, n int) RegionSet {
+	out := NewRegionSet(n)
+	out.Or(b.Traversal(i, j, n))
+	out.Set(i)
+	out.Set(j)
+	return out
+}

@@ -1,0 +1,293 @@
+package spath
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Network abstracts the adjacency access Dijkstra needs, so the same search
+// runs over the server's full *graph.Graph and over the partial sub-networks
+// a broadcast client assembles from the regions it received.
+type Network interface {
+	// NumNodes returns the size of the ID space (node IDs are < NumNodes
+	// even if only a subset of nodes is present).
+	NumNodes() int
+	// Out returns the outgoing arcs of v; both slices may be nil when v is
+	// not present in the (partial) network.
+	Out(v graph.NodeID) ([]graph.NodeID, []float64)
+}
+
+var _ Network = (*graph.Graph)(nil)
+
+// Result is the outcome of a point-to-point search over a Network.
+type Result struct {
+	Dist    float64        // Inf when unreachable in the network
+	Path    []graph.NodeID // nil when unreachable
+	Settled int            // nodes popped; a proxy for client CPU work
+}
+
+// DijkstraNetwork runs Dijkstra from s over net, stopping when t is settled
+// (pass graph.Invalid to settle the whole reachable component; Path is then
+// nil and Dist is 0).
+//
+// This is the "search in the union of received regions" step every client
+// scheme ends with (paper Sections 4.2, 5.2).
+func DijkstraNetwork(net Network, s, t graph.NodeID) Result {
+	n := net.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = graph.Invalid
+	}
+	h := pq.New(n)
+	dist[s] = 0
+	h.Push(int32(s), 0)
+	settled := 0
+	for h.Len() > 0 {
+		item, d := h.Pop()
+		v := graph.NodeID(item)
+		settled++
+		if v == t {
+			return Result{Dist: d, Path: treePath(parent, s, t), Settled: settled}
+		}
+		dst, wgt := net.Out(v)
+		for i, u := range dst {
+			nd := d + wgt[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				parent[u] = v
+				h.PushOrDecrease(int32(u), nd)
+			}
+		}
+	}
+	if t == graph.Invalid {
+		return Result{Dist: 0, Settled: settled}
+	}
+	return Result{Dist: Inf, Settled: settled}
+}
+
+// SubNetwork is a partial road network keyed by global node IDs: exactly the
+// structure a client accumulates while listening to region data. Nodes not
+// received have no adjacency and are invisible to the search.
+type SubNetwork struct {
+	n   int
+	adj map[graph.NodeID][]graph.Arc
+	pos map[graph.NodeID][2]float64
+
+	// scratch buffers reused by Out to avoid per-call allocations.
+	dstBuf []graph.NodeID
+	wgtBuf []float64
+}
+
+// NewSubNetwork returns an empty partial network over an ID space of size n.
+func NewSubNetwork(n int) *SubNetwork {
+	return &SubNetwork{
+		n:   n,
+		adj: make(map[graph.NodeID][]graph.Arc),
+		pos: make(map[graph.NodeID][2]float64),
+	}
+}
+
+// NumNodes returns the ID-space size. It grows automatically when nodes
+// with IDs beyond the initial size are added, so a collector built before
+// the network size is known (e.g. Dijkstra's index-less cycle) still works.
+func (s *SubNetwork) NumNodes() int { return s.n }
+
+func (s *SubNetwork) grow(v graph.NodeID) {
+	if int(v) >= s.n {
+		s.n = int(v) + 1
+	}
+}
+
+// NumPresent returns how many nodes have been added.
+func (s *SubNetwork) NumPresent() int { return len(s.pos) }
+
+// Has reports whether node v's adjacency has been added.
+func (s *SubNetwork) Has(v graph.NodeID) bool {
+	_, ok := s.pos[v]
+	return ok
+}
+
+// AddNode registers node v with its coordinates and (possibly empty)
+// outgoing arcs. Re-adding a node replaces its adjacency, which makes
+// replaying a region received twice (packet-loss recovery) idempotent.
+func (s *SubNetwork) AddNode(v graph.NodeID, x, y float64, arcs []graph.Arc) {
+	s.grow(v)
+	for _, a := range arcs {
+		s.grow(a.To)
+	}
+	s.pos[v] = [2]float64{x, y}
+	s.adj[v] = arcs
+}
+
+// AddArc appends a single outgoing arc to v (used by super-edge graphs).
+func (s *SubNetwork) AddArc(v, to graph.NodeID, w float64) {
+	s.grow(v)
+	s.grow(to)
+	s.adj[v] = append(s.adj[v], graph.Arc{To: to, Weight: w})
+	if _, ok := s.pos[v]; !ok {
+		s.pos[v] = [2]float64{}
+	}
+}
+
+// Remove drops node v and its adjacency (memory-bound processing discards
+// region data after contraction into super-edges).
+func (s *SubNetwork) Remove(v graph.NodeID) {
+	delete(s.adj, v)
+	delete(s.pos, v)
+}
+
+// Out implements Network.
+func (s *SubNetwork) Out(v graph.NodeID) ([]graph.NodeID, []float64) {
+	arcs := s.adj[v]
+	if len(arcs) == 0 {
+		return nil, nil
+	}
+	s.dstBuf = s.dstBuf[:0]
+	s.wgtBuf = s.wgtBuf[:0]
+	for _, a := range arcs {
+		s.dstBuf = append(s.dstBuf, a.To)
+		s.wgtBuf = append(s.wgtBuf, a.Weight)
+	}
+	return s.dstBuf, s.wgtBuf
+}
+
+// Arcs returns the raw arc slice of v (no copy).
+func (s *SubNetwork) Arcs(v graph.NodeID) []graph.Arc { return s.adj[v] }
+
+// Pos returns the stored coordinates of v and whether v is present.
+func (s *SubNetwork) Pos(v graph.NodeID) (x, y float64, ok bool) {
+	p, ok := s.pos[v]
+	return p[0], p[1], ok
+}
+
+// ForEach calls fn for every present node.
+func (s *SubNetwork) ForEach(fn func(v graph.NodeID)) {
+	for v := range s.pos {
+		fn(v)
+	}
+}
+
+// ApproxBytes estimates the client-side memory footprint of the partial
+// network: per-node record plus per-arc record, mirroring the memory model
+// in internal/metrics.
+func (s *SubNetwork) ApproxBytes() int {
+	const nodeBytes, arcBytes = 24, 12
+	total := 0
+	for v := range s.pos {
+		total += nodeBytes + arcBytes*len(s.adj[v])
+	}
+	return total
+}
+
+// SortAllArcs sorts every present node's arc list by (target, weight): the
+// canonical CSR order. Clients that pair per-arc auxiliary data (ArcFlag's
+// bit vectors) with adjacency lists by ordinal call this after reception,
+// because packet-loss recovery can deliver arc chunks out of order.
+func (s *SubNetwork) SortAllArcs() {
+	for v, arcs := range s.adj {
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].To != arcs[j].To {
+				return arcs[i].To < arcs[j].To
+			}
+			return arcs[i].Weight < arcs[j].Weight
+		})
+		s.adj[v] = arcs
+	}
+}
+
+// DijkstraNetworkFiltered is DijkstraNetwork restricted to arcs accepted by
+// allow, which receives the tail node and the arc's ordinal within the
+// tail's adjacency list.
+func DijkstraNetworkFiltered(net *SubNetwork, s, t graph.NodeID, allow func(tail graph.NodeID, ordinal int) bool) Result {
+	n := net.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = graph.Invalid
+	}
+	h := pq.New(n)
+	dist[s] = 0
+	h.Push(int32(s), 0)
+	settled := 0
+	for h.Len() > 0 {
+		item, d := h.Pop()
+		v := graph.NodeID(item)
+		settled++
+		if v == t {
+			return Result{Dist: d, Path: treePath(parent, s, t), Settled: settled}
+		}
+		for i, a := range net.Arcs(v) {
+			if !allow(v, i) {
+				continue
+			}
+			nd := d + a.Weight
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = v
+				h.PushOrDecrease(int32(a.To), nd)
+			}
+		}
+	}
+	if t == graph.Invalid {
+		return Result{Dist: 0, Settled: settled}
+	}
+	return Result{Dist: Inf, Settled: settled}
+}
+
+// AStarSubNetwork runs A* from s to t over a client sub-network using the
+// admissible lower bound lb (nil degrades to Dijkstra). Like
+// AStarFiltered, it re-opens improved nodes and stops only when the minimum
+// f-key reaches the best known distance, so it stays exact when the bound
+// is admissible but not consistent (Landmark under packet loss).
+func AStarSubNetwork(net *SubNetwork, s, t graph.NodeID, lb func(graph.NodeID) float64) Result {
+	n := net.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = graph.Invalid
+	}
+	h := pq.New(n)
+	dist[s] = 0
+	key := 0.0
+	if lb != nil {
+		key = lb(s)
+	}
+	h.Push(int32(s), key)
+	settled := 0
+	best := Inf
+	for h.Len() > 0 {
+		item, fkey := h.Pop()
+		v := graph.NodeID(item)
+		if fkey >= best {
+			break
+		}
+		settled++
+		d := dist[v]
+		if v == t {
+			best = d
+			continue
+		}
+		for _, a := range net.Arcs(v) {
+			nd := d + a.Weight
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = v
+				k := nd
+				if lb != nil {
+					k += lb(a.To)
+				}
+				h.PushOrDecrease(int32(a.To), k)
+			}
+		}
+	}
+	if best == Inf {
+		return Result{Dist: Inf, Settled: settled}
+	}
+	return Result{Dist: best, Path: treePath(parent, s, t), Settled: settled}
+}

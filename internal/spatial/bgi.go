@@ -1,0 +1,407 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// BGI is the broadcast grid index of [12] (paper Appendix A): objects are
+// partitioned by a regular grid; the index carries, per cell, the object
+// count and coordinates, and precedes each of the m data segments under
+// the (1,m) scheme. A kNN client first derives an upper bound dmax on the
+// k-th neighbor distance from the per-cell information, then receives only
+// the objects within dmax.
+type BGI struct {
+	pts   []Point // grouped by cell
+	grid  int     // grid side
+	geo   geometry
+	cycle *broadcast.Cycle
+	pre   time.Duration
+}
+
+// bgiPayloadBytes models the full object tuple (the broadcast "data"): the
+// index carries coordinates only, the data segment the whole object.
+const bgiPayloadBytes = 24
+
+// NewBGI builds the BGI server with a side×side grid.
+func NewBGI(pts []Point, side int) (*BGI, error) {
+	if err := validate(pts); err != nil {
+		return nil, err
+	}
+	if side < 1 || side > 256 {
+		return nil, fmt.Errorf("spatial: BGI grid side %d outside [1,256]", side)
+	}
+	start := time.Now()
+	minX, minY, maxX, maxY := bounds(pts)
+	s := &BGI{grid: side, geo: geometry{minX, minY, maxX, maxY}}
+	s.pts = append([]Point(nil), pts...)
+	sort.Slice(s.pts, func(i, j int) bool {
+		ci, cj := s.cellOf(s.pts[i]), s.cellOf(s.pts[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return s.pts[i].ID < s.pts[j].ID
+	})
+	s.assemble()
+	s.pre = time.Since(start)
+	return s, nil
+}
+
+func (s *BGI) cellOf(p Point) int {
+	fx := (p.X - s.geo.minX) / (s.geo.maxX - s.geo.minX)
+	fy := (p.Y - s.geo.minY) / (s.geo.maxY - s.geo.minY)
+	cx := int(fx * float64(s.grid))
+	cy := int(fy * float64(s.grid))
+	if cx >= s.grid {
+		cx = s.grid - 1
+	}
+	if cy >= s.grid {
+		cy = s.grid - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cy*s.grid + cx
+}
+
+func (s *BGI) assemble() {
+	// Data packets: full object tuples grouped by cell.
+	w := packet.NewWriter(packet.KindData)
+	for _, p := range s.pts {
+		var e packet.Enc
+		e.U32(uint32(p.ID))
+		e.F32(p.X)
+		e.F32(p.Y)
+		e.B = append(e.B, make([]byte, bgiPayloadBytes)...) // opaque payload
+		w.Add(tagPoint, e.Bytes())
+	}
+	data := w.Packets()
+
+	// Locate each point's data packet for the per-cell directory.
+	pointPacket := make(map[int32]int, len(s.pts))
+	for i, p := range data {
+		for _, rec := range packet.Records(p.Payload) {
+			d := packet.NewDec(rec.Data)
+			id := int32(d.U32())
+			if !d.Err() {
+				pointPacket[id] = i
+			}
+		}
+	}
+
+	// Index: per non-empty cell, count + packet span + object coordinates.
+	buildIndex := func(dataStart []int) []packet.Packet {
+		iw := packet.NewWriter(packet.KindIndex)
+		var meta packet.Enc
+		meta.U32(uint32(len(s.pts)))
+		meta.U8(uint8(s.grid))
+		meta.F32(s.geo.minX)
+		meta.F32(s.geo.minY)
+		meta.F32(s.geo.maxX)
+		meta.F32(s.geo.maxY)
+		meta.U32(uint32(len(data)))
+		iw.Add(tagSpatialMeta, meta.Bytes())
+		// Cell summaries with coordinates, chunked.
+		i := 0
+		for i < len(s.pts) {
+			cell := s.cellOf(s.pts[i])
+			j := i
+			for j < len(s.pts) && s.cellOf(s.pts[j]) == cell {
+				j++
+			}
+			for lo := i; lo < j; lo += 10 {
+				hi := lo + 10
+				if hi > j {
+					hi = j
+				}
+				var e packet.Enc
+				e.U16(uint16(cell))
+				e.U16(uint16(j - i)) // total cell count
+				e.U8(uint8(hi - lo))
+				for _, p := range s.pts[lo:hi] {
+					e.F32(p.X)
+					e.F32(p.Y)
+					e.U32(uint32(dataStart[pointPacket[p.ID]]))
+				}
+				iw.Add(tagCellSummary, e.Bytes())
+			}
+			i = j
+		}
+		return iw.Packets()
+	}
+
+	nIdx := len(buildIndex(make([]int, len(data))))
+	m := broadcast.OptimalM(len(data), nIdx)
+	segLen := (len(data) + m - 1) / m
+	dataStart := make([]int, len(data))
+	pos := 0
+	seg := 0
+	for i := range data {
+		if i == seg*segLen {
+			pos += nIdx
+			seg++
+		}
+		dataStart[i] = pos
+		pos++
+	}
+	idx := buildIndex(dataStart)
+	if len(idx) != nIdx {
+		panic("spatial: BGI index size changed between passes")
+	}
+	asm := broadcast.NewAssembler()
+	for seg := 0; seg < m; seg++ {
+		lo, hi := seg*segLen, (seg+1)*segLen
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			break
+		}
+		asm.Append(packet.KindIndex, -1, "BGI index", idx)
+		asm.Append(packet.KindData, seg, "segment", data[lo:hi])
+	}
+	s.cycle = asm.Finish()
+}
+
+// Name implements Server.
+func (s *BGI) Name() string { return "BGI" }
+
+// Cycle implements Server.
+func (s *BGI) Cycle() *broadcast.Cycle { return s.cycle }
+
+// PrecomputeTime reports server-side build time.
+func (s *BGI) PrecomputeTime() time.Duration { return s.pre }
+
+// NewClient implements Server.
+func (s *BGI) NewClient() Client { return &bgiClient{} }
+
+type bgiClient struct{}
+
+func (c *bgiClient) Name() string { return "BGI" }
+
+// bgiIndex is the client-side reassembled grid directory.
+type bgiIndex struct {
+	haveMeta    bool
+	numPoints   int
+	grid        int
+	geo         geometry
+	dataPackets int
+	// coords and the data-packet position of every object, keyed by the
+	// index order of arrival.
+	objs []bgiObj
+}
+
+type bgiObj struct {
+	x, y  float64
+	start int
+}
+
+func (x *bgiIndex) process(p packet.Packet) {
+	for _, rec := range packet.Records(p.Payload) {
+		switch rec.Tag {
+		case tagSpatialMeta:
+			d := packet.NewDec(rec.Data)
+			x.numPoints = int(d.U32())
+			x.grid = int(d.U8())
+			x.geo.minX = d.F32()
+			x.geo.minY = d.F32()
+			x.geo.maxX = d.F32()
+			x.geo.maxY = d.F32()
+			x.dataPackets = int(d.U32())
+			if !d.Err() {
+				x.haveMeta = true
+			}
+		case tagCellSummary:
+			d := packet.NewDec(rec.Data)
+			d.U16() // cell
+			d.U16() // cell count
+			n := int(d.U8())
+			for i := 0; i < n; i++ {
+				px := d.F32()
+				py := d.F32()
+				st := int(d.U32())
+				if d.Err() {
+					return
+				}
+				x.objs = append(x.objs, bgiObj{px, py, st})
+			}
+		}
+	}
+}
+
+func (x *bgiIndex) complete() bool {
+	return x.haveMeta && len(x.objs) >= x.numPoints
+}
+
+func (x *bgiIndex) dedupe() {
+	sort.Slice(x.objs, func(i, j int) bool {
+		a, b := x.objs[i], x.objs[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.y < b.y
+	})
+	out := x.objs[:0]
+	for i, o := range x.objs {
+		if i == 0 || o != x.objs[i-1] {
+			out = append(out, o)
+		}
+	}
+	x.objs = out
+}
+
+// receiveBGIIndex mirrors receiveIndex for the BGI record set.
+func receiveBGIIndex(t *broadcast.Tuner, x *bgiIndex) error {
+	ptr := -1
+	for tries := 0; ptr < 0; tries++ {
+		if tries > 10*t.CycleLen() {
+			return fmt.Errorf("spatial: no intact packet on channel")
+		}
+		p, ok := t.Listen()
+		if ok {
+			ptr = t.Pos() - 1 + int(p.NextIndex)
+		}
+	}
+	t.SleepTo(ptr)
+	for rounds := 0; rounds < 64; rounds++ {
+		for guard := 0; guard <= t.CycleLen(); guard++ {
+			p, ok := t.Listen()
+			if p.Kind != packet.KindIndex {
+				break
+			}
+			if ok {
+				x.process(p)
+			}
+		}
+		x.dedupe()
+		if x.complete() {
+			return nil
+		}
+		ptr := -1
+		for ptr < 0 {
+			p, ok := t.Listen()
+			if ok {
+				ptr = t.Pos() - 1 + int(p.NextIndex)
+			}
+		}
+		if ptr > t.Pos() {
+			t.SleepTo(ptr)
+		}
+	}
+	return fmt.Errorf("spatial: BGI index not received")
+}
+
+// fetch receives the data packets of the selected objects and returns the
+// decoded points that satisfy keep.
+func (c *bgiClient) fetch(t *broadcast.Tuner, objs []bgiObj, keep func(Point) bool, mem *metrics.Mem) []Point {
+	packets := map[int]bool{}
+	for _, o := range objs {
+		packets[o.start] = true
+	}
+	order := make([]int, 0, len(packets))
+	for cp := range packets {
+		order = append(order, cp)
+	}
+	l := t.CycleLen()
+	cur := t.Pos() % l
+	sort.Slice(order, func(i, j int) bool {
+		return (order[i]-cur+l)%l < (order[j]-cur+l)%l
+	})
+	var pts []Point
+	seen := map[int]bool{}
+	for _, cp := range order {
+		receiveSpan(t, cp, 1, seen, func(_ int, p packet.Packet) {
+			for _, rec := range packet.Records(p.Payload) {
+				if rec.Tag != tagPoint {
+					continue
+				}
+				d := packet.NewDec(rec.Data)
+				pt := Point{ID: int32(d.U32())}
+				pt.X = d.F32()
+				pt.Y = d.F32()
+				if !d.Err() && keep(pt) {
+					pts = append(pts, pt)
+					mem.Alloc(16 + bgiPayloadBytes)
+				}
+			}
+		})
+	}
+	return dedupePoints(pts)
+}
+
+// Range implements Client.
+func (c *bgiClient) Range(t *broadcast.Tuner, w Window) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	x := &bgiIndex{}
+	if err := receiveBGIIndex(t, x); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	mem.Alloc(12 * len(x.objs))
+	start := time.Now()
+	var need []bgiObj
+	for _, o := range x.objs {
+		if o.x >= w.MinX && o.x <= w.MaxX && o.y >= w.MinY && o.y <= w.MaxY {
+			need = append(need, o)
+		}
+	}
+	cpu := time.Since(start)
+	pts := c.fetch(t, need, w.Contains, &mem)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
+	return pts, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}
+
+// KNN implements Client: derive dmax from the index coordinates (the
+// paper's incremental upper-bound refinement collapses to an exact bound
+// when the index carries coordinates), then receive only objects within
+// dmax.
+func (c *bgiClient) KNN(t *broadcast.Tuner, qx, qy float64, k int) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	x := &bgiIndex{}
+	if err := receiveBGIIndex(t, x); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	mem.Alloc(12 * len(x.objs))
+	if k <= 0 || k > x.numPoints {
+		return nil, metrics.Query{}, fmt.Errorf("spatial: k=%d outside [1,%d]", k, x.numPoints)
+	}
+	start := time.Now()
+	dists := make([]float64, len(x.objs))
+	for i, o := range x.objs {
+		dists[i] = math.Hypot(o.x-qx, o.y-qy)
+	}
+	sorted := append([]float64(nil), dists...)
+	sort.Float64s(sorted)
+	dmax := sorted[k-1] * (1 + 1e-9) // float32 slack
+	var need []bgiObj
+	for i, o := range x.objs {
+		if dists[i] <= dmax {
+			need = append(need, o)
+		}
+	}
+	cpu := time.Since(start)
+	cands := c.fetch(t, need, func(Point) bool { return true }, &mem)
+	res := kNearest(cands, qx, qy, k)
+	return res, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}

@@ -1,0 +1,383 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// DSI is the distributed spatial index of [17] (paper Appendix A): objects
+// sorted by Hilbert value are placed into equi-sized frames; each frame
+// begins with an index packet holding exponential skip pointers (to the
+// frames 2^0, 2^1, 2^2, ... positions ahead with their minimum Hilbert
+// values). A client can start processing from any frame — minimizing
+// access latency at the cost of some extra tuning compared to HCI.
+type DSI struct {
+	pts     []Point
+	geo     geometry
+	cycle   *broadcast.Cycle
+	nFrames int
+	pre     time.Duration
+}
+
+// framePayload is the data-packet count per frame.
+const framePayload = 3
+
+// NewDSI builds the DSI server for the point set.
+func NewDSI(pts []Point) (*DSI, error) {
+	if err := validate(pts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	minX, minY, maxX, maxY := bounds(pts)
+	s := &DSI{geo: geometry{minX, minY, maxX, maxY}}
+	s.pts = append([]Point(nil), pts...)
+	sort.Slice(s.pts, func(i, j int) bool {
+		hi, hj := s.geo.hilbertOf(s.pts[i].X, s.pts[i].Y), s.geo.hilbertOf(s.pts[j].X, s.pts[j].Y)
+		if hi != hj {
+			return hi < hj
+		}
+		return s.pts[i].ID < s.pts[j].ID
+	})
+	s.assemble()
+	s.pre = time.Since(start)
+	return s, nil
+}
+
+func (s *DSI) assemble() {
+	// Pack points into data packets, then group packets into frames.
+	w := packet.NewWriter(packet.KindData)
+	for _, p := range s.pts {
+		w.Add(tagPoint, pointRecord(p, s.geo.hilbertOf(p.X, p.Y)))
+	}
+	data := w.Packets()
+	nFrames := (len(data) + framePayload - 1) / framePayload
+	s.nFrames = nFrames
+
+	frameMinH := make([]uint64, nFrames)
+	for f := 0; f < nFrames; f++ {
+		recs := packet.Records(data[f*framePayload].Payload)
+		if len(recs) > 0 {
+			if _, h, ok := decodePointRecord(recs[0].Data); ok {
+				frameMinH[f] = h
+			}
+		}
+	}
+	asm := broadcast.NewAssembler()
+	for f := 0; f < nFrames; f++ {
+		iw := packet.NewWriter(packet.KindIndex)
+		var meta packet.Enc
+		meta.U32(uint32(len(s.pts)))
+		meta.F32(s.geo.minX)
+		meta.F32(s.geo.minY)
+		meta.F32(s.geo.maxX)
+		meta.F32(s.geo.maxY)
+		meta.U32(uint32(nFrames))
+		meta.U32(uint32(f))
+		meta.U32(uint32(frameMinH[f]))
+		meta.U32(uint32(frameMinH[f] >> 32))
+		iw.Add(tagSpatialMeta, meta.Bytes())
+		// Skip table: frames 2^i ahead (cyclically), with start positions.
+		var e packet.Enc
+		count := 0
+		for step := 1; step < nFrames && count < 12; step <<= 1 {
+			tf := (f + step) % nFrames
+			e.U32(uint32(tf))
+			e.U32(uint32(frameMinH[tf]))
+			e.U32(uint32(frameMinH[tf] >> 32))
+			count++
+		}
+		iw.Add(tagFramePointer, e.Bytes())
+		idx := iw.Packets()
+		if len(idx) != 1 {
+			panic("spatial: DSI frame index must fit one packet")
+		}
+		asm.Append(packet.KindIndex, f, "frame index", idx)
+		lo, hi := f*framePayload, (f+1)*framePayload
+		if hi > len(data) {
+			hi = len(data)
+		}
+		asm.Append(packet.KindData, f, "frame data", data[lo:hi])
+	}
+	s.cycle = asm.Finish()
+}
+
+// frameStart returns the cycle position of frame f's index packet: every
+// frame before the last occupies exactly 1+framePayload packets.
+func frameStart(f, nFrames, cycleLen int) int {
+	return f * (1 + framePayload)
+}
+
+// frameSpan returns the data-packet count of frame f.
+func frameSpan(f, nFrames, cycleLen int) int {
+	if f < nFrames-1 {
+		return framePayload
+	}
+	return cycleLen - (nFrames-1)*(1+framePayload) - 1
+}
+
+// Name implements Server.
+func (s *DSI) Name() string { return "DSI" }
+
+// Cycle implements Server.
+func (s *DSI) Cycle() *broadcast.Cycle { return s.cycle }
+
+// PrecomputeTime reports server-side build time.
+func (s *DSI) PrecomputeTime() time.Duration { return s.pre }
+
+// NewClient implements Server.
+func (s *DSI) NewClient() Client { return &dsiClient{} }
+
+type dsiClient struct{}
+
+func (c *dsiClient) Name() string { return "DSI" }
+
+// dsiFrame is a decoded frame index.
+type dsiFrame struct {
+	valid   bool
+	nPoints int
+	geo     geometry
+	nFrames int
+	frame   int
+	minH    uint64 // the frame's own minimum curve value
+	skips   []dsiSkip
+}
+
+type dsiSkip struct {
+	frame int
+	minH  uint64
+}
+
+func decodeFrameIndex(p packet.Packet) dsiFrame {
+	var f dsiFrame
+	for _, rec := range packet.Records(p.Payload) {
+		switch rec.Tag {
+		case tagSpatialMeta:
+			d := packet.NewDec(rec.Data)
+			f.nPoints = int(d.U32())
+			f.geo.minX = d.F32()
+			f.geo.minY = d.F32()
+			f.geo.maxX = d.F32()
+			f.geo.maxY = d.F32()
+			f.nFrames = int(d.U32())
+			f.frame = int(d.U32())
+			f.minH = uint64(d.U32()) | uint64(d.U32())<<32
+			f.valid = !d.Err()
+		case tagFramePointer:
+			d := packet.NewDec(rec.Data)
+			for d.Remaining() >= 12 {
+				tf := int(d.U32())
+				h := uint64(d.U32()) | uint64(d.U32())<<32
+				f.skips = append(f.skips, dsiSkip{tf, h})
+			}
+		}
+	}
+	return f
+}
+
+// seek positions the tuner on the frame whose curve interval contains lo
+// (or the first frame at or after it), following skip pointers greedily:
+// "the client listens to an index and finds the furthest frame where the
+// minimum Hilbert value does not exceed the required Hilbert value".
+func (c *dsiClient) seek(t *broadcast.Tuner, lo uint64) (dsiFrame, error) {
+	// Find any intact frame index.
+	var cur dsiFrame
+	for tries := 0; ; tries++ {
+		if tries > 10*t.CycleLen() {
+			return dsiFrame{}, fmt.Errorf("spatial: DSI: no intact frame index")
+		}
+		p, ok := t.Listen()
+		if ok && p.Kind == packet.KindIndex {
+			if f := decodeFrameIndex(p); f.valid {
+				cur = f
+				break
+			}
+		}
+	}
+	for hops := 0; hops < 64; hops++ {
+		// Furthest skip whose minH does not exceed lo. Frames are sorted by
+		// their minimum curve value, so once the current frame is already
+		// at or below lo we only follow monotone (non-wrapping) skips —
+		// otherwise a wrapped skip would jump past the target forever.
+		best := -1
+		for i, sk := range cur.skips {
+			if sk.minH > lo || forward(cur.frame, sk.frame, cur.nFrames) == 0 {
+				continue
+			}
+			if cur.minH <= lo && sk.minH < cur.minH {
+				continue // wrapping skip while already in the right regime
+			}
+			if best < 0 || sk.minH > cur.skips[best].minH ||
+				(sk.minH == cur.skips[best].minH && forward(cur.frame, sk.frame, cur.nFrames) > forward(cur.frame, cur.skips[best].frame, cur.nFrames)) {
+				best = i
+			}
+		}
+		target := -1
+		if best >= 0 && !(cur.minH <= lo && cur.skips[best].minH == cur.minH) {
+			target = cur.skips[best].frame
+		} else if cur.minH > lo && cur.frame != 0 {
+			// No frame at or below lo is reachable by skip and the current
+			// frame is already past it: the range starts at (or before)
+			// frame 0, whose position is known.
+			target = 0
+		} else {
+			return cur, nil // the range starts in the current frame region
+		}
+		pos := frameStart(target, cur.nFrames, t.CycleLen())
+		t.SleepTo(t.NextOccurrence(pos))
+		p, ok := t.Listen()
+		if !ok || p.Kind != packet.KindIndex {
+			continue // lost frame index: re-read whatever comes next
+		}
+		f := decodeFrameIndex(p)
+		if !f.valid {
+			continue
+		}
+		cur = f
+	}
+	return cur, nil
+}
+
+// forward returns the cyclic forward distance between frames.
+func forward(from, to, n int) int { return ((to-from)%n + n) % n }
+
+// collectRange reads frames sequentially from the current frame while
+// their minimum curve values stay at or below hi, gathering points in
+// [lo, hi] that satisfy keep.
+func (c *dsiClient) collectRange(t *broadcast.Tuner, start dsiFrame, lo, hi uint64, mem *metrics.Mem) []Point {
+	var pts []Point
+	seen := map[int]bool{}
+	cur := start
+	for hops := 0; hops < cur.nFrames+1; hops++ {
+		// Read the current frame's data packets.
+		base := frameStart(cur.frame, cur.nFrames, t.CycleLen())
+		span := frameSpan(cur.frame, cur.nFrames, t.CycleLen())
+		receiveSpan(t, base+1, span, seen, func(_ int, p packet.Packet) {
+			for _, rec := range packet.Records(p.Payload) {
+				if rec.Tag != tagPoint {
+					continue
+				}
+				if pt, h, ok := decodePointRecord(rec.Data); ok && h >= lo && h <= hi {
+					pts = append(pts, pt)
+					mem.Alloc(16)
+				}
+			}
+		})
+		next := (cur.frame + 1) % cur.nFrames
+		if next == start.frame {
+			break
+		}
+		// Peek at the next frame's index to decide whether to continue.
+		pos := frameStart(next, cur.nFrames, t.CycleLen())
+		t.SleepTo(t.NextOccurrence(pos))
+		p, ok := t.Listen()
+		if ok && p.Kind == packet.KindIndex {
+			if f := decodeFrameIndex(p); f.valid {
+				if f.minH > hi {
+					break
+				}
+				cur = f
+				continue
+			}
+		}
+		// Lost index: read the frame anyway (conservative), reusing the
+		// frame counter.
+		cur.frame = next
+	}
+	return pts
+}
+
+// Range implements Client.
+func (c *dsiClient) Range(t *broadcast.Tuner, w Window) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	// Any frame index provides the geometry.
+	start, err := c.seek(t, 0)
+	if err != nil {
+		return nil, metrics.Query{}, err
+	}
+	lo, hi := curveCover(start.geo, w)
+	startFrame, err := c.seek(t, lo)
+	if err != nil {
+		return nil, metrics.Query{}, err
+	}
+	cpuStart := time.Now()
+	pts := c.collectRange(t, startFrame, lo, hi, &mem)
+	var out []Point
+	for _, p := range pts {
+		if w.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	out = dedupePoints(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	cpu := time.Since(cpuStart)
+	return out, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}
+
+// KNN implements Client: like HCI's two-step algorithm, with DSI frame
+// navigation.
+func (c *dsiClient) KNN(t *broadcast.Tuner, qx, qy float64, k int) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	first, err := c.seek(t, 0)
+	if err != nil {
+		return nil, metrics.Query{}, err
+	}
+	if k <= 0 || k > first.nPoints {
+		return nil, metrics.Query{}, fmt.Errorf("spatial: k=%d outside [1,%d]", k, first.nPoints)
+	}
+	hq := first.geo.hilbertOf(qx, qy)
+	// Step 1: gather candidates around hq by a symmetric curve window that
+	// widens until >= k distinct points arrive.
+	span := uint64(1) << 10
+	var step1 []Point
+	for len(step1) < k {
+		lo, hi := hq-min64(hq, span), hq+span
+		startFrame, err := c.seek(t, lo)
+		if err != nil {
+			return nil, metrics.Query{}, err
+		}
+		step1 = dedupePoints(c.collectRange(t, startFrame, lo, hi, &mem))
+		if span > 1<<(2*hilbertOrder) {
+			break
+		}
+		span <<= 2
+	}
+	if len(step1) < k {
+		return nil, metrics.Query{}, fmt.Errorf("spatial: dataset smaller than k")
+	}
+	near := kNearest(append([]Point(nil), step1...), qx, qy, k)
+	dmax := euclid(qx, qy, near[len(near)-1])
+
+	// Step 2: window query.
+	w := Window{qx - dmax, qy - dmax, qx + dmax, qy + dmax}
+	lo, hi := curveCover(first.geo, w)
+	startFrame, err := c.seek(t, lo)
+	if err != nil {
+		return nil, metrics.Query{}, err
+	}
+	cands := c.collectRange(t, startFrame, lo, hi, &mem)
+	cands = append(cands, step1...)
+	cands = dedupePoints(cands)
+	res := kNearest(cands, qx, qy, k)
+	return res, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+	}, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,472 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/hilbert"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// hilbertOrder is the grid resolution used to map coordinates onto the
+// curve (1024×1024 cells).
+const hilbertOrder = 10
+
+// HCI is the Hilbert curve index of [16] (paper Appendix A): points are
+// mapped onto a Hilbert curve, sorted by curve position, and broadcast
+// under the (1,m) interleaving scheme with a sparse curve-position index.
+type HCI struct {
+	pts   []Point // sorted by curve position
+	hvals []uint64
+	cycle *broadcast.Cycle
+	geo   geometry
+	pre   time.Duration
+}
+
+// geometry maps coordinates to curve cells; it travels in the index meta.
+type geometry struct {
+	minX, minY, maxX, maxY float64
+}
+
+func (g geometry) cell(x, y float64) (uint32, uint32) {
+	fx := (x - g.minX) / (g.maxX - g.minX)
+	fy := (y - g.minY) / (g.maxY - g.minY)
+	cx := int64(fx * (1 << hilbertOrder))
+	cy := int64(fy * (1 << hilbertOrder))
+	cx = clamp64(cx, 0, (1<<hilbertOrder)-1)
+	cy = clamp64(cy, 0, (1<<hilbertOrder)-1)
+	return uint32(cx), uint32(cy)
+}
+
+func (g geometry) hilbertOf(x, y float64) uint64 {
+	cx, cy := g.cell(x, y)
+	return hilbert.Encode(hilbertOrder, cx, cy)
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NewHCI builds the HCI server for the point set.
+func NewHCI(pts []Point) (*HCI, error) {
+	if err := validate(pts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	minX, minY, maxX, maxY := bounds(pts)
+	s := &HCI{geo: geometry{minX, minY, maxX, maxY}}
+	s.pts = append([]Point(nil), pts...)
+	sort.Slice(s.pts, func(i, j int) bool {
+		hi, hj := s.geo.hilbertOf(s.pts[i].X, s.pts[i].Y), s.geo.hilbertOf(s.pts[j].X, s.pts[j].Y)
+		if hi != hj {
+			return hi < hj
+		}
+		return s.pts[i].ID < s.pts[j].ID
+	})
+	s.hvals = make([]uint64, len(s.pts))
+	for i, p := range s.pts {
+		s.hvals[i] = s.geo.hilbertOf(p.X, p.Y)
+	}
+	s.assemble()
+	s.pre = time.Since(start)
+	return s, nil
+}
+
+// pointRecord encodes one point with its curve position.
+func pointRecord(p Point, h uint64) []byte {
+	var e packet.Enc
+	e.U32(uint32(p.ID))
+	e.F32(p.X)
+	e.F32(p.Y)
+	e.U32(uint32(h))
+	e.U32(uint32(h >> 32))
+	return e.Bytes()
+}
+
+func decodePointRecord(data []byte) (Point, uint64, bool) {
+	d := packet.NewDec(data)
+	p := Point{ID: int32(d.U32())}
+	p.X = d.F32()
+	p.Y = d.F32()
+	h := uint64(d.U32()) | uint64(d.U32())<<32
+	if d.Err() {
+		return Point{}, 0, false
+	}
+	return p, h, true
+}
+
+func (s *HCI) assemble() {
+	// Data packets first (to size the index), then (1,m) layout.
+	w := packet.NewWriter(packet.KindData)
+	for i, p := range s.pts {
+		w.Add(tagPoint, pointRecord(p, s.hvals[i]))
+	}
+	data := w.Packets()
+
+	// Sparse index: one entry per data packet (its minimum curve value).
+	packetMinH := make([]uint64, len(data))
+	for i := range data {
+		recs := packet.Records(data[i].Payload)
+		if len(recs) > 0 {
+			if _, h, ok := decodePointRecord(recs[0].Data); ok {
+				packetMinH[i] = h
+			}
+		}
+	}
+
+	buildIndex := func(dataStart []int) []packet.Packet {
+		iw := packet.NewWriter(packet.KindIndex)
+		var meta packet.Enc
+		meta.U32(uint32(len(s.pts)))
+		meta.F32(s.geo.minX)
+		meta.F32(s.geo.minY)
+		meta.F32(s.geo.maxX)
+		meta.F32(s.geo.maxY)
+		meta.U32(uint32(len(data)))
+		iw.Add(tagSpatialMeta, meta.Bytes())
+		for i := range data {
+			var e packet.Enc
+			e.U32(uint32(packetMinH[i]))
+			e.U32(uint32(packetMinH[i] >> 32))
+			e.U32(uint32(dataStart[i]))
+			iw.Add(tagIndexEntry, e.Bytes())
+		}
+		return iw.Packets()
+	}
+	nIdx := len(buildIndex(make([]int, len(data))))
+	m := broadcast.OptimalM(len(data), nIdx)
+
+	// (1,m): m equi-sized data segments, an index copy before each.
+	segLen := (len(data) + m - 1) / m
+	dataStart := make([]int, len(data))
+	pos := 0
+	seg := 0
+	for i := range data {
+		if i == seg*segLen {
+			pos += nIdx
+			seg++
+		}
+		dataStart[i] = pos
+		pos++
+	}
+	idx := buildIndex(dataStart)
+	if len(idx) != nIdx {
+		panic("spatial: HCI index size changed between passes")
+	}
+	asm := broadcast.NewAssembler()
+	for seg := 0; seg < m; seg++ {
+		lo, hi := seg*segLen, (seg+1)*segLen
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo >= hi {
+			break
+		}
+		asm.Append(packet.KindIndex, -1, "HCI index", idx)
+		asm.Append(packet.KindData, seg, "segment", data[lo:hi])
+	}
+	s.cycle = asm.Finish()
+}
+
+// Name implements Server.
+func (s *HCI) Name() string { return "HCI" }
+
+// Cycle implements Server.
+func (s *HCI) Cycle() *broadcast.Cycle { return s.cycle }
+
+// PrecomputeTime reports server-side build time.
+func (s *HCI) PrecomputeTime() time.Duration { return s.pre }
+
+// NewClient implements Server.
+func (s *HCI) NewClient() Client { return &hciClient{} }
+
+type hciClient struct{}
+
+func (c *hciClient) Name() string { return "HCI" }
+
+// hciIndex is the client-side reassembled sparse index.
+type hciIndex struct {
+	haveMeta    bool
+	numPoints   int
+	geo         geometry
+	dataPackets int
+	entries     []hciEntry // in record order == curve order
+}
+
+type hciEntry struct {
+	minH  uint64
+	start int
+}
+
+func (x *hciIndex) process(p packet.Packet) {
+	for _, rec := range packet.Records(p.Payload) {
+		switch rec.Tag {
+		case tagSpatialMeta:
+			d := packet.NewDec(rec.Data)
+			x.numPoints = int(d.U32())
+			x.geo.minX = d.F32()
+			x.geo.minY = d.F32()
+			x.geo.maxX = d.F32()
+			x.geo.maxY = d.F32()
+			x.dataPackets = int(d.U32())
+			if !d.Err() {
+				x.haveMeta = true
+			}
+		case tagIndexEntry:
+			d := packet.NewDec(rec.Data)
+			h := uint64(d.U32()) | uint64(d.U32())<<32
+			st := int(d.U32())
+			if !d.Err() {
+				x.entries = append(x.entries, hciEntry{h, st})
+			}
+		}
+	}
+}
+
+func (x *hciIndex) complete() bool {
+	return x.haveMeta && len(x.entries) == x.dataPackets
+}
+
+// receiveIndex finds the next index copy and receives it completely; lost
+// packets are patched from later copies (entries are deduplicated by
+// re-sorting on start position).
+func receiveIndex(t *broadcast.Tuner, x *hciIndex) error {
+	ptr := -1
+	for tries := 0; ptr < 0; tries++ {
+		if tries > 10*t.CycleLen() {
+			return fmt.Errorf("spatial: no intact packet on channel")
+		}
+		p, ok := t.Listen()
+		if ok {
+			ptr = t.Pos() - 1 + int(p.NextIndex)
+		}
+	}
+	t.SleepTo(ptr)
+	for rounds := 0; rounds < 64; rounds++ {
+		for guard := 0; guard <= t.CycleLen(); guard++ {
+			p, ok := t.Listen()
+			if p.Kind != packet.KindIndex {
+				break
+			}
+			if ok {
+				x.process(p)
+			}
+		}
+		x.dedupe()
+		if x.complete() {
+			return nil
+		}
+		// Wait for the next copy.
+		ptr := -1
+		for ptr < 0 {
+			p, ok := t.Listen()
+			if ok {
+				ptr = t.Pos() - 1 + int(p.NextIndex)
+			}
+		}
+		if ptr > t.Pos() {
+			t.SleepTo(ptr)
+		}
+	}
+	return fmt.Errorf("spatial: index not received after many copies")
+}
+
+func (x *hciIndex) dedupe() {
+	sort.Slice(x.entries, func(i, j int) bool { return x.entries[i].start < x.entries[j].start })
+	out := x.entries[:0]
+	for i, e := range x.entries {
+		if i == 0 || e.start != x.entries[i-1].start {
+			out = append(out, e)
+		}
+	}
+	x.entries = out
+}
+
+// curveCover computes the exact minimum and maximum curve positions inside
+// the grid-aligned cover of the window, by quadtree decomposition over the
+// contiguous-interval property of aligned blocks.
+func curveCover(geo geometry, w Window) (uint64, uint64) {
+	cx0, cy0 := geo.cell(w.MinX, w.MinY)
+	cx1, cy1 := geo.cell(w.MaxX, w.MaxY)
+	lo, hi := ^uint64(0), uint64(0)
+	var visit func(level uint, bx, by uint32)
+	visit = func(level uint, bx, by uint32) {
+		size := uint32(1) << level
+		// Disjoint?
+		if bx > cx1 || by > cy1 || bx+size-1 < cx0 || by+size-1 < cy0 {
+			return
+		}
+		// Fully inside?
+		if bx >= cx0 && by >= cy0 && bx+size-1 <= cx1 && by+size-1 <= cy1 {
+			l, h := hilbert.CellRange(hilbertOrder, level, bx, by)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+			return
+		}
+		if level == 0 {
+			return // partially covered single cell is impossible
+		}
+		half := size / 2
+		visit(level-1, bx, by)
+		visit(level-1, bx+half, by)
+		visit(level-1, bx, by+half)
+		visit(level-1, bx+half, by+half)
+	}
+	visit(hilbertOrder, 0, 0)
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// packetsForCurveRange selects the data packets whose curve interval
+// intersects [lo, hi].
+func (x *hciIndex) packetsForCurveRange(lo, hi uint64) []hciEntry {
+	var out []hciEntry
+	for i, e := range x.entries {
+		next := ^uint64(0)
+		if i+1 < len(x.entries) {
+			next = x.entries[i+1].minH
+		}
+		if e.minH <= hi && next >= lo {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Range implements Client.
+func (c *hciClient) Range(t *broadcast.Tuner, w Window) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	x := &hciIndex{}
+	if err := receiveIndex(t, x); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	mem.Alloc(12 * len(x.entries))
+
+	start := time.Now()
+	lo, hi := curveCover(x.geo, w)
+	need := x.packetsForCurveRange(lo, hi)
+	cpu := time.Since(start)
+
+	var pts []Point
+	seen := map[int]bool{}
+	for _, e := range need {
+		receiveSpan(t, e.start, 1, seen, func(_ int, p packet.Packet) {
+			for _, rec := range packet.Records(p.Payload) {
+				if rec.Tag != tagPoint {
+					continue
+				}
+				if pt, h, ok := decodePointRecord(rec.Data); ok && h >= lo && h <= hi && w.Contains(pt) {
+					pts = append(pts, pt)
+					mem.Alloc(16)
+				}
+			}
+		})
+	}
+	start = time.Now()
+	pts = dedupePoints(pts)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
+	cpu += time.Since(start)
+
+	return pts, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+		CPU:            cpu,
+	}, nil
+}
+
+// KNN implements Client: the paper's two-step HCI algorithm — collect the
+// k objects with nearest curve positions, bound the search radius by their
+// maximum Euclidean distance, then run a window query with that radius.
+func (c *hciClient) KNN(t *broadcast.Tuner, qx, qy float64, k int) ([]Point, metrics.Query, error) {
+	var mem metrics.Mem
+	x := &hciIndex{}
+	if err := receiveIndex(t, x); err != nil {
+		return nil, metrics.Query{}, err
+	}
+	mem.Alloc(12 * len(x.entries))
+	if k <= 0 || k > x.numPoints {
+		return nil, metrics.Query{}, fmt.Errorf("spatial: k=%d outside [1,%d]", k, x.numPoints)
+	}
+
+	// Step 1: gather >= k points around the query's curve position by
+	// expanding outward over index entries.
+	hq := x.geo.hilbertOf(qx, qy)
+	center := sort.Search(len(x.entries), func(i int) bool { return x.entries[i].minH > hq })
+	if center > 0 {
+		center--
+	}
+	var step1 []Point
+	seen := map[int]bool{}
+	read := func(entry hciEntry) {
+		receiveSpan(t, entry.start, 1, seen, func(_ int, p packet.Packet) {
+			for _, rec := range packet.Records(p.Payload) {
+				if rec.Tag != tagPoint {
+					continue
+				}
+				if pt, _, ok := decodePointRecord(rec.Data); ok {
+					step1 = append(step1, pt)
+					mem.Alloc(16)
+				}
+			}
+		})
+	}
+	for radius := 0; len(step1) < k && radius <= len(x.entries); radius++ {
+		if center+radius < len(x.entries) && radius != 0 {
+			read(x.entries[center+radius])
+		}
+		if radius == 0 {
+			read(x.entries[center])
+		} else if center-radius >= 0 {
+			read(x.entries[center-radius])
+		}
+	}
+	step1 = dedupePoints(step1)
+	if len(step1) < k {
+		return nil, metrics.Query{}, fmt.Errorf("spatial: dataset smaller than k")
+	}
+	near := kNearest(step1, qx, qy, k)
+	dmax := euclid(qx, qy, near[len(near)-1])
+
+	// Step 2: window query around the search disk.
+	w := Window{qx - dmax, qy - dmax, qx + dmax, qy + dmax}
+	lo, hi := curveCover(x.geo, w)
+	var cands []Point
+	for _, e := range x.packetsForCurveRange(lo, hi) {
+		receiveSpan(t, e.start, 1, seen, func(_ int, p packet.Packet) {
+			for _, rec := range packet.Records(p.Payload) {
+				if rec.Tag != tagPoint {
+					continue
+				}
+				if pt, _, ok := decodePointRecord(rec.Data); ok {
+					cands = append(cands, pt)
+					mem.Alloc(16)
+				}
+			}
+		})
+	}
+	cands = append(cands, step1...)
+	cands = dedupePoints(cands)
+	res := kNearest(cands, qx, qy, k)
+
+	return res, metrics.Query{
+		TuningPackets:  t.Tuning(),
+		LatencyPackets: t.Latency(),
+		PeakMemBytes:   mem.Peak(),
+	}, nil
+}

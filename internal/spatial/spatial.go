@@ -1,0 +1,188 @@
+// Package spatial implements the Euclidean spatial air indexes the paper
+// reviews in Appendix A — the prior art its road-network methods improve
+// on: the Hilbert curve index HCI [16], the distributed spatial index DSI
+// [17], and the broadcast grid index BGI [12]. All three broadcast a point
+// dataset and answer window (range) and k-nearest-neighbor queries at the
+// client, with the same tuning-time / access-latency accounting as the
+// road-network schemes.
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Point is one broadcast data object.
+type Point struct {
+	ID   int32
+	X, Y float64
+}
+
+// Window is an axis-aligned range query.
+type Window struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether the window contains p.
+func (w Window) Contains(p Point) bool {
+	return p.X >= w.MinX && p.X <= w.MaxX && p.Y >= w.MinY && p.Y <= w.MaxY
+}
+
+// Server is a spatial air-index scheme's broadcast side.
+type Server interface {
+	Name() string
+	Cycle() *broadcast.Cycle
+	NewClient() Client
+}
+
+// Client answers spatial queries over a tuner.
+type Client interface {
+	Name() string
+	// Range returns the points inside the window.
+	Range(t *broadcast.Tuner, w Window) ([]Point, metrics.Query, error)
+	// KNN returns the k points nearest to (x, y) in Euclidean distance.
+	KNN(t *broadcast.Tuner, x, y float64, k int) ([]Point, metrics.Query, error)
+}
+
+// Record tags private to the spatial cycle formats (disjoint from the
+// road-network tags by construction: spatial cycles never mix with network
+// cycles).
+const (
+	tagSpatialMeta  uint8 = 0x40 // dataset + index geometry
+	tagPoint        uint8 = 0x41 // id u32, x f32, y f32 (+ hilbert u64 for HCI/DSI)
+	tagIndexEntry   uint8 = 0x42 // HCI sparse index entry: minHilbert u64, packetStart u32
+	tagFramePointer uint8 = 0x43 // DSI skip-pointer table
+	tagCellSummary  uint8 = 0x44 // BGI per-cell count + bounding box
+)
+
+// euclid computes the Euclidean distance from (x, y) to p.
+func euclid(x, y float64, p Point) float64 {
+	return math.Hypot(p.X-x, p.Y-y)
+}
+
+// kNearest selects the k nearest candidates to (x, y), breaking distance
+// ties by ID for determinism.
+func kNearest(cands []Point, x, y float64, k int) []Point {
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := euclid(x, y, cands[i]), euclid(x, y, cands[j])
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// dedupePoints drops duplicate IDs (loss recovery can deliver a packet
+// twice across cycles), keeping first occurrences.
+func dedupePoints(pts []Point) []Point {
+	seen := make(map[int32]bool, len(pts))
+	out := pts[:0]
+	for _, p := range pts {
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BruteForceRange is the reference answer for tests.
+func BruteForceRange(pts []Point, w Window) []Point {
+	var out []Point
+	for _, p := range pts {
+		if w.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BruteForceKNN is the reference answer for tests.
+func BruteForceKNN(pts []Point, x, y float64, k int) []Point {
+	cp := append([]Point(nil), pts...)
+	return kNearest(cp, x, y, k)
+}
+
+// validate checks a dataset for the constraints shared by all schemes.
+func validate(pts []Point) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("spatial: empty dataset")
+	}
+	seen := make(map[int32]bool, len(pts))
+	for _, p := range pts {
+		if seen[p.ID] {
+			return fmt.Errorf("spatial: duplicate point id %d", p.ID)
+		}
+		seen[p.ID] = true
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("spatial: point %d has invalid coordinates", p.ID)
+		}
+	}
+	return nil
+}
+
+// bounds returns the dataset bounding box, expanded a hair so all points
+// are interior after float32 quantization.
+func bounds(pts []Point) (minX, minY, maxX, maxY float64) {
+	minX, minY = pts[0].X, pts[0].Y
+	maxX, maxY = pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	dx, dy := maxX-minX, maxY-minY
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	return minX, minY, minX + dx*1.0001, minY + dy*1.0001
+}
+
+// receiveSpan listens to cycle positions [start, start+n), retrying lost
+// packets in later cycles, feeding intact packets to handle exactly once.
+func receiveSpan(t *broadcast.Tuner, start, n int, seen map[int]bool, handle func(cp int, p packet.Packet)) {
+	l := t.CycleLen()
+	var lost []int
+	for k := 0; k < n; k++ {
+		cp := (start + k) % l
+		if seen[cp] {
+			continue
+		}
+		t.SleepTo(t.NextOccurrence(cp))
+		p, ok := t.Listen()
+		if !ok {
+			lost = append(lost, cp)
+			continue
+		}
+		seen[cp] = true
+		handle(cp, p)
+	}
+	for len(lost) > 0 {
+		var still []int
+		for _, cp := range lost {
+			t.SleepTo(t.NextOccurrence(cp))
+			p, ok := t.Listen()
+			if !ok {
+				still = append(still, cp)
+				continue
+			}
+			seen[cp] = true
+			handle(cp, p)
+		}
+		lost = still
+	}
+}

@@ -1,0 +1,196 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/broadcast"
+)
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{ID: int32(i), X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return pts
+}
+
+func servers(t *testing.T, pts []Point) []Server {
+	t.Helper()
+	hci, err := NewHCI(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsi, err := NewDSI(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgi, err := NewBGI(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Server{hci, dsi, bgi}
+}
+
+func sameIDs(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int32]bool{}
+	for _, p := range a {
+		m[p.ID] = true
+	}
+	for _, p := range b {
+		if !m[p.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeQueriesExact(t *testing.T) {
+	pts := randomPoints(500, 1)
+	for _, srv := range servers(t, pts) {
+		ch, err := broadcast.NewChannel(srv.Cycle(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := srv.NewClient()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 12; i++ {
+			x0, y0 := rng.Float64()*900, rng.Float64()*900
+			w := Window{x0, y0, x0 + 50 + rng.Float64()*150, y0 + 50 + rng.Float64()*150}
+			tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+			got, m, err := client.Range(tuner, w)
+			if err != nil {
+				t.Fatalf("%s range %d: %v", srv.Name(), i, err)
+			}
+			want := BruteForceRange(pts, w)
+			if !sameIDs(got, want) {
+				t.Errorf("%s range %d: got %d points, want %d", srv.Name(), i, len(got), len(want))
+			}
+			if m.TuningPackets <= 0 {
+				t.Errorf("%s range %d: no tuning recorded", srv.Name(), i)
+			}
+		}
+	}
+}
+
+func TestKNNQueriesExact(t *testing.T) {
+	pts := randomPoints(400, 3)
+	for _, srv := range servers(t, pts) {
+		ch, err := broadcast.NewChannel(srv.Cycle(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := srv.NewClient()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 10; i++ {
+			qx, qy := rng.Float64()*1000, rng.Float64()*1000
+			k := 1 + rng.Intn(8)
+			tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+			got, _, err := client.KNN(tuner, qx, qy, k)
+			if err != nil {
+				t.Fatalf("%s kNN %d: %v", srv.Name(), i, err)
+			}
+			want := BruteForceKNN(pts, qx, qy, k)
+			if !sameIDs(got, want) {
+				t.Errorf("%s kNN %d (k=%d at %.0f,%.0f): got %v, want %v",
+					srv.Name(), i, k, qx, qy, ids(got), ids(want))
+			}
+		}
+	}
+}
+
+func ids(pts []Point) []int32 {
+	out := make([]int32, len(pts))
+	for i, p := range pts {
+		out[i] = p.ID
+	}
+	return out
+}
+
+func TestQueriesUnderLoss(t *testing.T) {
+	pts := randomPoints(250, 5)
+	for _, srv := range servers(t, pts) {
+		ch, err := broadcast.NewChannel(srv.Cycle(), 0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := srv.NewClient()
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 5; i++ {
+			x0, y0 := rng.Float64()*800, rng.Float64()*800
+			w := Window{x0, y0, x0 + 150, y0 + 150}
+			tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+			got, _, err := client.Range(tuner, w)
+			if err != nil {
+				t.Fatalf("%s lossy range: %v", srv.Name(), err)
+			}
+			if !sameIDs(got, BruteForceRange(pts, w)) {
+				t.Errorf("%s lossy range %d wrong", srv.Name(), i)
+			}
+		}
+	}
+}
+
+// TestSelectiveTuning: range clients must not listen to the whole cycle
+// for a small window (the point of an air index).
+func TestSelectiveTuning(t *testing.T) {
+	pts := randomPoints(800, 7)
+	for _, srv := range servers(t, pts) {
+		ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+		client := srv.NewClient()
+		w := Window{100, 100, 160, 160} // ~0.4% of the area
+		tuner := broadcast.NewTuner(ch, 11)
+		_, m, err := client.Range(tuner, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.TuningPackets >= srv.Cycle().Len() {
+			t.Errorf("%s: tuning %d >= cycle %d; no selectivity", srv.Name(), m.TuningPackets, srv.Cycle().Len())
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewHCI(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	dup := []Point{{ID: 1, X: 0, Y: 0}, {ID: 1, X: 1, Y: 1}}
+	if _, err := NewDSI(dup); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := NewBGI(randomPoints(10, 1), 0); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	pts := randomPoints(50, 8)
+	srv, _ := NewHCI(pts)
+	ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+	client := srv.NewClient()
+	if _, _, err := client.KNN(broadcast.NewTuner(ch, 0), 1, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := client.KNN(broadcast.NewTuner(ch, 0), 1, 1, 51); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	pts := randomPoints(200, 9)
+	for _, srv := range servers(t, pts) {
+		ch, _ := broadcast.NewChannel(srv.Cycle(), 0, 1)
+		client := srv.NewClient()
+		got, _, err := client.Range(broadcast.NewTuner(ch, 3), Window{-500, -500, -400, -400})
+		if err != nil {
+			t.Fatalf("%s: %v", srv.Name(), err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: expected empty result, got %d", srv.Name(), len(got))
+		}
+	}
+}

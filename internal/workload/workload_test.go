@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestGenerateBucketsAndDeterminism(t *testing.T) {
+	g, err := netgen.Generate(400, 450, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := Generate(g, 100, 500, 7)
+	w2 := Generate(g, 100, 500, 7)
+	if len(w1.Queries) != 100 {
+		t.Fatalf("%d queries", len(w1.Queries))
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i] != w2.Queries[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	for i, q := range w1.Queries {
+		if q.S == q.T {
+			t.Fatalf("query %d has equal endpoints", i)
+		}
+		if q.Bucket < 0 || q.Bucket >= Buckets {
+			t.Fatalf("query %d bucket %d", i, q.Bucket)
+		}
+		if q.TuneIn < 0 || q.TuneIn >= 500 {
+			t.Fatalf("query %d tune-in %d", i, q.TuneIn)
+		}
+		if q.RefDist <= 0 {
+			t.Fatalf("query %d ref dist %v", i, q.RefDist)
+		}
+		lo := w1.BucketLabel(q.Bucket)
+		if q.RefDist < lo[0]-1e-9 || q.RefDist > lo[1]+w1.Diameter {
+			t.Fatalf("query %d dist %v outside bucket %v", i, q.RefDist, lo)
+		}
+	}
+}
+
+func TestBucketLabelsSpanDiameter(t *testing.T) {
+	g, _ := netgen.Generate(200, 230, 4)
+	w := Generate(g, 10, 100, 1)
+	last := w.BucketLabel(Buckets - 1)
+	if last[1] < w.Diameter*0.99 {
+		t.Errorf("buckets end at %v, diameter %v", last[1], w.Diameter)
+	}
+}

@@ -1,0 +1,256 @@
+// Package repro is a Go reproduction of "Shortest Path Computation on Air
+// Indexes" (Kellaris & Mouratidis, PVLDB 3(1), 2010): shortest-path query
+// processing in road networks under the wireless broadcast model.
+//
+// A Server pre-computes an air index for a road network and assembles a
+// broadcast cycle; a Channel repeats that cycle (optionally with packet
+// loss); a Client tunes in at an arbitrary moment and answers shortest-path
+// queries locally, accounting the paper's performance factors (tuning time,
+// access latency, peak memory, CPU time, energy).
+//
+// Quickstart:
+//
+//	g, _ := repro.GeneratePreset("germany", 0.1, 42)
+//	srv, _ := repro.NewServer(repro.NR, g, repro.Params{})
+//	ch, _ := repro.NewChannel(srv, 0 /* loss */, 1 /* seed */)
+//	res, _ := repro.Ask(ch, srv, g, 17, 4242, 0 /* tune-in */)
+//	fmt.Println(res.Dist, res.Metrics.TuningPackets)
+//
+// The paper's two contributions are the EB (Elliptic Boundary) and NR
+// (Next Region) methods; DJ, AF, LD, SPQ and HiTi are the adapted
+// competitors of its Section 3.2. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduced evaluation.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline/arcflag"
+	"repro/internal/baseline/djair"
+	"repro/internal/baseline/hiti"
+	"repro/internal/baseline/landmark"
+	"repro/internal/baseline/spq"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netgen"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// Method names an air-index scheme.
+type Method string
+
+// The seven methods of the paper's evaluation.
+const (
+	EB   Method = "EB"   // Elliptic Boundary (Section 4, this paper's contribution)
+	NR   Method = "NR"   // Next Region (Section 5, this paper's contribution)
+	DJ   Method = "DJ"   // broadcast adaptation of Dijkstra's algorithm
+	AF   Method = "AF"   // broadcast adaptation of ArcFlag
+	LD   Method = "LD"   // broadcast adaptation of Landmark (ALT)
+	SPQ  Method = "SPQ"  // broadcast adaptation of the shortest-path quadtree
+	HiTi Method = "HiTi" // broadcast adaptation of HiTi
+)
+
+// Methods lists all implemented methods in the paper's presentation order.
+var Methods = []Method{DJ, NR, EB, LD, AF, SPQ, HiTi}
+
+// Re-exported core types. The root package is a facade: the full
+// implementation lives in internal packages, one per subsystem.
+type (
+	// Graph is an immutable directed weighted road network.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// Server is a built air-index method: pre-computation plus cycle.
+	Server = scheme.Server
+	// Client answers queries against a broadcast tuner.
+	Client = scheme.Client
+	// Query is a shortest-path request.
+	Query = scheme.Query
+	// Result carries the path, its cost and the per-query metrics.
+	Result = scheme.Result
+	// Metrics aggregates the paper's per-query performance factors.
+	Metrics = metrics.Query
+	// Channel is a broadcast channel repeating a cycle, with optional
+	// deterministic packet loss.
+	Channel = broadcast.Channel
+	// Tuner is a client's position on a channel.
+	Tuner = broadcast.Tuner
+)
+
+// Params tunes a method's server. Zero values select the paper's defaults.
+type Params struct {
+	// Regions is the kd-tree partition count for EB, NR (paper: 32) and AF
+	// (paper: 16); power of two.
+	Regions int
+	// Landmarks is LD's anchor count (paper: 4).
+	Landmarks int
+	// HiTiDepth is HiTi's hierarchy depth (leaf grid 2^d x 2^d; default 3).
+	HiTiDepth int
+	// Segments toggles EB/NR's cross-border/local data segmentation
+	// (Section 4.1). Defaults to on.
+	DisableSegments bool
+	// MemoryBound enables EB/NR's client-side super-edge pre-computation
+	// (Section 6.1).
+	MemoryBound bool
+}
+
+func (p Params) coreOptions() core.Options {
+	regions := p.Regions
+	if regions == 0 {
+		regions = 32
+	}
+	return core.Options{
+		Regions:     regions,
+		Segments:    !p.DisableSegments,
+		SquareCells: true,
+		MemoryBound: p.MemoryBound,
+	}
+}
+
+// NewServer builds the named method's server for g.
+func NewServer(m Method, g *Graph, p Params) (Server, error) {
+	switch m {
+	case EB:
+		return core.NewEB(g, p.coreOptions())
+	case NR:
+		return core.NewNR(g, p.coreOptions())
+	case DJ:
+		return djair.New(g), nil
+	case AF:
+		regions := p.Regions
+		if regions == 0 {
+			regions = 16
+		}
+		return arcflag.New(g, arcflag.Options{Regions: regions})
+	case LD:
+		return landmark.New(g, landmark.Options{Landmarks: p.Landmarks})
+	case SPQ:
+		return spq.New(g)
+	case HiTi:
+		return hiti.New(g, hiti.Options{Depth: p.HiTiDepth})
+	default:
+		return nil, fmt.Errorf("repro: unknown method %q", m)
+	}
+}
+
+// NewChannel wraps a server's cycle in a broadcast channel with the given
+// packet-loss rate in [0, 1) and seed.
+func NewChannel(srv Server, lossRate float64, seed int64) (*Channel, error) {
+	return broadcast.NewChannel(srv.Cycle(), lossRate, seed)
+}
+
+// NewTuner tunes into ch at the given absolute packet position — the moment
+// the query is posed.
+func NewTuner(ch *Channel, at int) *Tuner { return broadcast.NewTuner(ch, at) }
+
+// QueryFor builds a Query for two nodes of g (the client knows the node IDs
+// and their coordinates).
+func QueryFor(g *Graph, s, t NodeID) Query { return scheme.QueryFor(g, s, t) }
+
+// Ask runs one query end to end: tune in at position `at`, process with a
+// fresh client of srv, return the result.
+func Ask(ch *Channel, srv Server, g *Graph, s, t NodeID, at int) (Result, error) {
+	tuner := broadcast.NewTuner(ch, at)
+	return srv.NewClient().Query(tuner, QueryFor(g, s, t))
+}
+
+// GeneratePreset builds a synthetic stand-in for one of the paper's five
+// road networks ("milan", "germany", "argentina", "india", "sanfrancisco"),
+// scaled by scale (1.0 = paper-sized), deterministically from seed.
+func GeneratePreset(name string, scale float64, seed int64) (*Graph, error) {
+	p, err := netgen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Scaled(scale).Generate(seed)
+}
+
+// Generate builds a synthetic road network with the exact node and
+// (undirected) edge counts.
+func Generate(nodes, edges int, seed int64) (*Graph, error) {
+	return netgen.Generate(nodes, edges, seed)
+}
+
+// ReadGraph decodes a network in the binary format written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Decode(r) }
+
+// WriteGraph encodes a network in the binary network format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Encode(w, g) }
+
+// ReadGraphText decodes the line-oriented text format ("v id x y" /
+// "a tail head weight").
+func ReadGraphText(r io.Reader) (*Graph, error) { return graph.DecodeText(r) }
+
+// WriteGraphText encodes the line-oriented text format.
+func WriteGraphText(w io.Writer, g *Graph) error { return graph.EncodeText(w, g) }
+
+// ShortestPath computes the reference answer on the full network (no
+// broadcasting): distance, path and settled-node count.
+func ShortestPath(g *Graph, s, t NodeID) (float64, []NodeID, int) {
+	return spath.PointToPoint(g, s, t)
+}
+
+// EnergyJoules estimates a query's client-side energy at the given channel
+// bit rate using the paper's WaveLAN/ARM power model (Section 3.1).
+func EnergyJoules(m Metrics, bitsPerSecond int) float64 {
+	return m.EnergyJoules(bitsPerSecond)
+}
+
+// HeapBudgetBytes is the reference device's application heap (8 MB), the
+// feasibility threshold of the paper's Table 2.
+const HeapBudgetBytes = metrics.HeapBudgetBytes
+
+// Channel rates used throughout the paper's evaluation.
+const (
+	Rate2Mbps   = metrics.RateFast
+	Rate384Kbps = metrics.RateSlow
+)
+
+// --- On-air spatial queries over the road network (the paper's Section 8
+// future work: "range and nearest neighbor retrieval"). ---
+
+// POIResult is a point of interest with its network distance.
+type POIResult = core.POIResult
+
+// SpatialServer is an EB server whose cycle carries POI-flagged nodes and
+// answers on-air range and kNN queries in network distance.
+type SpatialServer struct {
+	eb *core.EB
+}
+
+// NewSpatialServer builds an EB-based spatial broadcast for g; poi flags
+// the points of interest per node.
+func NewSpatialServer(g *Graph, poi []bool, p Params) (*SpatialServer, error) {
+	opts := p.coreOptions()
+	opts.POI = poi
+	eb, err := core.NewEB(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialServer{eb: eb}, nil
+}
+
+// Cycle returns the broadcast cycle.
+func (s *SpatialServer) Cycle() *broadcast.Cycle { return s.eb.Cycle() }
+
+// NewChannel wraps the spatial cycle in a channel.
+func (s *SpatialServer) NewChannel(lossRate float64, seed int64) (*Channel, error) {
+	return broadcast.NewChannel(s.eb.Cycle(), lossRate, seed)
+}
+
+// RangeOnAir returns every POI within network distance radius of node from,
+// sorted by distance, tuning in at position `at`.
+func (s *SpatialServer) RangeOnAir(ch *Channel, g *Graph, from NodeID, radius float64, at int) ([]POIResult, Metrics, error) {
+	t := broadcast.NewTuner(ch, at)
+	return s.eb.NewSpatialClient().RangeOnAir(t, scheme.QueryFor(g, from, from), radius)
+}
+
+// KNNOnAir returns the k POIs nearest to node from in network distance.
+func (s *SpatialServer) KNNOnAir(ch *Channel, g *Graph, from NodeID, k int, at int) ([]POIResult, Metrics, error) {
+	t := broadcast.NewTuner(ch, at)
+	return s.eb.NewSpatialClient().KNNOnAir(t, scheme.QueryFor(g, from, from), k)
+}

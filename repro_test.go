@@ -1,0 +1,85 @@
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g, err := repro.Generate(400, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []repro.Method{repro.NR, repro.EB, repro.DJ} {
+		srv, err := repro.NewServer(m, g, repro.Params{Regions: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		ch, err := repro.NewChannel(srv, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := repro.Ask(ch, srv, g, 17, 342, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		want, _, _ := repro.ShortestPath(g, 17, 342)
+		if math.Abs(res.Dist-want) > 1e-3*(1+want) {
+			t.Errorf("%s: dist %v, want %v", m, res.Dist, want)
+		}
+		if repro.EnergyJoules(res.Metrics, repro.Rate2Mbps) <= 0 {
+			t.Errorf("%s: energy should be positive", m)
+		}
+	}
+}
+
+func TestFacadeAllMethodsBuild(t *testing.T) {
+	g, err := repro.Generate(250, 330, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range repro.Methods {
+		srv, err := repro.NewServer(m, g, repro.Params{Regions: 8, HiTiDepth: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if srv.Cycle().Len() == 0 {
+			t.Errorf("%s: empty cycle", m)
+		}
+		if srv.Name() != string(m) {
+			t.Errorf("server name %q != method %q", srv.Name(), m)
+		}
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g, err := repro.GeneratePreset("milan", 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := repro.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d arcs", g2.NumNodes(), g.NumNodes(), g2.NumArcs(), g.NumArcs())
+	}
+	var tbuf bytes.Buffer
+	if err := repro.WriteGraphText(&tbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := repro.ReadGraphText(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumNodes() != g.NumNodes() {
+		t.Fatalf("text round trip: %d nodes, want %d", g3.NumNodes(), g.NumNodes())
+	}
+}

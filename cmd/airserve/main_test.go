@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeFleetRun runs a tiny end-to-end load test on the germany preset
+// and checks the report carries throughput and tail metrics.
+func TestSmokeFleetRun(t *testing.T) {
+	var out bytes.Buffer
+	res, err := run(config{
+		method:  "NR",
+		preset:  "germany",
+		scale:   0.02,
+		clients: 12,
+		queries: 36,
+		seed:    7,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if res.Queries != 36 {
+		t.Errorf("answered %d queries, want 36", res.Queries)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors\n%s", res.Errors, out.String())
+	}
+	if res.QPS <= 0 {
+		t.Errorf("qps %v", res.QPS)
+	}
+	for _, want := range []string{"throughput", "queries/sec", "p50", "p95", "p99", "tuning time", "access latency", "energy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSmokeUnknownMethod checks flag validation surfaces as an error.
+func TestSmokeUnknownMethod(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(config{method: "XX", preset: "germany", scale: 0.02, clients: 1, queries: 1}, &out); err == nil {
+		t.Fatal("unknown method did not error")
+	}
+}

@@ -1,0 +1,83 @@
+// Loadtest: put a live broadcast station on the air and hit it with a
+// fleet of concurrent clients — the one-to-many promise of the broadcast
+// model made concrete. One goroutine streams the NR cycle; 200 simulated
+// devices tune in mid-cycle at whatever the station is transmitting right
+// now, answer shortest-path queries on the air (with 1% packet loss), and
+// tune out. Server cost is identical whether 1 or 200 clients listen; the
+// fleet report shows aggregate queries/sec and the tail (p95/p99) tuning
+// time, latency and energy a deployment would put in an SLO.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	g, err := repro.GeneratePreset("germany", 0.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
+
+	srv, err := repro.NewServer(repro.NR, g, repro.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle:   %d packets of 128 bytes\n", srv.Cycle().Len())
+
+	// The station streams the cycle on a virtual clock: as fast as its
+	// listeners accept, with lossless backpressure. Set BitsPerSecond to
+	// pace it to a real channel (e.g. repro.Rate2Mbps) instead.
+	st, err := repro.NewStation(srv, repro.StationConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := st.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer st.Stop()
+
+	// One mid-cycle tune-in by hand, to see the live path: subscribe at the
+	// true current position, run an ordinary tuner over the subscription.
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner := repro.NewFeedTuner(sub, sub.Start())
+	q := repro.QueryFor(g, 3, repro.NodeID(g.NumNodes()-3))
+	res, err := srv.NewClient().Query(tuner, q)
+	sub.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive tune-in at packet %d (mid-cycle): dist %.1f, %d packets tuned\n",
+		sub.Start()%st.Len(), res.Dist, res.Metrics.TuningPackets)
+
+	// Now the fleet: 200 concurrent clients, 1000 queries, 1% loss.
+	started := time.Now()
+	fr, err := repro.RunFleet(ctx, st, srv, g, repro.FleetOptions{
+		Clients: 200,
+		Queries: 1000,
+		Loss:    0.01,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfleet: %d clients answered %d queries in %v (%d errors)\n",
+		fr.Clients, fr.Queries, time.Since(started).Round(time.Millisecond), fr.Errors)
+	fmt.Printf("  throughput  %.0f queries/sec\n", fr.QPS)
+	fmt.Printf("  tuning      mean %.0f, p50 %.0f, p95 %.0f, p99 %.0f packets\n",
+		fr.Agg.MeanTuning(), fr.Tuning.P50, fr.Tuning.P95, fr.Tuning.P99)
+	fmt.Printf("  latency     mean %.0f, p50 %.0f, p95 %.0f, p99 %.0f packets\n",
+		fr.Agg.MeanLatency(), fr.Latency.P50, fr.Latency.P95, fr.Latency.P99)
+	fmt.Printf("  energy      p50 %.4f, p95 %.4f, p99 %.4f J at %.3g Mbps\n",
+		fr.Energy.P50, fr.Energy.P95, fr.Energy.P99, float64(fr.Rate)/1e6)
+}

@@ -126,6 +126,16 @@ func OptimalM(dataPackets, indexPackets int) int {
 	return m
 }
 
+// Feed is anything a Tuner can receive packets from: a replayed Channel or
+// a live station subscription (internal/station). At returns the packet
+// transmitted at absolute position abs and whether it arrived intact; Len is
+// the cycle length in packets. At is only ever called with non-decreasing
+// positions — clients cannot rewind a broadcast.
+type Feed interface {
+	Len() int
+	At(abs int) (packet.Packet, bool)
+}
+
 // Channel is a broadcast channel repeating a cycle forever, with optional
 // deterministic Bernoulli packet loss. Whether the transmission at absolute
 // position p is lost depends only on (seed, p): every listener experiences
@@ -154,21 +164,29 @@ func (ch *Channel) Cycle() *Cycle { return ch.cycle }
 // Len returns the cycle length in packets.
 func (ch *Channel) Len() int { return ch.cycle.Len() }
 
-// at returns the packet transmitted at absolute position abs and whether it
-// was received intact.
-func (ch *Channel) at(abs int) (packet.Packet, bool) {
+// At returns the packet transmitted at absolute position abs and whether it
+// was received intact. A lost packet keeps its Kind (the radio knows what
+// slot it was tuned to) but carries no payload.
+func (ch *Channel) At(abs int) (packet.Packet, bool) {
 	p := ch.cycle.Packets[abs%ch.cycle.Len()]
-	if ch.loss > 0 && ch.lostAt(abs) {
+	if Lost(ch.seed, abs, ch.loss) {
 		return packet.Packet{Kind: p.Kind}, false
 	}
 	return p, true
 }
 
-// lostAt hashes (seed, abs) with splitmix64 into a uniform [0,1) draw.
-func (ch *Channel) lostAt(abs int) bool {
-	z := ch.seed + uint64(abs)*0x9E3779B97F4A7C15
+// Lost reports whether the transmission at absolute position abs is lost for
+// a listener with the given loss seed and rate. It hashes (seed, abs) with
+// splitmix64 into a uniform [0,1) draw, so the loss pattern depends only on
+// (seed, abs): a live station subscription (internal/station) and an offline
+// Channel with the same seed and rate observe the exact same air.
+func Lost(seed uint64, abs int, loss float64) bool {
+	if loss <= 0 {
+		return false
+	}
+	z := seed + uint64(abs)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return float64(z>>11)/float64(1<<53) < ch.loss
+	return float64(z>>11)/float64(1<<53) < loss
 }

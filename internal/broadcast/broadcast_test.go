@@ -97,10 +97,10 @@ func TestLossDeterministicAndCalibrated(t *testing.T) {
 	lost1, lost2 := 0, 0
 	const n = 20000
 	for i := 0; i < n; i++ {
-		if _, ok := ch.at(i); !ok {
+		if _, ok := ch.At(i); !ok {
 			lost1++
 		}
-		if _, ok := ch.at(i); !ok {
+		if _, ok := ch.At(i); !ok {
 			lost2++
 		}
 	}

@@ -15,7 +15,7 @@ import (
 // client would receive next. Positions increase forever; the cycle repeats
 // underneath (position p carries cycle packet p mod L).
 type Tuner struct {
-	ch    *Channel
+	feed  Feed
 	pos   int
 	start int
 	// tuning counts packets listened to, including ones that arrived
@@ -27,26 +27,35 @@ type Tuner struct {
 // NewTuner returns a tuner that tunes in at absolute position start: the
 // moment the query is posed.
 func NewTuner(ch *Channel, start int) *Tuner {
-	return &Tuner{ch: ch, pos: start, start: start, last: start - 1}
+	return NewFeedTuner(ch, start)
 }
 
-// Channel returns the underlying channel.
-func (t *Tuner) Channel() *Channel { return t.ch }
+// NewFeedTuner returns a tuner over an arbitrary Feed — a replayed Channel
+// or a live station subscription — tuning in at absolute position start.
+// Because the same Tuner does all tuning-time and latency accounting
+// regardless of the feed, a live client and an offline replay with the same
+// tune-in position and loss pattern report identical metrics.
+func NewFeedTuner(f Feed, start int) *Tuner {
+	return &Tuner{feed: f, pos: start, start: start, last: start - 1}
+}
+
+// Feed returns the underlying packet feed.
+func (t *Tuner) Feed() Feed { return t.feed }
 
 // CycleLen returns the cycle length in packets.
-func (t *Tuner) CycleLen() int { return t.ch.Len() }
+func (t *Tuner) CycleLen() int { return t.feed.Len() }
 
 // Pos returns the absolute position of the next packet.
 func (t *Tuner) Pos() int { return t.pos }
 
 // CyclePos returns Pos modulo the cycle length.
-func (t *Tuner) CyclePos() int { return t.pos % t.ch.Len() }
+func (t *Tuner) CyclePos() int { return t.pos % t.feed.Len() }
 
 // Listen receives the packet at the current position and advances. The
 // boolean reports whether the packet arrived intact; a lost packet still
 // counts toward tuning time.
 func (t *Tuner) Listen() (packet.Packet, bool) {
-	p, ok := t.ch.at(t.pos)
+	p, ok := t.feed.At(t.pos)
 	t.last = t.pos
 	t.pos++
 	t.tuning++
@@ -66,7 +75,7 @@ func (t *Tuner) SleepTo(abs int) {
 // NextOccurrence returns the smallest absolute position >= Pos whose cycle
 // position equals cyclePos.
 func (t *Tuner) NextOccurrence(cyclePos int) int {
-	l := t.ch.Len()
+	l := t.feed.Len()
 	cur := t.pos % l
 	delta := cyclePos - cur
 	if delta < 0 {
@@ -91,5 +100,5 @@ func (t *Tuner) Latency() int {
 // since tune-in; tests use it to check the paper's "access latency does not
 // exceed one broadcast cycle" claims.
 func (t *Tuner) ElapsedCycles() float64 {
-	return float64(t.pos-t.start) / float64(t.ch.Len())
+	return float64(t.pos-t.start) / float64(t.feed.Len())
 }

@@ -1,0 +1,84 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/baseline/djair"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/scheme"
+)
+
+// TestNetworkDeterministic checks the generator helper is reproducible and
+// honours the requested size.
+func TestNetworkDeterministic(t *testing.T) {
+	a := Network(t, 200, 280, 42)
+	b := Network(t, 200, 280, 42)
+	if a.NumNodes() != 200 {
+		t.Fatalf("nodes %d, want 200", a.NumNodes())
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumArcs() != b.NumArcs() {
+		t.Errorf("same seed produced different networks: %d/%d vs %d/%d",
+			a.NumNodes(), a.NumArcs(), b.NumNodes(), b.NumArcs())
+	}
+	c := Network(t, 200, 280, 43)
+	same := a.NumArcs() == c.NumArcs()
+	if same {
+		// Arc counts may coincide; compare a node position too.
+		n1, n2 := a.Node(7), c.Node(7)
+		same = n1.X == n2.X && n1.Y == n2.Y
+	}
+	if same {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+// TestCheckPassesCorrectScheme runs the harness over a known-good method,
+// lossless and lossy: it must not flag anything.
+func TestCheckPassesCorrectScheme(t *testing.T) {
+	g := Network(t, 250, 350, 7)
+	srv := djair.New(g)
+	Check(t, g, srv, Config{Queries: 8, Seed: 1, MaxCycles: 2.5})
+	Check(t, g, srv, Config{Queries: 6, Seed: 2, Loss: 0.05})
+}
+
+// TestCheckPassesNR covers the harness against one of the paper's own
+// methods, with the latency bound it promises (one cycle, lossless).
+func TestCheckPassesNR(t *testing.T) {
+	g := Network(t, 250, 350, 7)
+	srv, err := core.NewNR(g, core.Options{Regions: 8, Segments: true, SquareCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Check(t, g, srv, Config{Queries: 8, Seed: 3, MaxCycles: 2})
+}
+
+// TestCheckCatchesWrongAnswers verifies the harness actually fails on a
+// broken scheme, using a private testing.T so the failure is observed
+// rather than reported.
+func TestCheckCatchesWrongAnswers(t *testing.T) {
+	g := Network(t, 200, 280, 9)
+	srv := djair.New(g)
+	probe := &testing.T{}
+	Check(probe, g, &distortingServer{Server: srv}, Config{Queries: 4, Seed: 1})
+	if !probe.Failed() {
+		t.Error("Check accepted a scheme that reports wrong distances")
+	}
+}
+
+// distortingServer wraps a correct server but inflates every reported
+// distance, simulating a broken scheme. Queries still succeed (no Fatalf
+// path in Check), so the probe T records Errorf failures only.
+type distortingServer struct{ scheme.Server }
+
+func (d *distortingServer) NewClient() scheme.Client {
+	return &distortingClient{d.Server.NewClient()}
+}
+
+type distortingClient struct{ scheme.Client }
+
+func (c *distortingClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error) {
+	res, err := c.Client.Query(t, q)
+	res.Dist *= 1.5
+	return res, err
+}

@@ -1,0 +1,243 @@
+// Package fleet drives a live broadcast station with a fleet of concurrent
+// clients: a worker pool of N simulated mobile devices that tune in at the
+// station's current position, answer shortest-path queries from a workload
+// mix with any of the seven air-index methods, and fold their per-query
+// measurements into a concurrency-safe sharded aggregator reporting means,
+// p50/p95/p99 tails, and end-to-end throughput.
+//
+// This is the load-harness half of the live subsystem (internal/station is
+// the other): where the offline harness (internal/harness) replays queries
+// one at a time to reproduce the paper's figures, the fleet measures the
+// one-to-many promise of the broadcast model — thousands of clients share
+// the same air at zero marginal server cost, so queries/sec scales with
+// client count until local CPU saturates.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+	"repro/internal/station"
+	"repro/internal/workload"
+)
+
+// Options tunes a fleet run. The zero value means 8 clients answering the
+// whole workload once, lossless, costed at the station's rate.
+type Options struct {
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Queries is the total number of queries the fleet answers; workload
+	// entries are reused round-robin when it exceeds the workload size.
+	// Default: one pass over the workload.
+	Queries int
+	// Duration optionally stops issuing new queries after this wall-clock
+	// time; in-flight queries finish. 0 means no time limit.
+	Duration time.Duration
+	// Loss is each client's packet-loss rate in [0,1).
+	Loss float64
+	// Seed derives every client's private loss pattern.
+	Seed int64
+	// Shards is the aggregator shard count (default: one per client, capped
+	// at 64).
+	Shards int
+}
+
+// Result is the aggregate outcome of a fleet run.
+type Result struct {
+	Method  string
+	Clients int
+	Queries int // queries issued (Errors counts the subset that failed)
+	Errors  int // failed, wrong-distance, or never-subscribed queries
+	Elapsed time.Duration
+	QPS     float64 // correctly answered queries per wall-clock second
+
+	// Agg carries the paper's mean factors over the correctly answered
+	// queries (Agg.N of them).
+	Agg metrics.Agg
+	// Tuning, Latency (packets) and Energy (joules at the station rate)
+	// carry the tail summaries a load test reports; MeanEnergy is the exact
+	// mean of the same per-query energy samples.
+	Tuning     metrics.Quantiles
+	Latency    metrics.Quantiles
+	Energy     metrics.Quantiles
+	MeanEnergy float64
+	// Rate is the bit rate energy was costed at.
+	Rate int
+}
+
+// shard is one lock striped slice of the aggregator. Workers hash to
+// shards, so with Shards >= Clients the hot path is contention-free while
+// the result is still assembled with ordinary mutexes (safe under -race
+// whatever the worker count).
+type shard struct {
+	mu      sync.Mutex
+	agg     metrics.Agg
+	tuning  metrics.Series
+	latency metrics.Series
+	energy  metrics.Series
+	queries int
+	errors  int
+}
+
+// Aggregator folds per-query measurements concurrently.
+type Aggregator struct {
+	shards []shard
+	rate   int
+}
+
+// NewAggregator returns an aggregator with n shards costing energy at the
+// given bit rate.
+func NewAggregator(n, rate int) *Aggregator {
+	if n < 1 {
+		n = 1
+	}
+	return &Aggregator{shards: make([]shard, n), rate: rate}
+}
+
+// Add folds one answered query from the given worker.
+func (a *Aggregator) Add(worker int, q metrics.Query) {
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.agg.Add(q)
+	s.tuning.Add(float64(q.TuningPackets))
+	s.latency.Add(float64(q.LatencyPackets))
+	s.energy.Add(q.EnergyJoules(a.rate))
+}
+
+// AddError counts a failed or wrong-answer query from the given worker.
+func (a *Aggregator) AddError(worker int) {
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.errors++
+}
+
+// Summarize merges every shard into one Result (leaving run-level fields
+// for the caller to fill). Concurrent Adds must have finished.
+func (a *Aggregator) Summarize() Result {
+	var r Result
+	var tuning, latency, energy metrics.Series
+	for i := range a.shards {
+		s := &a.shards[i]
+		r.Queries += s.queries
+		r.Errors += s.errors
+		r.Agg.Merge(s.agg)
+		tuning.Merge(&s.tuning)
+		latency.Merge(&s.latency)
+		energy.Merge(&s.energy)
+	}
+	r.Tuning = tuning.Quantiles()
+	r.Latency = latency.Quantiles()
+	r.Energy = energy.Quantiles()
+	r.MeanEnergy = energy.Mean()
+	r.Rate = a.rate
+	return r
+}
+
+// Run drives w's queries through a fleet of opts.Clients concurrent clients
+// of srv, all tuned to st. The station must already be on the air. Each
+// query subscribes at the live position, answers through an ordinary
+// broadcast tuner over the subscription, verifies the distance against the
+// workload's reference, and unsubscribes.
+func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
+	if len(w.Queries) == 0 {
+		return Result{}, fmt.Errorf("fleet: empty workload")
+	}
+	if opts.Loss < 0 || opts.Loss >= 1 {
+		return Result{}, fmt.Errorf("fleet: loss rate %v outside [0,1)", opts.Loss)
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	total := opts.Queries
+	if total <= 0 {
+		total = len(w.Queries)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = min(clients, 64)
+	}
+	agg := NewAggregator(shards, st.Rate())
+
+	if opts.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	// The work queue: workload entries round-robin until total queries have
+	// been issued or the clock/context stops the run.
+	work := make(chan workload.Query)
+	go func() {
+		defer close(work)
+		for i := 0; i < total; i++ {
+			select {
+			case work <- w.Queries[i%len(w.Queries)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	started := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each client is one device: its own scheme client (reused
+			// across its queries, like a phone keeps its app open) and its
+			// own deterministic loss seed.
+			client := srv.NewClient()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+			for q := range work {
+				runOne(st, client, id, q, opts.Loss, rng.Int63(), agg)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	res := agg.Summarize()
+	res.Method = srv.Name()
+	res.Clients = clients
+	res.Elapsed = elapsed
+	if elapsed > 0 {
+		// Throughput counts correct answers only, so a degraded run (loss,
+		// station going off the air) cannot overstate itself.
+		res.QPS = float64(res.Agg.N) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runOne answers one query over a live subscription.
+func runOne(st *station.Station, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
+	sub, err := st.Subscribe(loss, seed)
+	if err != nil {
+		// Station off the air (context cancelled mid-run): drop the query.
+		agg.AddError(worker)
+		return
+	}
+	defer sub.Close()
+	tuner := broadcast.NewFeedTuner(sub, sub.Start())
+	res, err := client.Query(tuner, q.Query)
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {
+		agg.AddError(worker)
+		return
+	}
+	agg.Add(worker, res.Metrics)
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline/djair"
+	"repro/internal/broadcast"
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+	"repro/internal/station"
+	"repro/internal/workload"
+)
+
+func startStation(t *testing.T, srv scheme.Server, cfg station.Config) *station.Station {
+	t.Helper()
+	st, err := station.New(srv.Cycle(), cfg)
+	if err != nil {
+		t.Fatalf("station.New: %v", err)
+	}
+	if err := st.Start(context.Background()); err != nil {
+		t.Fatalf("station.Start: %v", err)
+	}
+	t.Cleanup(st.Stop)
+	return st
+}
+
+func nrServer(t *testing.T, g *graph.Graph) scheme.Server {
+	t.Helper()
+	srv, err := core.NewNR(g, core.Options{Regions: 8, Segments: true, SquareCells: true})
+	if err != nil {
+		t.Fatalf("NewNR: %v", err)
+	}
+	return srv
+}
+
+// TestLiveMatchesOfflineTuner pins the subsystem's key invariant: a fleet
+// client answering over a live station subscription observes exactly the
+// same distance, tuning time and access latency as the offline tuner with
+// the same tune-in position and loss seed.
+func TestLiveMatchesOfflineTuner(t *testing.T) {
+	g := conformance.Network(t, 350, 500, 11)
+	for _, srv := range []scheme.Server{djair.New(g), nrServer(t, g)} {
+		for _, loss := range []float64{0, 0.05} {
+			st := startStation(t, srv, station.Config{})
+			client := srv.NewClient()
+			offline := srv.NewClient()
+			for i := 0; i < 12; i++ {
+				s := graph.NodeID(i * 13 % g.NumNodes())
+				d := graph.NodeID((i*29 + 7) % g.NumNodes())
+				if s == d {
+					continue
+				}
+				q := scheme.QueryFor(g, s, d)
+				seed := int64(1000 + i)
+
+				sub, err := st.Subscribe(loss, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				liveTuner := broadcast.NewFeedTuner(sub, sub.Start())
+				live, err := client.Query(liveTuner, q)
+				tuneIn := sub.Start()
+				missed := sub.Missed()
+				sub.Close()
+				if err != nil {
+					t.Fatalf("%s live query %d: %v", srv.Name(), i, err)
+				}
+				if missed != 0 {
+					t.Fatalf("%s live query %d: virtual clock missed %d packets", srv.Name(), i, missed)
+				}
+
+				offCh, err := broadcast.NewChannel(srv.Cycle(), loss, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				offTuner := broadcast.NewTuner(offCh, tuneIn)
+				off, err := offline.Query(offTuner, q)
+				if err != nil {
+					t.Fatalf("%s offline query %d: %v", srv.Name(), i, err)
+				}
+
+				if live.Dist != off.Dist {
+					t.Errorf("%s loss=%v query %d: live dist %v != offline %v", srv.Name(), loss, i, live.Dist, off.Dist)
+				}
+				if live.Metrics.TuningPackets != off.Metrics.TuningPackets {
+					t.Errorf("%s loss=%v query %d: live tuning %d != offline %d",
+						srv.Name(), loss, i, live.Metrics.TuningPackets, off.Metrics.TuningPackets)
+				}
+				if live.Metrics.LatencyPackets != off.Metrics.LatencyPackets {
+					t.Errorf("%s loss=%v query %d: live latency %d != offline %d",
+						srv.Name(), loss, i, live.Metrics.LatencyPackets, off.Metrics.LatencyPackets)
+				}
+			}
+			st.Stop()
+		}
+	}
+}
+
+// TestFleetRun exercises the whole harness end to end: a fleet over a live
+// station answers every workload query correctly and the summary holds
+// means, tails and throughput.
+func TestFleetRun(t *testing.T) {
+	g := conformance.Network(t, 300, 420, 5)
+	srv := nrServer(t, g)
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 40, st.Len(), 6)
+
+	res, err := Run(context.Background(), st, srv, w, Options{Clients: 16, Queries: 80, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 80 {
+		t.Errorf("answered %d queries, want 80", res.Queries)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d queries failed or returned wrong distances", res.Errors)
+	}
+	if res.Agg.N != 80 {
+		t.Errorf("aggregate holds %d queries, want 80", res.Agg.N)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("throughput %v qps", res.QPS)
+	}
+	if res.Method != "NR" || res.Clients != 16 {
+		t.Errorf("run labels %q/%d", res.Method, res.Clients)
+	}
+	if !(res.Tuning.P50 > 0 && res.Tuning.P50 <= res.Tuning.P95 && res.Tuning.P95 <= res.Tuning.P99) {
+		t.Errorf("tuning tails out of order: %+v", res.Tuning)
+	}
+	if !(res.Latency.P50 > 0 && res.Latency.P99 >= res.Latency.P50) {
+		t.Errorf("latency tails out of order: %+v", res.Latency)
+	}
+	if res.Energy.P50 <= 0 {
+		t.Errorf("energy p50 %v", res.Energy.P50)
+	}
+	// Mean consistency between Agg and the quantile series' source.
+	if res.Agg.MeanTuning() <= 0 || res.Agg.MeanLatency() <= 0 {
+		t.Errorf("aggregate means %v/%v", res.Agg.MeanTuning(), res.Agg.MeanLatency())
+	}
+}
+
+// TestFleetHundredClients runs 120 concurrent clients against one station
+// under -race (the acceptance bar for the subsystem).
+func TestFleetHundredClients(t *testing.T) {
+	g := conformance.Network(t, 250, 350, 3)
+	srv := djair.New(g)
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 30, st.Len(), 4)
+
+	res, err := Run(context.Background(), st, srv, w, Options{Clients: 120, Queries: 240, Loss: 0.02, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 240 {
+		t.Errorf("answered %d queries, want 240", res.Queries)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors with 120 concurrent clients", res.Errors)
+	}
+	if res.Clients != 120 {
+		t.Errorf("clients %d", res.Clients)
+	}
+}
+
+// TestFleetDurationCutoff checks that the wall-clock limit stops issuing
+// queries early.
+func TestFleetDurationCutoff(t *testing.T) {
+	g := conformance.Network(t, 250, 350, 3)
+	srv := djair.New(g)
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 10, st.Len(), 4)
+
+	const total = 1 << 30
+	res, err := Run(context.Background(), st, srv, w, Options{
+		Clients: 8, Queries: total, Duration: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 {
+		t.Error("duration-limited run answered no queries")
+	}
+	if res.Queries >= total {
+		t.Errorf("duration limit did not stop the run: %d queries", res.Queries)
+	}
+}
+
+// TestAggregatorConcurrent hammers one aggregator from many goroutines; the
+// race detector checks the sharding, the totals check no sample is lost.
+func TestAggregatorConcurrent(t *testing.T) {
+	agg := NewAggregator(8, 2_000_000)
+	const workers, each = 32, 200
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if i%10 == 9 {
+					agg.AddError(id)
+				} else {
+					agg.Add(id, sampleQuery(i))
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	res := agg.Summarize()
+	if res.Queries != workers*each {
+		t.Errorf("queries %d, want %d", res.Queries, workers*each)
+	}
+	if res.Errors != workers*each/10 {
+		t.Errorf("errors %d, want %d", res.Errors, workers*each/10)
+	}
+	if res.Agg.N != workers*each*9/10 {
+		t.Errorf("agg n %d", res.Agg.N)
+	}
+	if res.Tuning.P50 <= 0 || res.Tuning.P99 < res.Tuning.P50 {
+		t.Errorf("tails %+v", res.Tuning)
+	}
+}
+
+func sampleQuery(i int) (q metrics.Query) {
+	q.TuningPackets = 10 + i%50
+	q.LatencyPackets = 100 + i%300
+	q.PeakMemBytes = 1 << 10
+	return q
+}

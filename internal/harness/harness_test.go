@@ -153,6 +153,9 @@ func TestFigure14Shape(t *testing.T) {
 
 // TestTables2and3Run exercises the remaining table generators end to end.
 func TestTables2and3Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-network sweep; skipped with -short")
+	}
 	cfg := small()
 	cfg.Scale = 0.05
 	cfg.Queries = 10
@@ -205,6 +208,9 @@ func TestFigure11Runs(t *testing.T) {
 
 // TestFigure12Runs exercises the per-network comparison at a reduced size.
 func TestFigure12Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-network sweep; skipped with -short")
+	}
 	cfg := small()
 	cfg.Scale = 0.05
 	cfg.Queries = 8

@@ -79,6 +79,89 @@ func TestAggMeans(t *testing.T) {
 	}
 }
 
+func TestAggMerge(t *testing.T) {
+	var a, b, all Agg
+	queries := []Query{
+		{TuningPackets: 10, LatencyPackets: 20, PeakMemBytes: 1000, CPU: time.Millisecond},
+		{TuningPackets: 30, LatencyPackets: 40, PeakMemBytes: 5000, CPU: 3 * time.Millisecond},
+		{TuningPackets: 20, LatencyPackets: 60, PeakMemBytes: 2000, CPU: 2 * time.Millisecond},
+	}
+	for i, q := range queries {
+		all.Add(q)
+		if i%2 == 0 {
+			a.Add(q)
+		} else {
+			b.Add(q)
+		}
+	}
+	a.Merge(b)
+	if a != all {
+		t.Errorf("merged %+v, want %+v", a, all)
+	}
+	var empty Agg
+	a.Merge(empty)
+	if a != all {
+		t.Errorf("merging empty changed aggregate: %+v", a)
+	}
+	empty.Merge(all)
+	if empty != all {
+		t.Errorf("merge into empty: %+v, want %+v", empty, all)
+	}
+}
+
+func TestSeriesPercentiles(t *testing.T) {
+	var s Series
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	// 1..100 inserted out of order: p50 interpolates to 50.5.
+	for i := 100; i >= 1; i-- {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 50.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	q := s.Quantiles()
+	if math.Abs(q.P95-95.05) > 1e-9 || math.Abs(q.P99-99.01) > 1e-9 {
+		t.Errorf("quantiles %+v", q)
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean %v", s.Mean())
+	}
+	// Adding after a percentile query re-sorts correctly.
+	s.Add(1000)
+	if got := s.Percentile(100); got != 1000 {
+		t.Errorf("p100 after add = %v", got)
+	}
+}
+
+func TestSeriesMerge(t *testing.T) {
+	var a, b Series
+	for i := 1; i <= 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("merged n = %d", a.N())
+	}
+	if got := a.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("merged p50 = %v", got)
+	}
+	a.Merge(nil)
+	if a.N() != 100 {
+		t.Errorf("nil merge changed n: %d", a.N())
+	}
+}
+
 func TestGraphBytes(t *testing.T) {
 	if GraphBytes(10, 20) != 10*NodeRecBytes+20*ArcRecBytes {
 		t.Error("GraphBytes formula drifted")

@@ -1,0 +1,383 @@
+// Package station runs a live broadcast station: a goroutine that streams a
+// server's cycle on a virtual clock and fans every transmission out to any
+// number of concurrently subscribed listeners.
+//
+// The offline substrate (internal/broadcast) replays the cycle pull-style:
+// one tuner asks for position p and receives cycle[p mod L]. The station is
+// the push-style counterpart a deployed system needs — clients tune in
+// mid-cycle at whatever the station is transmitting *right now*, receive
+// packets over buffered per-subscriber channels, and unsubscribe when their
+// query is answered. Each subscriber has its own deterministic Bernoulli
+// loss pattern (the same splitmix64 draw as broadcast.Channel), so a live
+// client and an offline replay with equal tune-in position, loss rate and
+// seed observe bit-identical air — the invariant internal/fleet's tests pin.
+//
+// Clock model: with BitsPerSecond == 0 the clock is virtual — the station
+// transmits as fast as its listeners accept, applying backpressure when a
+// subscriber's buffer fills (no packet is ever dropped, so determinism is
+// exact). With BitsPerSecond > 0 the station paces transmissions to the
+// channel rate (PacketBits per packet, the paper's 128-byte packets); a
+// subscriber that falls behind the air misses packets, which its feed
+// reports as lost — a radio cannot pause the broadcast.
+package station
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+)
+
+// Config tunes a station. The zero value is a virtual-clock station with
+// paper-sized packets and a generous per-subscriber buffer.
+type Config struct {
+	// BitsPerSecond paces the broadcast in real time (e.g. metrics.RateFast);
+	// 0 selects the virtual clock (as fast as listeners allow, lossless
+	// backpressure).
+	BitsPerSecond int
+	// PacketBits is the airtime of one packet; default metrics.PacketBits.
+	PacketBits int
+	// Buffer is the per-subscriber channel depth in packets; default 1024.
+	Buffer int
+	// Start is the absolute position the station begins transmitting at.
+	Start int
+}
+
+// Transmission is one packet as it crossed the air for one subscriber:
+// absolute position, payload, and whether it survived that subscriber's
+// loss pattern.
+type Transmission struct {
+	Pos int
+	Pkt packet.Packet
+	OK  bool
+}
+
+// Station streams a broadcast cycle to its subscribers.
+type Station struct {
+	cycle *broadcast.Cycle
+	cfg   Config
+
+	mu      sync.Mutex
+	subs    map[*Sub]struct{}
+	pos     int // next absolute position to transmit; guarded by mu
+	running bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New returns a station for the cycle. Call Start to put it on the air.
+func New(c *broadcast.Cycle, cfg Config) (*Station, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("station: empty cycle")
+	}
+	if cfg.PacketBits == 0 {
+		cfg.PacketBits = metrics.PacketBits
+	}
+	if cfg.Buffer == 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.BitsPerSecond < 0 || cfg.PacketBits <= 0 || cfg.Buffer < 1 || cfg.Start < 0 {
+		return nil, fmt.Errorf("station: invalid config %+v", cfg)
+	}
+	return &Station{
+		cycle: c,
+		cfg:   cfg,
+		subs:  make(map[*Sub]struct{}),
+		pos:   cfg.Start,
+	}, nil
+}
+
+// Cycle returns the cycle on the air.
+func (s *Station) Cycle() *broadcast.Cycle { return s.cycle }
+
+// Len returns the cycle length in packets.
+func (s *Station) Len() int { return s.cycle.Len() }
+
+// Rate returns the channel bit rate queries should be costed at: the paced
+// rate, or metrics.RateFast for a virtual clock.
+func (s *Station) Rate() int {
+	if s.cfg.BitsPerSecond > 0 {
+		return s.cfg.BitsPerSecond
+	}
+	return metrics.RateFast
+}
+
+// Pos returns the absolute position of the next packet to be transmitted.
+func (s *Station) Pos() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+// Start puts the station on the air. Transmission stops when ctx is
+// cancelled or Stop is called; either way every open subscription's channel
+// is closed (its feed then degrades to deterministic replay, so in-flight
+// queries still terminate).
+func (s *Station) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return fmt.Errorf("station: already started")
+	}
+	ctx, s.cancel = context.WithCancel(ctx)
+	s.done = make(chan struct{})
+	s.running = true
+	go s.run(ctx, s.done)
+	return nil
+}
+
+// Stop takes the station off the air and waits for the transmit loop to
+// exit. It is safe to call multiple times and after context cancellation.
+func (s *Station) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// run is the transmit loop: one packet per tick of the (virtual or paced)
+// clock, fanned out to a snapshot of the current subscribers.
+func (s *Station) run(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	defer s.closeSubs()
+
+	var interval time.Duration
+	if s.cfg.BitsPerSecond > 0 {
+		interval = time.Duration(float64(s.cfg.PacketBits) / float64(s.cfg.BitsPerSecond) * float64(time.Second))
+	}
+	started := time.Now()
+	transmitted := 0
+	var snapshot []*Sub
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if interval > 0 {
+			// Pace to the channel rate: sleep until the next packet is due.
+			// Short oversleeps are repaid by transmitting every due packet
+			// before sleeping again, so long cycles keep the configured rate.
+			due := started.Add(time.Duration(transmitted) * interval)
+			if wait := time.Until(due); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+		}
+
+		s.mu.Lock()
+		pos := s.pos
+		s.pos++
+		snapshot = snapshot[:0]
+		for sub := range s.subs {
+			snapshot = append(snapshot, sub)
+		}
+		s.mu.Unlock()
+		transmitted++
+
+		if len(snapshot) == 0 {
+			if interval == 0 {
+				// Virtual clock with nobody tuned in: the air continues, but
+				// there is no need to burn a core advancing it at full speed.
+				time.Sleep(50 * time.Microsecond)
+			}
+			continue
+		}
+		for _, sub := range snapshot {
+			s.deliver(ctx, sub, pos)
+		}
+	}
+}
+
+// deliver transmits position pos to one subscriber, applying its private
+// loss pattern. A sleeping subscriber (its tuner slept past pos) receives
+// nothing: its radio is off. On a virtual clock a full buffer blocks the
+// station (backpressure); on a paced clock it drops the packet, which the
+// subscriber's feed later reports as lost.
+func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
+	if int64(pos) < sub.want.Load() {
+		return
+	}
+	t := Transmission{Pos: pos, OK: !broadcast.Lost(sub.seed, pos, sub.loss)}
+	if t.OK {
+		t.Pkt = s.cycle.Packets[pos%s.cycle.Len()]
+	} else {
+		t.Pkt = packet.Packet{Kind: s.cycle.Packets[pos%s.cycle.Len()].Kind}
+	}
+	if s.cfg.BitsPerSecond > 0 {
+		select {
+		case sub.ch <- t:
+		default:
+			sub.missed.Add(1)
+		}
+		return
+	}
+	select {
+	case sub.ch <- t:
+	case <-sub.closed:
+	case <-ctx.Done():
+	}
+}
+
+// closeSubs closes every open subscription's channel once the transmit loop
+// has exited (so no send can race the close).
+func (s *Station) closeSubs() {
+	s.mu.Lock()
+	subs := make([]*Sub, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+		delete(s.subs, sub)
+	}
+	s.running = false // the station may be Started again
+	s.mu.Unlock()
+	for _, sub := range subs {
+		close(sub.ch)
+	}
+}
+
+// Subscribe tunes a new listener in at the station's current position, with
+// a private deterministic loss pattern (rate in [0,1), seeded like
+// broadcast.NewChannel). The subscription is a broadcast.Feed; wrap it in a
+// tuner with broadcast.NewFeedTuner(sub, sub.Start()). Close it when the
+// query is done.
+func (s *Station) Subscribe(lossRate float64, seed int64) (*Sub, error) {
+	if lossRate < 0 || lossRate >= 1 {
+		return nil, fmt.Errorf("station: loss rate %v outside [0,1)", lossRate)
+	}
+	sub := &Sub{
+		st:     s,
+		loss:   lossRate,
+		seed:   uint64(seed),
+		ch:     make(chan Transmission, s.cfg.Buffer),
+		closed: make(chan struct{}),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return nil, fmt.Errorf("station: not on the air")
+	}
+	sub.start = s.pos
+	sub.want.Store(int64(sub.start))
+	s.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// Sub is one listener's subscription: a buffered view of the air from its
+// tune-in position onward. It implements broadcast.Feed, so the ordinary
+// Tuner — and therefore every scheme client — runs unchanged on top of it.
+//
+// At, Start and Close must be called from the subscriber's own goroutine;
+// the station side is concurrency-safe.
+type Sub struct {
+	st     *Station
+	loss   float64
+	seed   uint64
+	start  int
+	ch     chan Transmission
+	closed chan struct{}
+
+	// want is the lowest absolute position the listener still needs; the
+	// station skips delivery below it, modelling a sleeping radio.
+	want   atomic.Int64
+	missed atomic.Int64
+
+	// Subscriber-goroutine state: a transmission read ahead of the position
+	// the tuner asked for, and whether the station has left the air.
+	pending    Transmission
+	hasPending bool
+	offAir     bool
+	closeOnce  sync.Once
+}
+
+// Start returns the tune-in position: the first absolute position this
+// subscription is guaranteed to receive.
+func (s *Sub) Start() int { return s.start }
+
+// Len returns the cycle length in packets (broadcast.Feed).
+func (s *Sub) Len() int { return s.st.cycle.Len() }
+
+// Missed returns how many packets the station dropped because this
+// subscriber's buffer was full (paced clock only).
+func (s *Sub) Missed() int { return int(s.missed.Load()) }
+
+// At blocks until the transmission at absolute position abs has crossed the
+// air and returns it (broadcast.Feed). Positions the tuner slept over are
+// discarded; a packet missed through buffer overrun is reported as lost,
+// exactly like a corrupted packet, and recovered by the client in a later
+// cycle. If the station leaves the air mid-query the feed degrades to
+// deterministic replay of the cycle under the same loss pattern, so the
+// query still terminates with the same answer.
+func (s *Sub) At(abs int) (packet.Packet, bool) {
+	s.want.Store(int64(abs))
+	if s.hasPending {
+		p := s.pending
+		switch {
+		case p.Pos == abs:
+			s.hasPending = false
+			return p.Pkt, p.OK
+		case p.Pos > abs:
+			return s.missedAt(abs)
+		default:
+			s.hasPending = false
+		}
+	}
+	for !s.offAir {
+		t, ok := <-s.ch
+		if !ok {
+			s.offAir = true
+			break
+		}
+		switch {
+		case t.Pos < abs:
+			// Slept over it.
+		case t.Pos == abs:
+			return t.Pkt, t.OK
+		default:
+			s.pending, s.hasPending = t, true
+			return s.missedAt(abs)
+		}
+	}
+	return s.replayAt(abs)
+}
+
+// missedAt serves a packet the subscriber was tuned in for but never got
+// buffered (already counted by the station when it dropped it): on the air
+// it is indistinguishable from a corrupted packet.
+func (s *Sub) missedAt(abs int) (packet.Packet, bool) {
+	return packet.Packet{Kind: s.st.cycle.Packets[abs%s.st.cycle.Len()].Kind}, false
+}
+
+// replayAt serves positions after the station left the air: a deterministic
+// replay identical to a broadcast.Channel with this subscription's loss
+// pattern.
+func (s *Sub) replayAt(abs int) (packet.Packet, bool) {
+	p := s.st.cycle.Packets[abs%s.st.cycle.Len()]
+	if broadcast.Lost(s.seed, abs, s.loss) {
+		return packet.Packet{Kind: p.Kind}, false
+	}
+	return p, true
+}
+
+// Close tunes the listener out: the station stops delivering to it and
+// releases it. Safe to call more than once; never blocks on the station.
+func (s *Sub) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.st.mu.Lock()
+		delete(s.st.subs, s)
+		s.st.mu.Unlock()
+	})
+}

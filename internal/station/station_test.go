@@ -1,0 +1,348 @@
+package station
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/packet"
+)
+
+// testCycle builds a small cycle of n data packets whose payloads encode
+// their own cycle position, plus one index packet at the front.
+func testCycle(n int) *broadcast.Cycle {
+	a := broadcast.NewAssembler()
+	a.Append(packet.KindIndex, -1, "index", []packet.Packet{{Kind: packet.KindIndex}})
+	pkts := make([]packet.Packet, n)
+	for i := range pkts {
+		pkts[i] = packet.Packet{Kind: packet.KindData, Payload: []byte{byte(i), byte(i >> 8)}}
+	}
+	a.Append(packet.KindData, 0, "data", pkts)
+	return a.Finish()
+}
+
+func startStation(t *testing.T, cycle *broadcast.Cycle, cfg Config) *Station {
+	t.Helper()
+	st, err := New(cycle, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := st.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(st.Stop)
+	return st
+}
+
+// TestSubscribeReceivesFromTuneIn checks that a subscription delivers the
+// exact cycle sequence from its tune-in position, wrapping around.
+func TestSubscribeReceivesFromTuneIn(t *testing.T) {
+	cycle := testCycle(63)
+	st := startStation(t, cycle, Config{})
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+	start := sub.Start()
+	for i := 0; i < 2*cycle.Len(); i++ {
+		abs := start + i
+		got, ok := sub.At(abs)
+		if !ok {
+			t.Fatalf("position %d reported lost on a lossless subscription", abs)
+		}
+		want := cycle.Packets[abs%cycle.Len()]
+		if got.Kind != want.Kind || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("position %d: got %v/%v, want %v/%v", abs, got.Kind, got.Payload, want.Kind, want.Payload)
+		}
+	}
+}
+
+// TestMidCycleTuneIn checks that tune-in happens at the station's live
+// position, not at the cycle start.
+func TestMidCycleTuneIn(t *testing.T) {
+	cycle := testCycle(40)
+	st := startStation(t, cycle, Config{})
+	// Let the air advance past position 0.
+	first, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		first.At(first.Start() + i)
+	}
+	first.Close()
+	sub, err := st.Subscribe(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if sub.Start() < 100 {
+		t.Errorf("second tune-in at %d, want the live position (>= 100)", sub.Start())
+	}
+	if p, ok := sub.At(sub.Start()); !ok || p.Kind != cycle.Packets[sub.Start()%cycle.Len()].Kind {
+		t.Errorf("first packet after mid-cycle tune-in wrong: %v ok=%v", p, ok)
+	}
+}
+
+// TestSleepSkipsDelivery checks that a tuner sleeping far ahead does not
+// have to drain the skipped positions packet by packet.
+func TestSleepSkipsDelivery(t *testing.T) {
+	cycle := testCycle(50)
+	st := startStation(t, cycle, Config{Buffer: 4})
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	tuner := broadcast.NewFeedTuner(sub, sub.Start())
+	tuner.Listen()
+	// Sleep three cycles ahead — far beyond the 4-packet buffer. With the
+	// sleeping radio modelled (want position), this must not deadlock.
+	target := tuner.Pos() + 3*cycle.Len()
+	tuner.SleepTo(target)
+	p, ok := tuner.Listen()
+	if !ok {
+		t.Fatal("lossless listen after sleep reported lost")
+	}
+	want := cycle.Packets[target%cycle.Len()]
+	if p.Kind != want.Kind || string(p.Payload) != string(want.Payload) {
+		t.Fatalf("after sleep got %v/%v, want %v/%v", p.Kind, p.Payload, want.Kind, want.Payload)
+	}
+}
+
+// TestPerSubscriberLossMatchesChannel checks the determinism invariant at
+// the feed level: a subscription with (loss, seed) observes exactly the
+// same loss pattern as a broadcast.Channel with the same (loss, seed).
+func TestPerSubscriberLossMatchesChannel(t *testing.T) {
+	cycle := testCycle(30)
+	const loss, seed = 0.2, int64(77)
+	ch, err := broadcast.NewChannel(cycle, loss, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := startStation(t, cycle, Config{})
+	sub, err := st.Subscribe(loss, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	lost := 0
+	for i := 0; i < 4*cycle.Len(); i++ {
+		abs := sub.Start() + i
+		live, liveOK := sub.At(abs)
+		replay, replayOK := ch.At(abs)
+		if liveOK != replayOK {
+			t.Fatalf("position %d: live ok=%v, channel ok=%v", abs, liveOK, replayOK)
+		}
+		if live.Kind != replay.Kind {
+			t.Fatalf("position %d: live kind %v, channel kind %v", abs, live.Kind, replay.Kind)
+		}
+		if !liveOK {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("20% loss produced no lost packets in 120 positions")
+	}
+}
+
+// TestTwoSubscribersIndependentLoss checks that loss is per-subscriber: two
+// listeners with different seeds disagree somewhere on the same air.
+func TestTwoSubscribersIndependentLoss(t *testing.T) {
+	cycle := testCycle(30)
+	st := startStation(t, cycle, Config{})
+	a, err := st.Subscribe(0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := st.Subscribe(0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	start := max(a.Start(), b.Start())
+	differ := false
+	for i := 0; i < 3*cycle.Len(); i++ {
+		_, okA := a.At(start + i)
+		_, okB := b.At(start + i)
+		if okA != okB {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("two subscribers with different seeds observed identical loss")
+	}
+}
+
+// TestUnsubscribeUnderBackpressure checks that closing a subscription that
+// stopped draining unblocks the station for the remaining listeners.
+func TestUnsubscribeUnderBackpressure(t *testing.T) {
+	cycle := testCycle(20)
+	st := startStation(t, cycle, Config{Buffer: 2})
+	stall, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := st.Subscribe(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	// Fill the stalled subscriber's buffer so the station blocks on it, then
+	// close it from here: the live subscriber must keep receiving.
+	time.Sleep(10 * time.Millisecond)
+	stall.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			live.At(live.Start() + i)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("station stayed blocked on a closed subscriber")
+	}
+}
+
+// TestContextCancelClosesSubscriptions checks that cancelling the station's
+// context ends transmission and degrades open feeds to replay, so a reader
+// still terminates with correct packets.
+func TestContextCancelClosesSubscriptions(t *testing.T) {
+	cycle := testCycle(25)
+	st, err := New(cycle, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := st.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.At(sub.Start())
+	cancel()
+	st.Stop() // waits for the transmit loop to exit
+
+	if _, err := st.Subscribe(0, 2); err == nil {
+		t.Error("Subscribe succeeded on a stopped station")
+	}
+	// The open feed keeps answering (replay mode), identically to a channel.
+	ch, _ := broadcast.NewChannel(cycle, 0, 1)
+	for i := 1; i < 2*cycle.Len(); i++ {
+		abs := sub.Start() + i
+		got, ok := sub.At(abs)
+		want, wantOK := ch.At(abs)
+		if ok != wantOK || got.Kind != want.Kind {
+			t.Fatalf("replay position %d: got %v/%v, want %v/%v", abs, got.Kind, ok, want.Kind, wantOK)
+		}
+	}
+}
+
+// TestRestart checks Stop then Start works and subscriptions resume.
+func TestRestart(t *testing.T) {
+	cycle := testCycle(10)
+	st, err := New(cycle, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(context.Background()); err == nil {
+		t.Error("double Start succeeded")
+	}
+	st.Stop()
+	if err := st.Start(context.Background()); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer st.Stop()
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatalf("Subscribe after restart: %v", err)
+	}
+	defer sub.Close()
+	if _, ok := sub.At(sub.Start()); !ok {
+		t.Error("lossless packet lost after restart")
+	}
+}
+
+// TestPacedClockRate checks that a paced station approximates the
+// configured bit rate rather than transmitting at full speed.
+func TestPacedClockRate(t *testing.T) {
+	cycle := testCycle(200)
+	// 100 packets with 1024-bit packets at 1.024 Mbit/s → ~100 ms of air.
+	st := startStation(t, cycle, Config{BitsPerSecond: 1_024_000, Buffer: 512})
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	begin := time.Now()
+	for i := 0; i < 100; i++ {
+		sub.At(sub.Start() + i)
+	}
+	elapsed := time.Since(begin)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("100 paced packets took %v, want ≈100ms (station not pacing)", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("100 paced packets took %v, pacing far too slow", elapsed)
+	}
+}
+
+// TestManyConcurrentSubscribers runs 120 concurrent lossy listeners on one
+// station under the race detector, each checking its private air against an
+// offline channel with the same seed.
+func TestManyConcurrentSubscribers(t *testing.T) {
+	cycle := testCycle(64)
+	st := startStation(t, cycle, Config{Buffer: 256})
+	const listeners = 120
+	var wg sync.WaitGroup
+	errs := make(chan error, listeners)
+	for i := 0; i < listeners; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			loss := 0.0
+			if id%2 == 1 {
+				loss = 0.1
+			}
+			seed := int64(id)
+			sub, err := st.Subscribe(loss, seed)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sub.Close()
+			ch, err := broadcast.NewChannel(cycle, loss, seed)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 2*cycle.Len(); j++ {
+				abs := sub.Start() + j
+				live, liveOK := sub.At(abs)
+				replay, replayOK := ch.At(abs)
+				if liveOK != replayOK || live.Kind != replay.Kind {
+					errs <- fmt.Errorf("subscriber %d: mismatch vs offline channel at position %d", id, abs)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

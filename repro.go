@@ -6,7 +6,10 @@
 // broadcast cycle; a Channel repeats that cycle (optionally with packet
 // loss); a Client tunes in at an arbitrary moment and answers shortest-path
 // queries locally, accounting the paper's performance factors (tuning time,
-// access latency, peak memory, CPU time, energy).
+// access latency, peak memory, CPU time, energy). Beyond the paper's
+// single-client replay, a Station streams the cycle live to any number of
+// concurrent subscribers, and RunFleet load-tests it with a pool of
+// concurrent clients (see cmd/airserve).
 //
 // Quickstart:
 //
@@ -23,6 +26,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,11 +37,14 @@ import (
 	"repro/internal/baseline/spq"
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/netgen"
 	"repro/internal/scheme"
 	"repro/internal/spath"
+	"repro/internal/station"
+	"repro/internal/workload"
 )
 
 // Method names an air-index scheme.
@@ -79,6 +86,25 @@ type (
 	Channel = broadcast.Channel
 	// Tuner is a client's position on a channel.
 	Tuner = broadcast.Tuner
+	// Feed is any packet source a Tuner can run on: an offline Channel or a
+	// live station Subscription.
+	Feed = broadcast.Feed
+	// Station is a live broadcast station streaming a cycle to concurrent
+	// subscribers.
+	Station = station.Station
+	// StationConfig tunes a station's clock (virtual or paced to a bit
+	// rate) and per-subscriber buffering.
+	StationConfig = station.Config
+	// Subscription is one listener's live view of a station's air; it is a
+	// Feed, so NewFeedTuner(sub, sub.Start()) runs any client on it.
+	Subscription = station.Sub
+	// FleetOptions tunes a concurrent load run.
+	FleetOptions = fleet.Options
+	// FleetResult aggregates a load run: means, p50/p95/p99 tails and
+	// queries/sec throughput.
+	FleetResult = fleet.Result
+	// Quantiles is a p50/p95/p99 summary of one metric.
+	Quantiles = metrics.Quantiles
 )
 
 // Params tunes a method's server. Zero values select the paper's defaults.
@@ -146,6 +172,32 @@ func NewChannel(srv Server, lossRate float64, seed int64) (*Channel, error) {
 // NewTuner tunes into ch at the given absolute packet position — the moment
 // the query is posed.
 func NewTuner(ch *Channel, at int) *Tuner { return broadcast.NewTuner(ch, at) }
+
+// NewFeedTuner tunes into any Feed — typically a live station Subscription
+// at its Start position.
+func NewFeedTuner(f Feed, at int) *Tuner { return broadcast.NewFeedTuner(f, at) }
+
+// NewStation puts srv's cycle behind a live broadcast station. Call
+// Start(ctx) to go on the air, Subscribe for each tuned-in client, and Stop
+// (or cancel the context) to shut down.
+func NewStation(srv Server, cfg StationConfig) (*Station, error) {
+	return station.New(srv.Cycle(), cfg)
+}
+
+// RunFleet load-tests a live station with opts.Clients concurrent clients
+// of srv answering a generated query workload over g (reference answers are
+// pre-computed server-side for verification). The station must already be
+// on the air. See cmd/airserve for the CLI front end.
+func RunFleet(ctx context.Context, st *Station, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
+	n := opts.Queries
+	if n <= 0 {
+		n = 400 // the paper's workload size
+	}
+	// Reference distances cost one Dijkstra each; cap the distinct pool and
+	// reuse entries round-robin for larger query counts.
+	w := workload.Generate(g, min(n, 400), st.Len(), opts.Seed)
+	return fleet.Run(ctx, st, srv, w, opts)
+}
 
 // QueryFor builds a Query for two nodes of g (the client knows the node IDs
 // and their coordinates).

@@ -1,35 +1,123 @@
-// Command airbench regenerates the paper's tables and figures.
+// Command airbench regenerates the paper's tables and figures, and emits
+// the repo's performance baseline.
 //
 // Usage:
 //
 //	airbench -exp table1            # one experiment
 //	airbench -exp all               # everything
 //	airbench -exp fig10 -scale 0.2 -queries 400 -preset germany
+//	airbench -exp bench -benchout BENCH_baseline.json
 //
-// Experiments: table1 table2 table3 fig10 fig11 fig12 fig13 fig14 all.
-// The -scale flag shrinks the synthetic networks (1.0 = paper-sized); the
-// heap budget of Table 2 scales along, so the feasibility frontier keeps
-// its shape. See EXPERIMENTS.md for recorded outputs and the comparison
-// against the paper.
+// Experiments: table1 table2 table3 fig10 fig11 fig12 fig13 fig14 bench
+// all. The -scale flag shrinks the synthetic networks (1.0 = paper-sized);
+// the heap budget of Table 2 scales along, so the feasibility frontier
+// keeps its shape. See EXPERIMENTS.md for recorded outputs and the
+// comparison against the paper.
+//
+// `bench` runs the benchstat-able micro benchmarks (tuner hop, station
+// broadcast, fleet QPS) plus the deterministic latency-vs-K sweep and, with
+// -benchout, writes them as JSON — the committed BENCH_baseline.json future
+// PRs compare against. It is explicit-only: `-exp all` covers the paper's
+// tables and figures, not the baseline emitter.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 
 	"repro/internal/harness"
 )
 
+// benchBaseline is the BENCH_baseline.json schema.
+type benchBaseline struct {
+	GeneratedBy string                  `json:"generated_by"`
+	Go          string                  `json:"go"`
+	Scale       float64                 `json:"scale"`
+	Queries     int                     `json:"queries"`
+	Seed        int64                   `json:"seed"`
+	Micro       []microBench            `json:"micro"`
+	LatencyVsK  []harness.LatencyVsKRow `json:"latency_vs_k"`
+}
+
+type microBench struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// runBench executes the baseline suite and renders/records it.
+func runBench(cfg harness.Config, benchout string) error {
+	// testing.Benchmark outside `go test` needs the testing flag set
+	// registered, or a failing bench body crashes in the logger.
+	testing.Init()
+	base := benchBaseline{
+		GeneratedBy: "cmd/airbench -exp bench",
+		Go:          runtime.Version(),
+		Scale:       cfg.Scale,
+		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
+	}
+	micro := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"TunerHop", harness.BenchTunerHop},
+		{"StationBroadcast", harness.BenchStationBroadcast},
+		{"FleetQPS", harness.BenchFleetQPS},
+	}
+	for _, m := range micro {
+		r := testing.Benchmark(m.fn)
+		if r.N == 0 {
+			// testing.Benchmark reports failure as a zero result; a zeroed
+			// baseline must never be committed.
+			return fmt.Errorf("benchmark %s failed", m.name)
+		}
+		mb := microBench{Name: m.name, Iters: r.N, NsPerOp: float64(r.NsPerOp())}
+		if len(r.Extra) > 0 {
+			mb.Metrics = map[string]float64{}
+			for k, v := range r.Extra {
+				mb.Metrics[k] = v
+			}
+		}
+		base.Micro = append(base.Micro, mb)
+		fmt.Fprintf(cfg.Out, "Benchmark%-18s %10d iters %12.0f ns/op %v\n", m.name, r.N, float64(r.NsPerOp()), r.Extra)
+	}
+	rows, err := harness.LatencyVsK(cfg)
+	if err != nil {
+		return err
+	}
+	base.LatencyVsK = rows
+	fmt.Fprintf(cfg.Out, "\n%-14s %-6s %6s %4s %14s %14s %8s\n",
+		"network", "method", "loss", "K", "mean latency", "mean tuning", "vs K=1")
+	for _, r := range rows {
+		fmt.Fprintf(cfg.Out, "%-14s %-6s %6.2f %4d %14.0f %14.0f %8.2f\n",
+			r.Network, r.Method, r.Loss, r.K, r.MeanLatency, r.MeanTuning, r.VsK1)
+	}
+	if benchout == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(benchout, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|all")
-		preset  = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
-		scale   = flag.Float64("scale", 0.05, "network scale factor (1.0 = paper-sized)")
-		queries = flag.Int("queries", 400, "queries per experiment")
-		seed    = flag.Int64("seed", 2010, "random seed")
-		regions = flag.Int("regions", 0, "EB/NR regions (0 = auto-tuned per network)")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|bench|all")
+		preset   = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
+		scale    = flag.Float64("scale", 0.05, "network scale factor (1.0 = paper-sized)")
+		queries  = flag.Int("queries", 400, "queries per experiment")
+		seed     = flag.Int64("seed", 2010, "random seed")
+		regions  = flag.Int("regions", 0, "EB/NR regions (0 = auto-tuned per network)")
+		benchout = flag.String("benchout", "", "write the bench baseline as JSON to this file (with -exp bench)")
 	)
 	flag.Parse()
 
@@ -51,6 +139,7 @@ func main() {
 		"fig12":  func(c harness.Config) error { _, err := harness.Figure12(c); return err },
 		"fig13":  func(c harness.Config) error { _, err := harness.Figure13(c); return err },
 		"fig14":  func(c harness.Config) error { _, err := harness.Figure14(c); return err },
+		"bench":  func(c harness.Config) error { return runBench(c, *benchout) },
 	}
 	order := []string{"table1", "table2", "table3", "fig10", "fig11", "fig12", "fig13", "fig14"}
 

@@ -36,6 +36,7 @@ type config struct {
 	seed     int64
 	rate     int // bits per second; 0 = virtual clock (as fast as possible)
 	regions  int
+	channels int // parallel broadcast channels; <= 1 = single-channel station
 }
 
 // run builds the network and server, puts the station on the air, and
@@ -52,30 +53,48 @@ func run(cfg config, out io.Writer) (repro.FleetResult, error) {
 	if err != nil {
 		return zero, err
 	}
-	st, err := repro.NewStation(srv, repro.StationConfig{BitsPerSecond: cfg.rate})
-	if err != nil {
-		return zero, err
-	}
 	clock := "virtual clock (max speed)"
 	if cfg.rate > 0 {
 		clock = fmt.Sprintf("paced to %.3g Mbps", float64(cfg.rate)/1e6)
 	}
-	fmt.Fprintf(out, "station  %s cycle, %d packets, %s\n", srv.Name(), st.Len(), clock)
-
-	if err := st.Start(context.Background()); err != nil {
-		return zero, err
-	}
-	defer st.Stop()
-
-	res, err := repro.RunFleet(context.Background(), st, srv, g, repro.FleetOptions{
+	opts := repro.FleetOptions{
 		Clients:  cfg.clients,
 		Queries:  cfg.queries,
 		Duration: cfg.duration,
 		Loss:     cfg.loss,
 		Seed:     cfg.seed,
-	})
-	if err != nil {
-		return zero, err
+	}
+
+	var res repro.FleetResult
+	if cfg.channels > 1 {
+		mst, err := repro.NewMultiStation(srv, cfg.channels, repro.StationConfig{BitsPerSecond: cfg.rate})
+		if err != nil {
+			return zero, err
+		}
+		fmt.Fprintf(out, "station  %s cycle, %d packets over %d channels, %s\n",
+			srv.Name(), mst.Len(), mst.K(), clock)
+		if err := mst.Start(context.Background()); err != nil {
+			return zero, err
+		}
+		defer mst.Stop()
+		res, err = repro.RunFleetMulti(context.Background(), mst, srv, g, opts)
+		if err != nil {
+			return zero, err
+		}
+	} else {
+		st, err := repro.NewStation(srv, repro.StationConfig{BitsPerSecond: cfg.rate})
+		if err != nil {
+			return zero, err
+		}
+		fmt.Fprintf(out, "station  %s cycle, %d packets, %s\n", srv.Name(), st.Len(), clock)
+		if err := st.Start(context.Background()); err != nil {
+			return zero, err
+		}
+		defer st.Stop()
+		res, err = repro.RunFleet(context.Background(), st, srv, g, opts)
+		if err != nil {
+			return zero, err
+		}
 	}
 	report(out, res)
 	return res, nil
@@ -97,6 +116,15 @@ func report(w io.Writer, r repro.FleetResult) {
 	row("tuning time (packets)", r.Agg.MeanTuning(), r.Tuning, "%.0f")
 	row("access latency (pkts)", r.Agg.MeanLatency(), r.Latency, "%.0f")
 	row("energy (joules)", r.MeanEnergy, r.Energy, "%.4f")
+	if len(r.Channels) > 0 {
+		fmt.Fprintf(w, "\nmean channel hops per query: %.1f\n", r.MeanHops)
+		fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %10s\n",
+			"channel", "packets", "queries", "qps", "p50", "p95", "p99")
+		for _, c := range r.Channels {
+			fmt.Fprintf(w, "%-10d %10d %10d %10.0f %10.0f %10.0f %10.0f\n",
+				c.Channel, c.Packets, c.Queries, c.QPS, c.Tuning.P50, c.Tuning.P95, c.Tuning.P99)
+		}
+	}
 	fmt.Fprintf(w, "\nenergy costed at %.3g Mbps; peak client memory %.1f KB\n",
 		float64(r.Rate)/1e6, float64(r.Agg.MaxPeakMem)/1024)
 }
@@ -113,6 +141,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 2010, "random seed (network, workload, loss patterns)")
 	flag.IntVar(&cfg.rate, "rate", 0, "station bit rate in bits/sec (e.g. 2000000); 0 = virtual clock")
 	flag.IntVar(&cfg.regions, "regions", 0, "EB/NR/AF partition count (0 = paper default)")
+	flag.IntVar(&cfg.channels, "channels", 1, "parallel broadcast channels (cycle sharded by region; clients hop)")
 	flag.Parse()
 
 	if _, err := run(cfg, os.Stdout); err != nil {

@@ -37,6 +37,44 @@ func TestSmokeFleetRun(t *testing.T) {
 	}
 }
 
+// TestSmokeMultiChannel runs the fleet across four channels with loss and
+// checks every answer verifies and the per-channel table renders.
+func TestSmokeMultiChannel(t *testing.T) {
+	var out bytes.Buffer
+	res, err := run(config{
+		method:   "NR",
+		preset:   "germany",
+		scale:    0.02,
+		clients:  10,
+		queries:  30,
+		loss:     0.05,
+		seed:     7,
+		channels: 4,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if res.Queries != 30 || res.Errors != 0 {
+		t.Errorf("queries %d errors %d\n%s", res.Queries, res.Errors, out.String())
+	}
+	if len(res.Channels) != 4 {
+		t.Errorf("per-channel stats for %d channels, want 4", len(res.Channels))
+	}
+	var pkts, tuning int64
+	for _, c := range res.Channels {
+		pkts += c.Packets
+	}
+	tuning = int64(res.Agg.SumTuning)
+	if pkts != tuning {
+		t.Errorf("per-channel packets %d != total tuning %d", pkts, tuning)
+	}
+	for _, want := range []string{"over 4 channels", "channel", "hops"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestSmokeUnknownMethod checks flag validation surfaces as an error.
 func TestSmokeUnknownMethod(t *testing.T) {
 	var out bytes.Buffer

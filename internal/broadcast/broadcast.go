@@ -136,6 +136,38 @@ type Feed interface {
 	At(abs int) (packet.Packet, bool)
 }
 
+// Clocked is a Feed whose delivery time is not the logical position: a
+// multi-channel radio (internal/multichannel) serves the single logical
+// cycle address space while the air advances on a global clock shared by
+// all channels. The Tuner accounts access latency in global clock ticks
+// when its feed is Clocked, and in logical positions otherwise — on a
+// single channel the two coincide.
+type Clocked interface {
+	Feed
+	// Clock returns the next global tick: every tick so far has either been
+	// received or slept over.
+	Clock() int
+	// TuneIn returns the global tick the feed tuned in at (latency zero
+	// point). For a cold radio this precedes the directory bootstrap.
+	TuneIn() int
+}
+
+// Hopping is a Feed that can estimate, without receiving anything, how long
+// the radio would wait for a logical position to next cross the air —
+// packets at different logical positions live on different channels with
+// different cycle lengths, so logical distance is not arrival order.
+// Schemes that choose a reception order (EB's region spans) ask the tuner,
+// which delegates here, and fall back to logical distance on plain feeds.
+type Hopping interface {
+	Feed
+	// WaitFor returns the global ticks from now until the packet at logical
+	// position abs next crosses the air (0 = it is on the air now).
+	WaitFor(abs int) int
+	// Overhead returns packets the feed itself received on the listener's
+	// behalf (directory bootstrap); the Tuner adds it to tuning time.
+	Overhead() int
+}
+
 // Channel is a broadcast channel repeating a cycle forever, with optional
 // deterministic Bernoulli packet loss. Whether the transmission at absolute
 // position p is lost depends only on (seed, p): every listener experiences

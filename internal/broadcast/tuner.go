@@ -22,6 +22,13 @@ type Tuner struct {
 	// corrupted: the radio was receiving either way.
 	tuning int
 	last   int // absolute position of the last packet listened to
+
+	// Multi-channel accounting (nil/zero on plain feeds): latency runs on
+	// the feed's global clock, not on logical positions.
+	clocked   Clocked
+	hopping   Hopping
+	startTick int
+	lastTick  int // clock after the last packet listened to, or -1
 }
 
 // NewTuner returns a tuner that tunes in at absolute position start: the
@@ -36,7 +43,15 @@ func NewTuner(ch *Channel, start int) *Tuner {
 // regardless of the feed, a live client and an offline replay with the same
 // tune-in position and loss pattern report identical metrics.
 func NewFeedTuner(f Feed, start int) *Tuner {
-	return &Tuner{feed: f, pos: start, start: start, last: start - 1}
+	t := &Tuner{feed: f, pos: start, start: start, last: start - 1, lastTick: -1}
+	if cf, ok := f.(Clocked); ok {
+		t.clocked = cf
+		t.startTick = cf.TuneIn()
+	}
+	if hf, ok := f.(Hopping); ok {
+		t.hopping = hf
+	}
+	return t
 }
 
 // Feed returns the underlying packet feed.
@@ -59,6 +74,9 @@ func (t *Tuner) Listen() (packet.Packet, bool) {
 	t.last = t.pos
 	t.pos++
 	t.tuning++
+	if t.clocked != nil {
+		t.lastTick = t.clocked.Clock()
+	}
 	return p, ok
 }
 
@@ -84,16 +102,57 @@ func (t *Tuner) NextOccurrence(cyclePos int) int {
 	return t.pos + delta
 }
 
-// Tuning returns the packets listened to so far.
-func (t *Tuner) Tuning() int { return t.tuning }
+// Tuning returns the packets listened to so far, including any the feed
+// itself received on the client's behalf (a hopping radio's directory
+// bootstrap).
+func (t *Tuner) Tuning() int {
+	if t.hopping != nil {
+		return t.tuning + t.hopping.Overhead()
+	}
+	return t.tuning
+}
 
-// Latency returns the access latency in packets: from the tune-in position
-// through the last packet listened to.
+// Latency returns the access latency in packets: from the tune-in moment
+// through the last packet listened to. On a Clocked feed this is measured
+// in global clock ticks (a multi-channel wait covers ticks, not logical
+// positions); on a plain feed the two are the same thing.
 func (t *Tuner) Latency() int {
+	if t.clocked != nil {
+		if t.lastTick < 0 {
+			return 0
+		}
+		return t.lastTick - t.startTick
+	}
 	if t.last < t.start {
 		return 0
 	}
 	return t.last - t.start + 1
+}
+
+// WaitFor returns how many ticks the radio would wait before the packet at
+// absolute logical position abs (>= Pos) crosses the air: the feed's own
+// estimate on a hopping feed, the logical distance otherwise. Schemes use
+// it to order receptions by actual arrival rather than logical position.
+func (t *Tuner) WaitFor(abs int) int {
+	if t.hopping != nil {
+		return t.hopping.WaitFor(abs)
+	}
+	return abs - t.pos
+}
+
+// NearestOf returns the index in [0, n) whose cycle position (as reported
+// by cyclePos) next crosses the air — the greedy pick the loss-recovery
+// and span-fetch loops repeat until nothing is outstanding. On a plain
+// single-channel feed this is exactly cyclic broadcast order.
+func (t *Tuner) NearestOf(n int, cyclePos func(int) int) int {
+	best, bestWait := -1, 0
+	for i := 0; i < n; i++ {
+		w := t.WaitFor(t.NextOccurrence(cyclePos(i)))
+		if best < 0 || w < bestWait {
+			best, bestWait = i, w
+		}
+	}
+	return best
 }
 
 // ElapsedCycles returns how many full cycle lengths the tuner has advanced

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/graph"
+	"repro/internal/multichannel"
 	"repro/internal/netgen"
 	"repro/internal/scheme"
 	"repro/internal/spath"
@@ -34,15 +35,46 @@ type Config struct {
 	MaxCycles float64 // 0 disables the latency check
 	// PathOptional allows Dist-only results (HiTi does not expand paths).
 	PathOptional bool
+	// Channels > 1 runs queries over a multi-channel air (the cycle
+	// sharded, clients hopping); 0 or 1 selects the plain single channel.
+	Channels int
+	// Cold makes every multi-channel radio bootstrap the directory from
+	// the air instead of using a pre-cached copy.
+	Cold bool
 }
 
-// Check runs random queries against srv over a (possibly lossy) channel and
-// verifies them against the full-network reference.
+// Check runs random queries against srv over a (possibly lossy, possibly
+// multi-channel) air and verifies them against the full-network reference.
 func Check(t *testing.T, g *graph.Graph, srv scheme.Server, cfg Config) {
 	t.Helper()
-	ch, err := broadcast.NewChannel(srv.Cycle(), cfg.Loss, cfg.Seed)
-	if err != nil {
-		t.Fatalf("channel: %v", err)
+	var air *multichannel.Air
+	var ch *broadcast.Channel
+	if cfg.Channels > 1 {
+		plan, err := multichannel.Build(srv.Cycle(), cfg.Channels, multichannel.PlanOptions{})
+		if err != nil {
+			t.Fatalf("plan: %v", err)
+		}
+		if air, err = multichannel.NewAir(plan, cfg.Loss, cfg.Seed); err != nil {
+			t.Fatalf("air: %v", err)
+		}
+	} else {
+		var err error
+		if ch, err = broadcast.NewChannel(srv.Cycle(), cfg.Loss, cfg.Seed); err != nil {
+			t.Fatalf("channel: %v", err)
+		}
+	}
+	newTuner := func(rng *rand.Rand) *broadcast.Tuner {
+		t.Helper()
+		if air != nil {
+			tuner, _, err := air.Tuner(rng.Intn(2*srv.Cycle().Len()), multichannel.RxOptions{
+				Channel: rng.Intn(cfg.Channels), Cold: cfg.Cold,
+			})
+			if err != nil {
+				t.Fatalf("rx: %v", err)
+			}
+			return tuner
+		}
+		return broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	client := srv.NewClient()
@@ -50,7 +82,7 @@ func Check(t *testing.T, g *graph.Graph, srv scheme.Server, cfg Config) {
 		s := graph.NodeID(rng.Intn(g.NumNodes()))
 		d := graph.NodeID(rng.Intn(g.NumNodes()))
 		q := scheme.QueryFor(g, s, d)
-		tuner := broadcast.NewTuner(ch, rng.Intn(srv.Cycle().Len()))
+		tuner := newTuner(rng)
 		res, err := client.Query(tuner, q)
 		if err != nil {
 			t.Fatalf("%s query %d (%d->%d): %v", srv.Name(), i, s, d, err)
@@ -72,7 +104,7 @@ func Check(t *testing.T, g *graph.Graph, srv scheme.Server, cfg Config) {
 				t.Errorf("%s query %d: path cost %v != reported dist %v", srv.Name(), i, cost, res.Dist)
 			}
 		}
-		if cfg.Loss == 0 && cfg.MaxCycles > 0 && tuner.ElapsedCycles() > cfg.MaxCycles {
+		if cfg.Loss == 0 && cfg.MaxCycles > 0 && cfg.Channels <= 1 && tuner.ElapsedCycles() > cfg.MaxCycles {
 			t.Errorf("%s query %d: lossless latency %.2f cycles exceeds %.2f",
 				srv.Name(), i, tuner.ElapsedCycles(), cfg.MaxCycles)
 		}

@@ -53,6 +53,21 @@ func TestCheckPassesNR(t *testing.T) {
 	Check(t, g, srv, Config{Queries: 8, Seed: 3, MaxCycles: 2})
 }
 
+// TestCheckMultiChannel routes the harness through a sharded 4-channel air,
+// lossless/lossy and warm/cold: known-good schemes must still pass.
+func TestCheckMultiChannel(t *testing.T) {
+	g := Network(t, 250, 350, 7)
+	srv := djair.New(g)
+	Check(t, g, srv, Config{Queries: 4, Seed: 1, Channels: 4})
+	Check(t, g, srv, Config{Queries: 3, Seed: 2, Loss: 0.05, Channels: 4, Cold: true})
+	nr, err := core.NewNR(g, core.Options{Regions: 8, Segments: true, SquareCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Check(t, g, nr, Config{Queries: 4, Seed: 3, Channels: 4})
+	Check(t, g, nr, Config{Queries: 3, Seed: 4, Loss: 0.05, Channels: 2, Cold: true})
+}
+
 // TestCheckCatchesWrongAnswers verifies the harness actually fails on a
 // broken scheme, using a private testing.T so the failure is observed
 // rather than reported.

@@ -1,0 +1,136 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline/arcflag"
+	"repro/internal/baseline/djair"
+	"repro/internal/baseline/hiti"
+	"repro/internal/baseline/landmark"
+	"repro/internal/baseline/spq"
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/multichannel"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+)
+
+// fuzzSchemes enumerates every scheme kind the fuzzer drives; the index is
+// part of the fuzz input.
+var fuzzSchemes = []string{"DJ", "NR", "EB", "AF", "LD", "SPQ", "HiTi"}
+
+// buildFuzzServer constructs one scheme server over g; regionsPow picks the
+// partition granularity where applicable.
+func buildFuzzServer(name string, g *graph.Graph, regionsPow int) (scheme.Server, error) {
+	regions := 4 << (uint(regionsPow) % 3) // 4, 8, 16
+	switch name {
+	case "DJ":
+		return djair.New(g), nil
+	case "NR":
+		return core.NewNR(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
+	case "EB":
+		return core.NewEB(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
+	case "AF":
+		return arcflag.New(g, arcflag.Options{Regions: regions})
+	case "LD":
+		return landmark.New(g, landmark.Options{})
+	case "SPQ":
+		return spq.New(g)
+	case "HiTi":
+		return hiti.New(g, hiti.Options{Depth: 2})
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
+}
+
+// fuzzCache memoizes built servers: pre-computation dominates a fuzz
+// execution, and the fuzzer revisits (network, scheme) pairs constantly.
+var fuzzCache sync.Map // key string -> scheme.Server
+
+// FuzzConformance is the property test behind the whole scheme matrix:
+// ANY (network, scheme, loss rate, tune-in position, channel count,
+// warm/cold radio) combination must answer a random query with exactly the
+// full-network Dijkstra distance, on the single-channel substrate and on a
+// sharded multi-channel air alike. CI runs a -fuzztime=15s smoke on top of
+// the committed seed corpus.
+func FuzzConformance(f *testing.F) {
+	for si := range fuzzSchemes {
+		f.Add(int64(si), uint8(si), uint16(0), uint16(1000), uint8(1))
+		f.Add(int64(si)+17, uint8(si), uint16(80), uint16(7000), uint8(4))
+	}
+	f.Add(int64(3), uint8(1), uint16(250), uint16(999), uint8(2))  // NR, heavy loss
+	f.Add(int64(9), uint8(2), uint16(150), uint16(5), uint8(15))   // EB, max channels (k = 1 + 15)
+	f.Fuzz(func(t *testing.T, netSeed int64, schemeIdx uint8, lossPm uint16, tuneIn uint16, channels uint8) {
+		name := fuzzSchemes[int(schemeIdx)%len(fuzzSchemes)]
+		k := 1 + int(channels)%multichannel.MaxChannels
+		loss := float64(lossPm%300) / 1000 // [0, 0.3)
+		rng := rand.New(rand.NewSource(netSeed))
+		nodes := 80 + int(uint64(netSeed)%7)*20
+		edges := nodes + nodes/2
+
+		genSeed := int64(uint64(netSeed) % 5)
+		regionsPow := int(uint64(netSeed) % 3)
+		key := fmt.Sprintf("%s/%d/%d/%d/%d", name, nodes, edges, genSeed, regionsPow)
+		var srv scheme.Server
+		var g *graph.Graph
+		if v, ok := fuzzCache.Load(key); ok {
+			pair := v.([2]any)
+			srv, g = pair[0].(scheme.Server), pair[1].(*graph.Graph)
+		} else {
+			g = Network(t, nodes, edges, genSeed)
+			if err2 := g.CheckStronglyConnected(); err2 != nil {
+				t.Skip("generator produced a disconnected network")
+			}
+			var err error
+			srv, err = buildFuzzServer(name, g, regionsPow)
+			if err != nil {
+				t.Fatalf("build %s: %v", name, err)
+			}
+			fuzzCache.Store(key, [2]any{srv, g})
+		}
+
+		s := graph.NodeID(rng.Intn(g.NumNodes()))
+		d := graph.NodeID(rng.Intn(g.NumNodes()))
+		q := scheme.QueryFor(g, s, d)
+
+		var tuner *broadcast.Tuner
+		if k == 1 {
+			ch, err := broadcast.NewChannel(srv.Cycle(), loss, netSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuner = broadcast.NewTuner(ch, int(tuneIn)%srv.Cycle().Len())
+		} else {
+			plan, err := multichannel.Build(srv.Cycle(), k, multichannel.PlanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			air, err := multichannel.NewAir(plan, loss, netSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuner, _, err = air.Tuner(int(tuneIn), multichannel.RxOptions{
+				Channel: int(tuneIn) % k,
+				Cold:    tuneIn%2 == 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := srv.NewClient().Query(tuner, q)
+		if err != nil {
+			t.Fatalf("%s k=%d loss=%v: %v", name, k, loss, err)
+		}
+		want, _, _ := spath.PointToPoint(g, s, d)
+		if math.Abs(res.Dist-want) > 1e-3*(1+want) {
+			t.Fatalf("%s k=%d loss=%v (%d->%d): got %v, want %v", name, k, loss, s, d, res.Dist, want)
+		}
+		if res.Metrics.TuningPackets <= 0 || res.Metrics.LatencyPackets < 0 {
+			t.Fatalf("%s k=%d: implausible metrics %+v", name, k, res.Metrics)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/airidx"
@@ -448,10 +447,14 @@ func receiveIndexCopyAt(t *broadcast.Tuner, idx *ebIndex, copyStart int) int {
 	return nextPtr
 }
 
-// receiveRegions wakes for each needed region in broadcast order and
-// listens to its cross-border segment (and the local segment for the
-// terminal regions rs and rt). Data packets lost on air are re-fetched in
-// subsequent cycles until every needed position has been received intact.
+// receiveRegions wakes for each needed region and listens to its
+// cross-border segment (and the local segment for the terminal regions rs
+// and rt). Reception order is greedy by actual arrival (Tuner.WaitFor): on
+// a single channel that is exactly the cyclic broadcast order the paper
+// prescribes, and on a multi-channel feed it interleaves channels so the
+// radio always turns to whichever needed span crosses the air next. Data
+// packets lost on air are re-fetched in subsequent cycles — again nearest
+// arrival first — until every needed position has been received intact.
 // onComplete, when non-nil, fires once per region as soon as all its
 // packets have been received (the hook for Section 6.1's incremental
 // super-edge contraction).
@@ -467,13 +470,6 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 		}
 		spans = append(spans, span{r, o.DataStart, n})
 	}
-	// Receive in cyclic order from the current position.
-	cur := t.Pos() % l
-	sort.Slice(spans, func(i, j int) bool {
-		di := (spans[i].start - cur + l) % l
-		dj := (spans[j].start - cur + l) % l
-		return di < dj
-	})
 	type retry struct{ region, cyclePos int }
 	var lost []retry
 	pending := make(map[int]int) // region -> lost packets outstanding
@@ -482,11 +478,19 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 			onComplete(r)
 		}
 	}
+	live := spans[:0]
 	for _, sp := range spans {
 		if sp.n == 0 {
 			done(sp.region)
-			continue
+		} else {
+			live = append(live, sp)
 		}
+	}
+	spans = live
+	for len(spans) > 0 {
+		best := t.NearestOf(len(spans), func(i int) int { return spans[i].start })
+		sp := spans[best]
+		spans = append(spans[:best], spans[best+1:]...)
 		t.SleepTo(t.NextOccurrence(sp.start))
 		for k := 0; k < sp.n; k++ {
 			abs := t.Pos()
@@ -503,24 +507,19 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 		}
 	}
 	for len(lost) > 0 {
-		cur := t.Pos() % l
-		sort.Slice(lost, func(i, j int) bool {
-			return (lost[i].cyclePos-cur+l)%l < (lost[j].cyclePos-cur+l)%l
-		})
-		var still []retry
-		for _, it := range lost {
-			t.SleepTo(t.NextOccurrence(it.cyclePos))
-			p, ok := t.Listen()
-			if !ok {
-				still = append(still, it)
-				continue
-			}
-			coll.Process(it.cyclePos, p)
-			pending[it.region]--
-			if pending[it.region] == 0 {
-				done(it.region)
-			}
+		best := t.NearestOf(len(lost), func(i int) int { return lost[i].cyclePos })
+		it := lost[best]
+		lost = append(lost[:best], lost[best+1:]...)
+		t.SleepTo(t.NextOccurrence(it.cyclePos))
+		p, ok := t.Listen()
+		if !ok {
+			lost = append(lost, it)
+			continue
 		}
-		lost = still
+		coll.Process(it.cyclePos, p)
+		pending[it.region]--
+		if pending[it.region] == 0 {
+			done(it.region)
+		}
 	}
 }

@@ -369,27 +369,29 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 		}
 	}
 
-	// Step 3: recover lost data packets in subsequent cycles.
+	// Step 3: recover lost data packets in subsequent cycles, always waking
+	// for whichever outstanding position crosses the air next (on a
+	// multi-channel feed the channels' shorter cycles make each retry up to
+	// K times cheaper; on a single channel this is plain cyclic order).
 	pendingByRegion := make(map[int]int)
 	for _, lp := range lost {
 		pendingByRegion[lp.region]++
 	}
 	for len(lost) > 0 {
-		var still []lostPos
-		for _, lp := range lost {
-			t.SleepTo(t.NextOccurrence(lp.cyclePos))
-			p, ok := t.Listen()
-			if !ok {
-				still = append(still, lp)
-				continue
-			}
-			coll.Process(lp.cyclePos, p)
-			pendingByRegion[lp.region]--
-			if ctr != nil && pendingByRegion[lp.region] == 0 {
-				ctr.contract(lp.region)
-			}
+		best := t.NearestOf(len(lost), func(i int) int { return lost[i].cyclePos })
+		lp := lost[best]
+		lost = append(lost[:best], lost[best+1:]...)
+		t.SleepTo(t.NextOccurrence(lp.cyclePos))
+		p, ok := t.Listen()
+		if !ok {
+			lost = append(lost, lp)
+			continue
 		}
-		lost = still
+		coll.Process(lp.cyclePos, p)
+		pendingByRegion[lp.region]--
+		if ctr != nil && pendingByRegion[lp.region] == 0 {
+			ctr.contract(lp.region)
+		}
 	}
 
 	// Step 4: Dijkstra over the collected regions (line 20).

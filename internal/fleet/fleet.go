@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/broadcast"
 	"repro/internal/metrics"
+	"repro/internal/multichannel"
 	"repro/internal/scheme"
 	"repro/internal/station"
 	"repro/internal/workload"
@@ -48,6 +49,20 @@ type Options struct {
 	Shards int
 }
 
+// ChannelStats summarizes one channel of a multi-channel fleet run.
+type ChannelStats struct {
+	Channel int
+	// Packets is the total packets the fleet received on this channel.
+	Packets int64
+	// Queries counts queries that received at least one packet here.
+	Queries int
+	// QPS is Queries per wall-clock second.
+	QPS float64
+	// Tuning summarizes per-query packets received on this channel, over
+	// the queries that touched it.
+	Tuning metrics.Quantiles
+}
+
 // Result is the aggregate outcome of a fleet run.
 type Result struct {
 	Method  string
@@ -69,6 +84,12 @@ type Result struct {
 	MeanEnergy float64
 	// Rate is the bit rate energy was costed at.
 	Rate int
+
+	// Channels breaks reception down per broadcast channel (multi-channel
+	// runs only; nil for a single-channel fleet), and MeanHops is the mean
+	// channel retunes per answered query.
+	Channels []ChannelStats
+	MeanHops float64
 }
 
 // shard is one lock striped slice of the aggregator. Workers hash to
@@ -83,6 +104,12 @@ type shard struct {
 	energy  metrics.Series
 	queries int
 	errors  int
+
+	// Multi-channel accounting (sized on first AddMulti).
+	chanPkts   []int64
+	chanTouch  []int
+	chanTuning []metrics.Series
+	hops       metrics.Series
 }
 
 // Aggregator folds per-query measurements concurrently.
@@ -100,16 +127,45 @@ func NewAggregator(n, rate int) *Aggregator {
 	return &Aggregator{shards: make([]shard, n), rate: rate}
 }
 
+// add folds the factors common to every answered query; the caller holds
+// the shard lock.
+func (s *shard) add(q metrics.Query, rate int) {
+	s.queries++
+	s.agg.Add(q)
+	s.tuning.Add(float64(q.TuningPackets))
+	s.latency.Add(float64(q.LatencyPackets))
+	s.energy.Add(q.EnergyJoules(rate))
+}
+
 // Add folds one answered query from the given worker.
 func (a *Aggregator) Add(worker int, q metrics.Query) {
 	s := &a.shards[worker%len(a.shards)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.queries++
-	s.agg.Add(q)
-	s.tuning.Add(float64(q.TuningPackets))
-	s.latency.Add(float64(q.LatencyPackets))
-	s.energy.Add(q.EnergyJoules(a.rate))
+	s.add(q, a.rate)
+}
+
+// AddMulti folds one answered multi-channel query: the usual factors plus
+// packets received per channel and the channel retune count.
+func (a *Aggregator) AddMulti(worker int, q metrics.Query, perChannel []int, hops int) {
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.add(q, a.rate)
+	s.hops.Add(float64(hops))
+	for len(s.chanPkts) < len(perChannel) {
+		s.chanPkts = append(s.chanPkts, 0)
+		s.chanTouch = append(s.chanTouch, 0)
+		s.chanTuning = append(s.chanTuning, metrics.Series{})
+	}
+	for c, n := range perChannel {
+		if n == 0 {
+			continue
+		}
+		s.chanPkts[c] += int64(n)
+		s.chanTouch[c]++
+		s.chanTuning[c].Add(float64(n))
+	}
 }
 
 // AddError counts a failed or wrong-answer query from the given worker.
@@ -122,10 +178,24 @@ func (a *Aggregator) AddError(worker int) {
 }
 
 // Summarize merges every shard into one Result (leaving run-level fields
-// for the caller to fill). Concurrent Adds must have finished.
+// for the caller to fill). Concurrent Adds must have finished. A run where
+// every query errored (Agg.N == 0) summarizes to all-zero quantiles and
+// means — metrics.Series and Agg guard their empty cases — so the caller
+// never divides by the completed-query count.
 func (a *Aggregator) Summarize() Result {
 	var r Result
-	var tuning, latency, energy metrics.Series
+	var tuning, latency, energy, hops metrics.Series
+	channels := 0
+	for i := range a.shards {
+		channels = max(channels, len(a.shards[i].chanPkts))
+	}
+	chanTuning := make([]metrics.Series, channels)
+	if channels > 0 {
+		r.Channels = make([]ChannelStats, channels)
+		for c := range r.Channels {
+			r.Channels[c].Channel = c
+		}
+	}
 	for i := range a.shards {
 		s := &a.shards[i]
 		r.Queries += s.queries
@@ -134,11 +204,21 @@ func (a *Aggregator) Summarize() Result {
 		tuning.Merge(&s.tuning)
 		latency.Merge(&s.latency)
 		energy.Merge(&s.energy)
+		hops.Merge(&s.hops)
+		for c := range s.chanPkts {
+			r.Channels[c].Packets += s.chanPkts[c]
+			r.Channels[c].Queries += s.chanTouch[c]
+			chanTuning[c].Merge(&s.chanTuning[c])
+		}
+	}
+	for c := range chanTuning {
+		r.Channels[c].Tuning = chanTuning[c].Quantiles()
 	}
 	r.Tuning = tuning.Quantiles()
 	r.Latency = latency.Quantiles()
 	r.Energy = energy.Quantiles()
 	r.MeanEnergy = energy.Mean()
+	r.MeanHops = hops.Mean()
 	r.Rate = a.rate
 	return r
 }
@@ -149,6 +229,27 @@ func (a *Aggregator) Summarize() Result {
 // broadcast tuner over the subscription, verifies the distance against the
 // workload's reference, and unsubscribes.
 func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
+	return drive(ctx, st.Rate(), srv, w, opts,
+		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOne(st, client, worker, q, opts.Loss, seed, agg)
+		})
+}
+
+// RunMulti is Run over a live multi-channel station: every query tunes a
+// channel-hopping radio in on a seed-derived start channel, and the result
+// additionally reports per-channel packet counts, touched-query tails and
+// the mean hop count.
+func RunMulti(ctx context.Context, mst *multichannel.Station, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
+	return drive(ctx, mst.Rate(), srv, w, opts,
+		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOneMulti(mst, client, worker, q, opts.Loss, seed, agg)
+		})
+}
+
+// drive is the shared fleet engine: the work queue, the worker pool, and
+// the run-level summary.
+func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workload, opts Options,
+	one func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator)) (Result, error) {
 	if len(w.Queries) == 0 {
 		return Result{}, fmt.Errorf("fleet: empty workload")
 	}
@@ -167,7 +268,7 @@ func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workloa
 	if shards <= 0 {
 		shards = min(clients, 64)
 	}
-	agg := NewAggregator(shards, st.Rate())
+	agg := NewAggregator(shards, rate)
 
 	if opts.Duration > 0 {
 		var cancel context.CancelFunc
@@ -201,7 +302,7 @@ func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workloa
 			client := srv.NewClient()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
 			for q := range work {
-				runOne(st, client, id, q, opts.Loss, rng.Int63(), agg)
+				one(client, id, q, rng.Int63(), agg)
 			}
 		}(c)
 	}
@@ -216,6 +317,9 @@ func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workloa
 		// Throughput counts correct answers only, so a degraded run (loss,
 		// station going off the air) cannot overstate itself.
 		res.QPS = float64(res.Agg.N) / elapsed.Seconds()
+		for c := range res.Channels {
+			res.Channels[c].QPS = float64(res.Channels[c].Queries) / elapsed.Seconds()
+		}
 	}
 	return res, nil
 }
@@ -240,4 +344,25 @@ func runOne(st *station.Station, client scheme.Client, worker int, q workload.Qu
 		return
 	}
 	agg.Add(worker, res.Metrics)
+}
+
+// runOneMulti answers one query over a live channel-hopping radio.
+func runOneMulti(mst *multichannel.Station, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
+	rx, err := mst.Subscribe(loss, seed, multichannel.RxOptions{Channel: int(uint64(seed) % uint64(mst.K()))})
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	defer rx.Close()
+	tuner := broadcast.NewFeedTuner(rx, rx.StartPos())
+	res, err := client.Query(tuner, q.Query)
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {
+		agg.AddError(worker)
+		return
+	}
+	agg.AddMulti(worker, res.Metrics, rx.PerChannel(), rx.Hops())
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/multichannel"
 	"repro/internal/scheme"
 	"repro/internal/station"
 	"repro/internal/workload"
@@ -168,6 +170,102 @@ func TestFleetHundredClients(t *testing.T) {
 	}
 }
 
+// TestFleetMultiChannel200Clients drives 200 concurrent channel-hopping
+// clients over a live 4-channel station under -race: zero errors, and the
+// per-channel aggregates must merge to exactly the same totals as the
+// all-channel aggregate — every received packet is charged to exactly one
+// channel.
+func TestFleetMultiChannel200Clients(t *testing.T) {
+	g := conformance.Network(t, 250, 350, 3)
+	srv := nrServer(t, g)
+	plan, err := multichannel.Build(srv.Cycle(), 4, multichannel.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := multichannel.NewStation(plan, station.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mst.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mst.Stop)
+	w := workload.Generate(g, 30, mst.Len(), 4)
+
+	res, err := RunMulti(context.Background(), mst, srv, w, Options{
+		Clients: 200, Queries: 400, Loss: 0.02, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 400 || res.Errors != 0 {
+		t.Errorf("queries %d errors %d with 200 concurrent clients", res.Queries, res.Errors)
+	}
+	if len(res.Channels) != 4 {
+		t.Fatalf("per-channel stats for %d channels, want 4", len(res.Channels))
+	}
+	var pkts int64
+	touched := 0
+	for _, c := range res.Channels {
+		if c.Packets <= 0 {
+			t.Errorf("channel %d received no packets", c.Channel)
+		}
+		pkts += c.Packets
+		touched += c.Queries
+	}
+	if pkts != int64(res.Agg.SumTuning) {
+		t.Errorf("per-channel packets %d != aggregate tuning %d", pkts, res.Agg.SumTuning)
+	}
+	if touched < res.Agg.N {
+		t.Errorf("channel-touch count %d below answered queries %d", touched, res.Agg.N)
+	}
+	if res.MeanHops <= 0 {
+		t.Errorf("mean hops %v; hopping clients never hopped", res.MeanHops)
+	}
+}
+
+// TestAggregatorMultiMergeEquivalence feeds identical multi-channel samples
+// into a 64-shard and a single-shard aggregator concurrently: the two must
+// summarize identically (shard merging loses nothing), including the
+// per-channel breakdown.
+func TestAggregatorMultiMergeEquivalence(t *testing.T) {
+	sharded := NewAggregator(64, 2_000_000)
+	single := NewAggregator(1, 2_000_000)
+	const workers, each = 200, 50
+	for _, agg := range []*Aggregator{sharded, single} {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for i := 0; i < each; i++ {
+					per := []int{id % 7, i % 5, (id + i) % 3, 1}
+					agg.AddMulti(id, sampleQuery(id*each+i), per, i%4)
+				}
+			}(wkr)
+		}
+		wg.Wait()
+	}
+	a, b := sharded.Summarize(), single.Summarize()
+	if a.Queries != b.Queries || a.Agg != b.Agg {
+		t.Errorf("aggregates diverge: %+v vs %+v", a.Agg, b.Agg)
+	}
+	if a.Tuning != b.Tuning || a.Latency != b.Latency || a.Energy != b.Energy {
+		t.Errorf("quantiles diverge")
+	}
+	if a.MeanHops != b.MeanHops {
+		t.Errorf("mean hops %v vs %v", a.MeanHops, b.MeanHops)
+	}
+	if len(a.Channels) != len(b.Channels) {
+		t.Fatalf("channel counts %d vs %d", len(a.Channels), len(b.Channels))
+	}
+	for c := range a.Channels {
+		if a.Channels[c] != b.Channels[c] {
+			t.Errorf("channel %d stats diverge: %+v vs %+v", c, a.Channels[c], b.Channels[c])
+		}
+	}
+}
+
 // TestFleetDurationCutoff checks that the wall-clock limit stops issuing
 // queries early.
 func TestFleetDurationCutoff(t *testing.T) {
@@ -189,6 +287,66 @@ func TestFleetDurationCutoff(t *testing.T) {
 	if res.Queries >= total {
 		t.Errorf("duration limit did not stop the run: %d queries", res.Queries)
 	}
+}
+
+// TestSummarizeAllErrors pins the zero-completed-queries path: a run where
+// every query failed must summarize to zero quantiles, zero means and zero
+// QPS — finite numbers everywhere, nothing NaN, no division by the
+// completed-query count.
+func TestSummarizeAllErrors(t *testing.T) {
+	agg := NewAggregator(8, 2_000_000)
+	for w := 0; w < 16; w++ {
+		agg.AddError(w)
+	}
+	res := agg.Summarize()
+	if res.Queries != 16 || res.Errors != 16 || res.Agg.N != 0 {
+		t.Fatalf("queries %d errors %d n %d", res.Queries, res.Errors, res.Agg.N)
+	}
+	for name, v := range map[string]float64{
+		"qps": res.QPS, "meanEnergy": res.MeanEnergy, "meanHops": res.MeanHops,
+		"tuning p50": res.Tuning.P50, "latency p99": res.Latency.P99, "energy p95": res.Energy.P95,
+		"mean tuning": res.Agg.MeanTuning(), "mean latency": res.Agg.MeanLatency(),
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v, want 0", name, v)
+		}
+	}
+}
+
+// TestRunAllErrorsQPSFinite drives a real fleet whose server reports wrong
+// distances for every query: the summary must carry zero QPS and zero
+// tails rather than NaN.
+func TestRunAllErrorsQPSFinite(t *testing.T) {
+	g := conformance.Network(t, 200, 280, 3)
+	srv := &distorting{Server: djair.New(g)}
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 8, st.Len(), 4)
+	res, err := Run(context.Background(), st, srv, w, Options{Clients: 4, Queries: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 16 || res.Agg.N != 0 {
+		t.Fatalf("errors %d, answered %d — distorting server slipped through", res.Errors, res.Agg.N)
+	}
+	if res.QPS != 0 || math.IsNaN(res.QPS) {
+		t.Errorf("all-error QPS %v, want 0", res.QPS)
+	}
+	if res.Tuning != (metrics.Quantiles{}) || res.MeanEnergy != 0 {
+		t.Errorf("all-error tails %+v energy %v", res.Tuning, res.MeanEnergy)
+	}
+}
+
+// distorting wraps a server so every client reports 1.5x distances.
+type distorting struct{ scheme.Server }
+
+func (d *distorting) NewClient() scheme.Client { return &distortClient{d.Server.NewClient()} }
+
+type distortClient struct{ scheme.Client }
+
+func (c *distortClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error) {
+	res, err := c.Client.Query(t, q)
+	res.Dist = res.Dist*1.5 + 1
+	return res, err
 }
 
 // TestAggregatorConcurrent hammers one aggregator from many goroutines; the

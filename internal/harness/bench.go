@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/multichannel"
+	"repro/internal/netgen"
+	"repro/internal/station"
+	"repro/internal/workload"
+)
+
+// Benchmark bodies shared by the root bench suite (`go test -bench`) and
+// cmd/airbench's baseline emitter (testing.Benchmark), so the committed
+// BENCH_baseline.json measures exactly what the benchmarks measure.
+
+// benchSetup builds the standard bench fixture: the germany preset at a
+// bench-friendly scale with an NR server.
+func benchSetup(scale float64, regions int) (*core.NR, *workload.Workload, error) {
+	p, err := netgen.PresetByName("germany")
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := p.Scaled(scale).Generate(2010)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := core.NewNR(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, workload.Generate(g, 40, srv.Cycle().Len(), 2010), nil
+}
+
+// BenchTunerHop measures one channel-hopping query end to end on a
+// 4-channel offline air: directory lookups, hop arithmetic and the greedy
+// reception path.
+func BenchTunerHop(b *testing.B) {
+	srv, w, err := benchSetup(0.05, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multichannel.Build(srv.Cycle(), 4, multichannel.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	air, err := multichannel.NewAir(plan, 0.05, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := srv.NewClient()
+	hops := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := w.Queries[i%len(w.Queries)]
+		tuner, rx, err := air.Tuner(q.TuneIn+i, multichannel.RxOptions{Channel: i % 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := client.Query(tuner, q.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := res.Dist - q.RefDist; d > 1e-3*(1+q.RefDist) || d < -1e-3*(1+q.RefDist) {
+			b.Fatalf("wrong distance")
+		}
+		hops += rx.Hops()
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/query")
+}
+
+// BenchStationBroadcast measures raw shared-clock transmission: how fast a
+// 4-shard station pushes global ticks to one subscribed radio.
+func BenchStationBroadcast(b *testing.B) {
+	srv, _, err := benchSetup(0.05, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multichannel.Build(srv.Cycle(), 4, multichannel.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mst, err := multichannel.NewStation(plan, station.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mst.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer mst.Stop()
+	rx, err := mst.Subscribe(0, 1, multichannel.RxOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	start := rx.StartPos()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx.At(start + i)
+	}
+}
+
+// BenchFleetQPS measures end-to-end fleet throughput over a live 4-channel
+// station: 32 concurrent clients, lossy air, every answer verified.
+func BenchFleetQPS(b *testing.B) {
+	srv, w, err := benchSetup(0.05, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := multichannel.Build(srv.Cycle(), 4, multichannel.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mst, err := multichannel.NewStation(plan, station.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mst.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer mst.Stop()
+	qps := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunMulti(context.Background(), mst, srv, w, fleet.Options{
+			Clients: 32, Queries: 64, Loss: 0.02, Seed: 2010,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d fleet errors", res.Errors)
+		}
+		qps = res.QPS
+	}
+	b.ReportMetric(qps, "queries/sec")
+}
+
+// LatencyVsKRow is one cell of the latency-versus-channels sweep.
+type LatencyVsKRow struct {
+	Network     string  `json:"network"`
+	Method      string  `json:"method"`
+	Loss        float64 `json:"loss"`
+	K           int     `json:"k"`
+	MeanLatency float64 `json:"mean_latency_packets"`
+	MeanTuning  float64 `json:"mean_tuning_packets"`
+	VsK1        float64 `json:"vs_k1"`
+}
+
+// LatencyVsK sweeps K in {1,2,4} over the five harness networks with NR
+// under packet loss, offline and deterministic: the committed baseline for
+// the multi-channel latency trajectory (EXPERIMENTS.md "Latency vs K").
+func LatencyVsK(cfg Config) ([]LatencyVsKRow, error) {
+	cfg = cfg.Defaults()
+	var rows []LatencyVsKRow
+	const loss = 0.15
+	for _, p := range netgen.Presets {
+		preset := p.Name
+		g, err := p.Scaled(cfg.Scale).Generate(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		regions := cfg.Regions
+		if regions == 0 {
+			regions = autoRegions(g.NumNodes())
+		}
+		srv, err := core.NewNR(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
+		if err != nil {
+			return nil, err
+		}
+		w := workload.Generate(g, cfg.Queries, srv.Cycle().Len(), cfg.Seed)
+		var base float64
+		for _, k := range []int{1, 2, 4} {
+			plan, err := multichannel.Build(srv.Cycle(), k, multichannel.PlanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			air, err := multichannel.NewAir(plan, loss, 7)
+			if err != nil {
+				return nil, err
+			}
+			client := srv.NewClient()
+			rng := rand.New(rand.NewSource(5))
+			sumLat, sumTun := 0.0, 0.0
+			for qi, q := range w.Queries {
+				tuner, _, err := air.Tuner(q.TuneIn, multichannel.RxOptions{Channel: rng.Intn(k)})
+				if err != nil {
+					return nil, err
+				}
+				res, err := client.Query(tuner, q.Query)
+				if err != nil {
+					return nil, fmt.Errorf("%s K=%d query %d: %w", preset, k, qi, err)
+				}
+				if d := res.Dist - q.RefDist; d > 1e-3*(1+q.RefDist) || d < -1e-3*(1+q.RefDist) {
+					return nil, fmt.Errorf("%s K=%d query %d: wrong distance", preset, k, qi)
+				}
+				sumLat += float64(res.Metrics.LatencyPackets)
+				sumTun += float64(res.Metrics.TuningPackets)
+			}
+			n := float64(len(w.Queries))
+			if k == 1 {
+				base = sumLat / n
+			}
+			rows = append(rows, LatencyVsKRow{
+				Network: preset, Method: srv.Name(), Loss: loss, K: k,
+				MeanLatency: sumLat / n, MeanTuning: sumTun / n, VsK1: (sumLat / n) / base,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -167,3 +167,40 @@ func TestGraphBytes(t *testing.T) {
 		t.Error("GraphBytes formula drifted")
 	}
 }
+
+// TestSeriesEmpty pins the zero-sample contract every fleet summary relies
+// on when a run completes no queries: means, percentiles and quantiles are
+// all zero — never NaN, never a panic.
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.N() != 0 {
+		t.Fatalf("empty series N=%d", s.N())
+	}
+	if m := s.Mean(); m != 0 {
+		t.Errorf("empty mean %v", m)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v := s.Percentile(p); v != 0 {
+			t.Errorf("empty p%v = %v", p, v)
+		}
+	}
+	if q := s.Quantiles(); q != (Quantiles{}) {
+		t.Errorf("empty quantiles %+v", q)
+	}
+	// Merging an empty series into an empty series stays empty.
+	var o Series
+	s.Merge(&o)
+	s.Merge(nil)
+	if s.N() != 0 {
+		t.Errorf("merged-empty N=%d", s.N())
+	}
+}
+
+// TestAggEmptyMeans pins the zero-query aggregate: every mean is zero (the
+// max(N,1) guards), not a division by zero.
+func TestAggEmptyMeans(t *testing.T) {
+	var a Agg
+	if a.MeanTuning() != 0 || a.MeanLatency() != 0 || a.MeanPeakMem() != 0 || a.MeanCPU() != 0 {
+		t.Errorf("empty agg means: %v %v %v %v", a.MeanTuning(), a.MeanLatency(), a.MeanPeakMem(), a.MeanCPU())
+	}
+}

@@ -1,0 +1,224 @@
+package multichannel
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Source is the physical layer under an Rx: K channels advancing on one
+// global clock. Receive blocks (live) or computes (replay) the transmission
+// on `channel` at global tick `tick`; ticks passed to Receive are strictly
+// increasing across calls. Hop tells the source the radio retunes from one
+// channel to another before the next Receive (live sources park the old
+// subscription so the shared clock is never held by a channel nobody
+// listens to).
+type Source interface {
+	K() int
+	Receive(channel, tick int) (packet.Packet, bool)
+	Hop(from, to, tick int)
+	Close()
+}
+
+// Rx is a channel-hopping radio: it serves the logical single-cycle address
+// space of broadcast.Feed while receiving from whichever channel carries
+// each logical position, on the global clock. It implements
+// broadcast.Clocked (latency runs on ticks) and broadcast.Hopping (arrival
+// estimates, bootstrap overhead), so an unchanged broadcast.Tuner — and
+// therefore every scheme client — runs on top of it.
+//
+// A warm Rx is constructed with the directory pre-cached (the table is
+// static per cycle, so a commuter device holds it between queries). A cold
+// Rx bootstraps from the air: it scans its start channel until a directory
+// packet arrives, completes the copy (patching losses from the channel's
+// other copies), and only then serves the feed; the scan is charged to
+// tuning (Overhead) and runs on the same clock, so latency covers it.
+type Rx struct {
+	src Source
+	dir *Directory // nil until bootstrapped
+
+	t0       int // tune-in tick
+	tick     int // next global tick
+	cur      int // channel currently tuned
+	startPos int // logical position of the content at tune-in
+
+	perChannel []int
+	hops       int
+	overhead   int
+}
+
+// NewRx returns a radio over src tuned to startChannel at global tick
+// startTick. A nil dir selects a cold bootstrap on first use.
+func NewRx(src Source, dir *Directory, startTick, startChannel int) *Rx {
+	r := &Rx{
+		src:        src,
+		dir:        dir,
+		t0:         startTick,
+		tick:       startTick,
+		cur:        startChannel,
+		perChannel: make([]int, src.K()),
+	}
+	if dir != nil {
+		r.startPos = startPos(dir, r.cur, r.tick)
+	}
+	return r
+}
+
+// startPos computes the logical tune-in position: the absolute tick itself
+// on the identity plan (logical space == tick space, like a plain channel),
+// the content under the channel's current slot otherwise.
+func startPos(dir *Directory, channel, tick int) int {
+	if dir.Identity() {
+		return tick
+	}
+	return dir.StartPos(channel, tick%dir.ChanLens[channel])
+}
+
+// ensureDir bootstraps a cold radio; on a warm one it is free. Like every
+// loss-recovery loop in this codebase, the bootstrap retries until it
+// succeeds — loss rates are < 1, so it terminates with probability one —
+// and a channel that structurally carries no directory at all (impossible
+// for a Build-produced plan) is a programming error and panics rather than
+// leaving clients receiving nothing forever.
+func (r *Rx) ensureDir() {
+	if r.dir != nil {
+		return
+	}
+	acc := &DirAccum{}
+	listen := func(tick int) {
+		p, ok := r.src.Receive(r.cur, tick)
+		r.perChannel[r.cur]++
+		r.overhead++
+		r.tick = tick + 1
+		acc.Process(p, ok)
+	}
+	// Phase 1: scan the start channel until any directory packet arrives
+	// intact; its meta names the copy shape and this channel's copy slots.
+	const scanCap = 1 << 22
+	for !acc.haveMeta {
+		if r.overhead > scanCap {
+			panic(fmt.Sprintf("multichannel: no directory found on channel %d after %d packets", r.cur, r.overhead))
+		}
+		listen(r.tick)
+	}
+	chanLen := acc.Meta.ChanLen
+	if chanLen <= 0 || len(acc.Meta.CopySlots) == 0 {
+		panic(fmt.Sprintf("multichannel: malformed directory meta %+v", acc.Meta))
+	}
+	// Phase 2: fetch the still-missing copy packets by slot — the meta
+	// names this channel's copy starts and cycle length, so each missing
+	// seq is patched from whichever upcoming copy carries it first, until
+	// the table is complete.
+	for !acc.Complete() {
+		for _, seq := range acc.MissingSeqs() {
+			best := -1
+			for _, s := range acc.Meta.CopySlots {
+				t := r.tick + mod(s+seq-r.tick, chanLen)
+				if best < 0 || t < best {
+					best = t
+				}
+			}
+			listen(best)
+		}
+	}
+	d, err := acc.Directory()
+	if err != nil {
+		panic(fmt.Sprintf("multichannel: %v", err))
+	}
+	r.dir = d
+	r.startPos = startPos(d, r.cur, r.tick)
+}
+
+// StartPos returns the logical position the radio starts at: the content on
+// the air on its channel at tune-in (after the directory bootstrap for a
+// cold radio). Pass it to broadcast.NewFeedTuner.
+func (r *Rx) StartPos() int {
+	r.ensureDir()
+	return r.startPos
+}
+
+// Len implements broadcast.Feed: the logical cycle length.
+func (r *Rx) Len() int {
+	r.ensureDir()
+	return r.dir.LogicalLen
+}
+
+// At implements broadcast.Feed: receive the packet at logical position abs,
+// hopping to its channel and waiting for its next slot on the global clock.
+func (r *Rx) At(abs int) (packet.Packet, bool) {
+	r.ensureDir()
+	c, t := r.arrival(abs)
+	if c != r.cur {
+		r.src.Hop(r.cur, c, t)
+		r.cur = c
+		r.hops++
+	}
+	p, ok := r.src.Receive(c, t)
+	r.perChannel[c]++
+	r.tick = t + 1
+	return p, ok
+}
+
+// arrival maps a logical position to its channel and next arrival tick.
+// Retuning to another channel costs one tick: the radio cannot receive on
+// the new frequency in the same packet slot it left the old one — and, on
+// the live side, the shard it is leaving holds the shared clock only
+// through the current tick, so the destination may already have transmitted
+// it. The +1 is therefore both the physical hop cost and the reason a live
+// hop can never race the air it is hopping to.
+func (r *Rx) arrival(abs int) (channel, tick int) {
+	if r.dir.Identity() {
+		// Logical position == slot == tick: serve abs itself so arbitrary
+		// forward jumps reproduce the single-channel substrate exactly.
+		if abs >= r.tick {
+			return 0, abs
+		}
+		return 0, r.tick + mod(abs-r.tick, r.dir.ChanLens[0])
+	}
+	c, slot := r.dir.Lookup(abs % r.dir.LogicalLen)
+	base := r.tick
+	if c != r.cur {
+		base++
+	}
+	return c, base + mod(slot-base, r.dir.ChanLens[c])
+}
+
+// Clock implements broadcast.Clocked.
+func (r *Rx) Clock() int { return r.tick }
+
+// TuneIn implements broadcast.Clocked.
+func (r *Rx) TuneIn() int { return r.t0 }
+
+// WaitFor implements broadcast.Hopping: ticks until logical abs is next on
+// the air.
+func (r *Rx) WaitFor(abs int) int {
+	r.ensureDir()
+	_, t := r.arrival(abs)
+	return t - r.tick
+}
+
+// Overhead implements broadcast.Hopping: packets received during the
+// directory bootstrap (zero for a warm radio).
+func (r *Rx) Overhead() int { return r.overhead }
+
+// Hops returns how many times the radio retuned to another channel.
+func (r *Rx) Hops() int { return r.hops }
+
+// PerChannel returns packets received per channel (bootstrap included).
+func (r *Rx) PerChannel() []int {
+	out := make([]int, len(r.perChannel))
+	copy(out, r.perChannel)
+	return out
+}
+
+// Close releases the radio's source (live subscriptions).
+func (r *Rx) Close() { r.src.Close() }
+
+// mod returns a in [0, m).
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}

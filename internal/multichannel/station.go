@@ -1,0 +1,145 @@
+package multichannel
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/station"
+)
+
+// Station is a live K-channel broadcast: one station.Station per channel
+// cycle, all advancing on one station.SharedClock, so global tick T crosses
+// every channel before tick T+1 crosses any. Subscribers get a channel-
+// hopping Rx whose virtual-clock behaviour is bit-identical to an offline
+// Air with the same tune-in tick, loss rate and seed.
+type Station struct {
+	plan     *Plan
+	stations []*station.Station
+	cfg      station.Config
+}
+
+// NewStation builds the K shard stations for the plan. cfg applies to every
+// shard; cfg.Clock is overwritten with the shared barrier and cfg.Start
+// must be zero (the global clock starts at tick 0 on every channel).
+func NewStation(p *Plan, cfg station.Config) (*Station, error) {
+	if cfg.Start != 0 {
+		return nil, fmt.Errorf("multichannel: shard stations start at tick 0, got Start=%d", cfg.Start)
+	}
+	if p.K() > 1 {
+		cfg.Clock = station.NewSharedClock(p.K())
+	} else {
+		cfg.Clock = nil
+	}
+	m := &Station{plan: p, cfg: cfg}
+	for c, cyc := range p.Channels {
+		st, err := station.New(cyc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("multichannel: channel %d: %w", c, err)
+		}
+		m.stations = append(m.stations, st)
+	}
+	return m, nil
+}
+
+// Plan returns the sharding plan on the air.
+func (m *Station) Plan() *Plan { return m.plan }
+
+// K returns the channel count.
+func (m *Station) K() int { return m.plan.K() }
+
+// Len returns the logical cycle length in packets.
+func (m *Station) Len() int { return m.plan.LogicalLen() }
+
+// Rate returns the bit rate queries should be costed at (per channel; a
+// K-channel broadcast spends K times the spectrum).
+func (m *Station) Rate() int { return m.stations[0].Rate() }
+
+// Start puts every shard on the air under one context.
+func (m *Station) Start(ctx context.Context) error {
+	for c, st := range m.stations {
+		if err := st.Start(ctx); err != nil {
+			for _, prev := range m.stations[:c] {
+				prev.Stop()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop takes every shard off the air and waits for the transmit loops.
+func (m *Station) Stop() {
+	for _, st := range m.stations {
+		st.Stop()
+	}
+}
+
+// Subscribe tunes a channel-hopping radio in at the current global tick:
+// one exact subscription per channel (all but the start channel parked),
+// with per-channel loss patterns derived from seed exactly like an offline
+// Air. Close the Rx when the query is done.
+func (m *Station) Subscribe(lossRate float64, seed int64, opts RxOptions) (*Rx, error) {
+	if opts.Channel < 0 || opts.Channel >= m.K() {
+		return nil, fmt.Errorf("multichannel: channel %d outside [0,%d)", opts.Channel, m.K())
+	}
+	if opts.Cold && m.K() == 1 {
+		opts.Cold = false
+	}
+	src := &liveSource{subs: make([]*station.Sub, m.K())}
+	t0 := 0
+	for c, st := range m.stations {
+		sub, err := st.SubscribeExact(lossRate, int64(chanSeed(seed, c)))
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		src.subs[c] = sub
+		t0 = max(t0, sub.Start())
+	}
+	// Sibling shards may already have transmitted up to one tick past the
+	// start-channel hold when the subscriptions land; tuning in two ticks
+	// later makes the first reception deterministic on every channel.
+	t0 += 2
+	// Park everything except the start channel: its initial want (its own
+	// tune-in position) holds the shared clock until the first reception.
+	for c, sub := range src.subs {
+		if c != opts.Channel {
+			sub.Park()
+		}
+	}
+	dir := m.plan.Dir
+	if opts.Cold {
+		dir = nil
+	}
+	return NewRx(src, dir, t0, opts.Channel), nil
+}
+
+// liveSource adapts K live subscriptions to the Source interface. The
+// radio's single-goroutine discipline carries over: all methods are called
+// from the subscriber's goroutine.
+type liveSource struct {
+	subs []*station.Sub
+}
+
+func (s *liveSource) K() int { return len(s.subs) }
+
+func (s *liveSource) Receive(channel, tick int) (packet.Packet, bool) {
+	return s.subs[channel].At(tick)
+}
+
+// Hop re-arms the destination channel at the target tick before parking
+// the origin, so at every instant at least one subscription holds the
+// shared clock — the air can never race past a tick the radio still needs.
+func (s *liveSource) Hop(from, to, tick int) {
+	s.subs[to].WakeAt(tick)
+	s.subs[from].Park()
+}
+
+func (s *liveSource) Close() {
+	for _, sub := range s.subs {
+		if sub != nil {
+			sub.Close()
+		}
+	}
+}

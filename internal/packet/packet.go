@@ -36,6 +36,7 @@ const (
 	KindIndex             // global or local (per-region) air index
 	KindData              // road-network adjacency data
 	KindAux               // scheme-specific pre-computed information (flags, vectors, quadtrees, super-edge tables)
+	KindDir               // multi-channel directory: logical-section -> (channel, slot) table
 )
 
 func (k Kind) String() string {
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "data"
 	case KindAux:
 		return "aux"
+	case KindDir:
+		return "dir"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -87,6 +90,9 @@ const (
 	TagHiTiMeta                   // HiTi hierarchy shape
 	TagSPQTree                    // part of one node's colored shortest-path quadtree (SPQ)
 	TagSegmentSplit               // cross-border/local segment boundary within a region (EB/NR)
+	TagDirMeta                    // multi-channel directory shape (internal/multichannel)
+	TagDirChans                   // per-channel cycle lengths
+	TagDirEntry                   // logical-range -> (channel, slot) placements
 )
 
 // Writer frames records into packets. Records are placed whole; a record

@@ -1,0 +1,51 @@
+package station
+
+import (
+	"context"
+	"sync"
+)
+
+// SharedClock is a reusable barrier that keeps N stations on one global
+// tick sequence: a station transmitting a multi-channel shard calls Wait
+// before each transmission, and no party proceeds to tick T+1 until every
+// party has arrived for it. Cancellation of any waiter's context releases
+// that waiter with the error; the remaining parties are expected to share
+// the same context and exit too (internal/multichannel starts all shard
+// stations under one context).
+type SharedClock struct {
+	n int
+
+	mu      sync.Mutex
+	arrived int
+	barrier chan struct{} // closed when the current generation releases
+}
+
+// NewSharedClock returns a barrier for n parties.
+func NewSharedClock(n int) *SharedClock {
+	return &SharedClock{n: n, barrier: make(chan struct{})}
+}
+
+// N returns the party count.
+func (c *SharedClock) N() int { return c.n }
+
+// Wait blocks until all n parties have arrived (or ctx is done) and then
+// releases them together.
+func (c *SharedClock) Wait(ctx context.Context) error {
+	c.mu.Lock()
+	ch := c.barrier
+	c.arrived++
+	if c.arrived == c.n {
+		c.arrived = 0
+		c.barrier = make(chan struct{})
+		c.mu.Unlock()
+		close(ch)
+		return nil
+	}
+	c.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	Buffer int
 	// Start is the absolute position the station begins transmitting at.
 	Start int
+	// Clock, when set, keeps this station in lockstep with the other
+	// parties of a shared tick barrier: one multi-channel broadcast is K
+	// stations on one SharedClock, so every channel transmits global tick T
+	// before any channel transmits T+1 (internal/multichannel).
+	Clock *SharedClock
 }
 
 // Transmission is one packet as it crossed the air for one subscriber:
@@ -164,6 +169,11 @@ func (s *Station) run(ctx context.Context, done chan struct{}) {
 			return
 		default:
 		}
+		if s.cfg.Clock != nil {
+			if err := s.cfg.Clock.Wait(ctx); err != nil {
+				return
+			}
+		}
 		if interval > 0 {
 			// Pace to the channel rate: sleep until the next packet is due.
 			// Short oversleeps are repaid by transmitting every due packet
@@ -207,8 +217,34 @@ func (s *Station) run(ctx context.Context, done chan struct{}) {
 // nothing: its radio is off. On a virtual clock a full buffer blocks the
 // station (backpressure); on a paced clock it drops the packet, which the
 // subscriber's feed later reports as lost.
+//
+// An exact subscriber on a virtual clock additionally holds the clock: the
+// station will not transmit a position beyond the subscriber's want until
+// the subscriber advances it (WakeAt / the next At). A multi-channel radio
+// listens to one channel at a time, and the shared clock must not race past
+// the tick it will hop to — the stale want between two receptions is the
+// hold. On a paced clock exactness is moot: real time does not wait, and a
+// late radio misses packets like any other.
 func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
-	if int64(pos) < sub.want.Load() {
+	if sub.exact && s.cfg.BitsPerSecond == 0 {
+		for {
+			w := sub.want.Load()
+			if int64(pos) < w {
+				return
+			}
+			if int64(pos) == w {
+				break // transmit below
+			}
+			// pos > want: hold the clock until the subscriber advances.
+			select {
+			case <-sub.wake:
+			case <-sub.closed:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	} else if int64(pos) < sub.want.Load() {
 		return
 	}
 	t := Transmission{Pos: pos, OK: !broadcast.Lost(sub.seed, pos, sub.loss)}
@@ -254,6 +290,20 @@ func (s *Station) closeSubs() {
 // tuner with broadcast.NewFeedTuner(sub, sub.Start()). Close it when the
 // query is done.
 func (s *Station) Subscribe(lossRate float64, seed int64) (*Sub, error) {
+	return s.subscribe(lossRate, seed, false)
+}
+
+// SubscribeExact is Subscribe for one shard of a multi-channel listener: on
+// a virtual clock the subscription holds the station (and, through a shared
+// clock, every sibling shard) at its current want until the listener
+// advances it, so a radio hopping between channels never finds that the air
+// raced past the tick it computed. Park the subscription whenever the radio
+// tunes to a sibling channel.
+func (s *Station) SubscribeExact(lossRate float64, seed int64) (*Sub, error) {
+	return s.subscribe(lossRate, seed, true)
+}
+
+func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, error) {
 	if lossRate < 0 || lossRate >= 1 {
 		return nil, fmt.Errorf("station: loss rate %v outside [0,1)", lossRate)
 	}
@@ -261,6 +311,8 @@ func (s *Station) Subscribe(lossRate float64, seed int64) (*Sub, error) {
 		st:     s,
 		loss:   lossRate,
 		seed:   uint64(seed),
+		exact:  exact,
+		wake:   make(chan struct{}, 1),
 		ch:     make(chan Transmission, s.cfg.Buffer),
 		closed: make(chan struct{}),
 	}
@@ -286,6 +338,8 @@ type Sub struct {
 	loss   float64
 	seed   uint64
 	start  int
+	exact  bool
+	wake   chan struct{} // want-advanced signal for exact delivery holds
 	ch     chan Transmission
 	closed chan struct{}
 
@@ -321,7 +375,7 @@ func (s *Sub) Missed() int { return int(s.missed.Load()) }
 // deterministic replay of the cycle under the same loss pattern, so the
 // query still terminates with the same answer.
 func (s *Sub) At(abs int) (packet.Packet, bool) {
-	s.want.Store(int64(abs))
+	s.setWant(int64(abs))
 	if s.hasPending {
 		p := s.pending
 		switch {
@@ -370,6 +424,29 @@ func (s *Sub) replayAt(abs int) (packet.Packet, bool) {
 	}
 	return p, true
 }
+
+// setWant advances the listener's want and, for exact subscriptions, wakes
+// a delivery hold waiting on it.
+func (s *Sub) setWant(abs int64) {
+	s.want.Store(abs)
+	if s.exact {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// WakeAt declares the next absolute position the listener needs without
+// receiving anything: positions below it are skipped (the radio sleeps),
+// and an exact subscription's clock hold moves to it. A multi-channel radio
+// calls this on the channel it is hopping to before parking the channel it
+// is leaving, so the shared clock is never unheld.
+func (s *Sub) WakeAt(abs int) { s.setWant(int64(abs)) }
+
+// Park puts the subscription to sleep indefinitely: the station delivers
+// nothing and an exact clock hold is released. WakeAt (or At) re-arms it.
+func (s *Sub) Park() { s.setWant(int64(1) << 62) }
 
 // Close tunes the listener out: the station stops delivering to it and
 // releases it. Safe to call more than once; never blocks on the station.

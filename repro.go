@@ -40,7 +40,9 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/multichannel"
 	"repro/internal/netgen"
+	"repro/internal/precompute"
 	"repro/internal/scheme"
 	"repro/internal/spath"
 	"repro/internal/station"
@@ -103,8 +105,22 @@ type (
 	// FleetResult aggregates a load run: means, p50/p95/p99 tails and
 	// queries/sec throughput.
 	FleetResult = fleet.Result
+	// ChannelStats is one channel's share of a multi-channel fleet run.
+	ChannelStats = fleet.ChannelStats
 	// Quantiles is a p50/p95/p99 summary of one metric.
 	Quantiles = metrics.Quantiles
+	// MultiStation is a live K-channel broadcast: the cycle sharded by
+	// region across K station shards on one global clock, with an on-air
+	// directory so radios hop to exactly the channels a query needs.
+	MultiStation = multichannel.Station
+	// MultiSub is a channel-hopping radio subscription: a Feed over the
+	// logical cycle whose latency runs on the global clock and whose tuning
+	// is charged per channel.
+	MultiSub = multichannel.Rx
+	// MultiSubOptions pick a radio's start channel and whether it
+	// bootstraps the channel directory from the air (cold) or holds a
+	// cached copy (warm, the default).
+	MultiSubOptions = multichannel.RxOptions
 )
 
 // Params tunes a method's server. Zero values select the paper's defaults.
@@ -189,14 +205,52 @@ func NewStation(srv Server, cfg StationConfig) (*Station, error) {
 // pre-computed server-side for verification). The station must already be
 // on the air. See cmd/airserve for the CLI front end.
 func RunFleet(ctx context.Context, st *Station, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
+	return fleet.Run(ctx, st, srv, fleetWorkload(g, opts, st.Len()), opts)
+}
+
+// fleetWorkload generates the verified query pool a fleet run answers.
+// Reference distances cost one Dijkstra each, so the distinct pool is
+// capped at the paper's 400-query workload size and entries are reused
+// round-robin for larger query counts.
+func fleetWorkload(g *Graph, opts FleetOptions, cycleLen int) *workload.Workload {
 	n := opts.Queries
 	if n <= 0 {
 		n = 400 // the paper's workload size
 	}
-	// Reference distances cost one Dijkstra each; cap the distinct pool and
-	// reuse entries round-robin for larger query counts.
-	w := workload.Generate(g, min(n, 400), st.Len(), opts.Seed)
-	return fleet.Run(ctx, st, srv, w, opts)
+	return workload.Generate(g, min(n, 400), cycleLen, opts.Seed)
+}
+
+// NewMultiStation shards srv's cycle across `channels` parallel broadcast
+// channels (regions in contiguous kd order, global index copies round-robin,
+// a directory segment on every channel) and puts one station shard per
+// channel on a shared global clock. channels == 1 degrades to the identity
+// plan: bit-for-bit the single Station substrate.
+func NewMultiStation(srv Server, channels int, cfg StationConfig) (*MultiStation, error) {
+	plan, err := multichannel.Build(srv.Cycle(), channels, multichannel.PlanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return multichannel.NewStation(plan, cfg)
+}
+
+// RunFleetMulti is RunFleet against a multi-channel station: the result
+// additionally carries per-channel packet counts, touched-query tails and
+// QPS, plus the mean channel-hop count.
+func RunFleetMulti(ctx context.Context, mst *MultiStation, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
+	return fleet.RunMulti(ctx, mst, srv, fleetWorkload(g, opts, mst.Len()), opts)
+}
+
+// RegionCentroids returns per-region centroids for a server built on a
+// region partitioning (EB/NR), or nil for methods without regions: the
+// input multichannel's Hilbert assignment mode needs.
+func RegionCentroids(srv Server, g *Graph) [][2]float64 {
+	type regioned interface{ Regions() *precompute.Regions }
+	r, ok := srv.(regioned)
+	if !ok {
+		return nil
+	}
+	regs := r.Regions()
+	return multichannel.Centroids(g, regs.Assign, regs.N)
 }
 
 // QueryFor builds a Query for two nodes of g (the client knows the node IDs

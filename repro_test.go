@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -81,5 +82,51 @@ func TestFacadeGraphIO(t *testing.T) {
 	}
 	if g3.NumNodes() != g.NumNodes() {
 		t.Fatalf("text round trip: %d nodes, want %d", g3.NumNodes(), g.NumNodes())
+	}
+}
+
+// TestFacadeMultiStation exercises the multi-channel facade end to end: a
+// live 4-channel station, a channel-hopping fleet with verified answers,
+// and the centroid helper for Hilbert-mode sharding.
+func TestFacadeMultiStation(t *testing.T) {
+	g, err := repro.Generate(400, 550, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.NR, g, repro.Params{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cents := repro.RegionCentroids(srv, g); len(cents) != 8 {
+		t.Errorf("RegionCentroids returned %d entries, want 8", len(cents))
+	}
+	dj, err := repro.NewServer(repro.DJ, g, repro.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cents := repro.RegionCentroids(dj, g); cents != nil {
+		t.Errorf("RegionCentroids for a region-less method: %v, want nil", cents)
+	}
+
+	mst, err := repro.NewMultiStation(srv, 4, repro.StationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := mst.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer mst.Stop()
+	res, err := repro.RunFleetMulti(ctx, mst, srv, g, repro.FleetOptions{
+		Clients: 16, Queries: 48, Loss: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Agg.N != 48 {
+		t.Errorf("fleet errors %d answered %d", res.Errors, res.Agg.N)
+	}
+	if len(res.Channels) != 4 || res.MeanHops <= 0 {
+		t.Errorf("channels %d, mean hops %v", len(res.Channels), res.MeanHops)
 	}
 }

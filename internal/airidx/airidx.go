@@ -18,6 +18,7 @@
 package airidx
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -153,18 +154,35 @@ func NewSplitsAccum(regions int) *SplitsAccum {
 	return &SplitsAccum{Vals: make([]float64, n), Got: make([]bool, n)}
 }
 
-// Add folds one TagKDSplits record in.
+// ResetSplitsAccum empties a for reuse when it is already sized for
+// `regions`, and allocates a fresh accumulator otherwise. Clients that
+// answer a stream of queries against the same cycle reset their
+// accumulators instead of reallocating per index copy.
+func ResetSplitsAccum(a *SplitsAccum, regions int) *SplitsAccum {
+	if a == nil || len(a.Vals) != regions-1 {
+		return NewSplitsAccum(regions)
+	}
+	clear(a.Got)
+	a.n = 0
+	return a
+}
+
+// Add folds one TagKDSplits record in. The decode is hand-rolled over the
+// fixed-width layout — this runs once per index packet on the client hot
+// path, where the sticky-error decoder's bookkeeping is measurable.
 func (a *SplitsAccum) Add(data []byte) {
-	d := packet.NewDec(data)
-	start := int(d.U16())
-	cnt := int(d.U8())
+	if len(data) < 3 {
+		return
+	}
+	start := int(binary.LittleEndian.Uint16(data))
+	cnt := int(data[2])
+	if m := (len(data) - 3) / 4; cnt > m {
+		cnt = m
+	}
 	for i := 0; i < cnt; i++ {
-		v := d.F32()
-		if d.Err() {
-			return
-		}
 		if k := start + i; k < len(a.Vals) && !a.Got[k] {
-			a.Vals[k] = v
+			bits := binary.LittleEndian.Uint32(data[3+4*i:])
+			a.Vals[k] = float64(math.Float32frombits(bits))
 			a.Got[k] = true
 			a.n++
 		}
@@ -222,23 +240,43 @@ func NewOffsetsAccum(regions int) *OffsetsAccum {
 	return &OffsetsAccum{Offs: make([]RegionOffset, regions), Got: make([]bool, regions)}
 }
 
-// Add folds one TagRegionOffsets record in.
+// ResetOffsetsAccum empties a for reuse when already sized for `regions`,
+// allocating a fresh accumulator otherwise.
+func ResetOffsetsAccum(a *OffsetsAccum, regions int) *OffsetsAccum {
+	if a == nil || len(a.Offs) != regions {
+		return NewOffsetsAccum(regions)
+	}
+	clear(a.Got)
+	a.n = 0
+	return a
+}
+
+// Add folds one TagRegionOffsets record in (hand-rolled decode, like
+// SplitsAccum.Add).
 func (a *OffsetsAccum) Add(data []byte) {
-	d := packet.NewDec(data)
-	start := int(d.U16())
-	cnt := int(d.U8())
-	kind := d.U8()
+	if len(data) < 4 {
+		return
+	}
+	start := int(binary.LittleEndian.Uint16(data))
+	cnt := int(data[2])
+	kind := data[3]
+	entry := 8
+	if kind == OffsetsEntryNR {
+		entry = 12
+	}
+	if m := (len(data) - 4) / entry; cnt > m {
+		cnt = m
+	}
 	for i := 0; i < cnt; i++ {
+		b := data[4+entry*i:]
 		var o RegionOffset
 		if kind == OffsetsEntryNR {
-			o.IdxStart = int(d.U32())
+			o.IdxStart = int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
 		}
-		o.DataStart = int(d.U32())
-		o.NCross = int(d.U16())
-		o.NLocal = int(d.U16())
-		if d.Err() {
-			return
-		}
+		o.DataStart = int(binary.LittleEndian.Uint32(b))
+		o.NCross = int(binary.LittleEndian.Uint16(b[4:]))
+		o.NLocal = int(binary.LittleEndian.Uint16(b[6:]))
 		if k := start + i; k < len(a.Offs) && !a.Got[k] {
 			a.Offs[k] = o
 			a.Got[k] = true
@@ -300,18 +338,32 @@ func NewCellsAccum(regions int) *CellsAccum {
 	}
 }
 
-// Add folds one TagEBCells record in.
+// ResetCellsAccum empties a for reuse when already sized for `regions`,
+// allocating a fresh accumulator otherwise.
+func ResetCellsAccum(a *CellsAccum, regions int) *CellsAccum {
+	if a == nil || a.n != regions {
+		return NewCellsAccum(regions)
+	}
+	clear(a.Got)
+	a.count = 0
+	return a
+}
+
+// Add folds one TagEBCells record in (hand-rolled decode, like
+// SplitsAccum.Add).
 func (a *CellsAccum) Add(data []byte) {
-	d := packet.NewDec(data)
-	i0 := int(d.U16())
-	j0 := int(d.U16())
-	h := int(d.U8())
-	wd := int(d.U8())
+	if len(data) < 6 {
+		return
+	}
+	i0 := int(binary.LittleEndian.Uint16(data))
+	j0 := int(binary.LittleEndian.Uint16(data[2:]))
+	h := int(data[4])
+	wd := int(data[5])
+	cells := (len(data) - 6) / 8
 	for di := 0; di < h; di++ {
 		for dj := 0; dj < wd; dj++ {
-			mn := d.F32()
-			mx := d.F32()
-			if d.Err() {
+			c := di*wd + dj
+			if c >= cells {
 				return
 			}
 			i, j := i0+di, j0+dj
@@ -320,8 +372,9 @@ func (a *CellsAccum) Add(data []byte) {
 			}
 			k := i*a.n + j
 			if !a.Got[k] {
-				a.minD[k] = mn
-				a.maxD[k] = mx
+				b := data[6+8*c:]
+				a.minD[k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+				a.maxD[k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4:])))
 				a.Got[k] = true
 				a.count++
 			}
@@ -364,25 +417,49 @@ type NRRowsAccum struct {
 
 func NewNRRowsAccum(regions int) *NRRowsAccum {
 	a := &NRRowsAccum{n: regions, next: make([]int16, regions*regions)}
-	for i := range a.next {
-		a.next[i] = -1
-	}
+	a.Reset()
 	return a
 }
 
-// Add folds one TagNRRow record in.
+// Reset forgets every cell (all become "lost"), keeping the backing array:
+// the NR client reuses one accumulator across the local-index copies it
+// receives during a pointer chase instead of allocating one per copy.
+func (a *NRRowsAccum) Reset() {
+	for i := range a.next {
+		a.next[i] = -1
+	}
+}
+
+// ResetNRRowsAccum empties a for reuse when already sized for `regions`,
+// allocating a fresh accumulator otherwise.
+func ResetNRRowsAccum(a *NRRowsAccum, regions int) *NRRowsAccum {
+	if a == nil || a.n != regions {
+		return NewNRRowsAccum(regions)
+	}
+	a.Reset()
+	return a
+}
+
+// Add folds one TagNRRow record in (hand-rolled decode: this is the
+// hottest accumulator — one call per row record of every local index copy
+// an NR client receives).
 func (a *NRRowsAccum) Add(data []byte) {
-	d := packet.NewDec(data)
-	i := int(d.U16())
-	j0 := int(d.U16())
-	cnt := int(d.U8())
+	if len(data) < 5 {
+		return
+	}
+	i := int(binary.LittleEndian.Uint16(data))
+	j0 := int(binary.LittleEndian.Uint16(data[2:]))
+	cnt := int(data[4])
+	if m := len(data) - 5; cnt > m {
+		cnt = m
+	}
+	if i >= a.n {
+		return
+	}
+	row := a.next[i*a.n : (i+1)*a.n]
 	for k := 0; k < cnt; k++ {
-		v := d.U8()
-		if d.Err() {
-			return
-		}
-		if j := j0 + k; i < a.n && j < a.n {
-			a.next[i*a.n+j] = int16(v)
+		if j := j0 + k; j < a.n {
+			row[j] = int16(data[5+k])
 		}
 	}
 }

@@ -197,7 +197,7 @@ func (c *Client) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error
 	numRegions := 0
 	fullcycle.ReceiveAll(t, func(cp int, p packet.Packet) {
 		coll.Process(cp, p)
-		for _, rec := range packet.Records(p.Payload) {
+		for rec := range packet.All(p.Payload) {
 			switch rec.Tag {
 			case packet.TagMeta:
 				d := packet.NewDec(rec.Data)

@@ -18,6 +18,7 @@ import (
 func ReceiveAll(t *broadcast.Tuner, handle func(cyclePos int, p packet.Packet)) {
 	l := t.CycleLen()
 	var lost []int
+	t.WillListen(l)
 	for k := 0; k < l; k++ {
 		abs := t.Pos()
 		p, ok := t.Listen()

@@ -645,7 +645,7 @@ type clientState struct {
 }
 
 func (st *clientState) process(p packet.Packet) {
-	for _, rec := range packet.Records(p.Payload) {
+	for rec := range packet.All(p.Payload) {
 		switch rec.Tag {
 		case packet.TagHiTiMeta:
 			d := packet.NewDec(rec.Data)

@@ -138,7 +138,7 @@ func (c *Client) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, error
 	vecs := make(map[graph.NodeID][]float64)
 	fullcycle.ReceiveAll(t, func(cp int, p packet.Packet) {
 		coll.Process(cp, p)
-		for _, rec := range packet.Records(p.Payload) {
+		for rec := range packet.All(p.Payload) {
 			if rec.Tag != packet.TagLandmarkVec {
 				continue
 			}

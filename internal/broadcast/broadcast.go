@@ -168,6 +168,18 @@ type Hopping interface {
 	Overhead() int
 }
 
+// Prefetcher is a Feed that can exploit advance notice of a contiguous
+// listen: a live subscription uses it to let the station run ahead into the
+// subscriber's buffer instead of handing the clock back and forth once per
+// packet. Purely an optimization hint — the packets received, their loss
+// pattern and all metrics are identical with and without it.
+type Prefetcher interface {
+	Feed
+	// Prefetch declares that the listener will receive the n packets at
+	// absolute logical positions [abs, abs+n) back to back.
+	Prefetch(abs, n int)
+}
+
 // Channel is a broadcast channel repeating a cycle forever, with optional
 // deterministic Bernoulli packet loss. Whether the transmission at absolute
 // position p is lost depends only on (seed, p): every listener experiences

@@ -27,6 +27,7 @@ type Tuner struct {
 	// the feed's global clock, not on logical positions.
 	clocked   Clocked
 	hopping   Hopping
+	prefetch  Prefetcher
 	startTick int
 	lastTick  int // clock after the last packet listened to, or -1
 }
@@ -51,7 +52,20 @@ func NewFeedTuner(f Feed, start int) *Tuner {
 	if hf, ok := f.(Hopping); ok {
 		t.hopping = hf
 	}
+	if pf, ok := f.(Prefetcher); ok {
+		t.prefetch = pf
+	}
 	return t
+}
+
+// WillListen hints that the client is about to Listen to the next n packets
+// back to back (a region span, an index copy). On a prefetching feed the
+// hint lets the infrastructure batch delivery; everywhere else it is free.
+// Purely a performance hint: metrics and received packets are unchanged.
+func (t *Tuner) WillListen(n int) {
+	if t.prefetch != nil && n > 1 {
+		t.prefetch.Prefetch(t.pos, n)
+	}
 }
 
 // Feed returns the underlying packet feed.

@@ -1,10 +1,10 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"testing"
 
 	"repro/internal/baseline/arcflag"
@@ -16,7 +16,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/multichannel"
+	"repro/internal/netgen"
 	"repro/internal/scheme"
+	"repro/internal/servercache"
 	"repro/internal/spath"
 )
 
@@ -47,9 +49,43 @@ func buildFuzzServer(name string, g *graph.Graph, regionsPow int) (scheme.Server
 	return nil, fmt.Errorf("unknown scheme %q", name)
 }
 
-// fuzzCache memoizes built servers: pre-computation dominates a fuzz
-// execution, and the fuzzer revisits (network, scheme) pairs constantly.
-var fuzzCache sync.Map // key string -> scheme.Server
+// errDisconnected marks generated networks the fuzzer must skip; the shared
+// cache remembers it per key, so revisits skip without regenerating.
+var errDisconnected = errors.New("generator produced a disconnected network")
+
+// fuzzServer memoizes built servers in the shared server/cycle cache
+// (internal/servercache): pre-computation dominates a fuzz execution, and
+// the fuzzer revisits (network, scheme) pairs constantly. Concurrent fuzz
+// workers building the same key block on one build instead of duplicating
+// it.
+func fuzzServer(name string, nodes, edges int, genSeed int64, regionsPow int) (scheme.Server, *graph.Graph, error) {
+	type built struct {
+		srv scheme.Server
+		g   *graph.Graph
+	}
+	b, err := servercache.Get(servercache.Key{
+		Network: fmt.Sprintf("fuzz-n%d-e%d-s%d", nodes, edges, genSeed),
+		Scheme:  name,
+		Params:  fmt.Sprintf("rp=%d", regionsPow),
+	}, func() (built, error) {
+		g, err := netgen.Generate(nodes, edges, genSeed)
+		if err != nil {
+			return built{}, err
+		}
+		if err := g.CheckStronglyConnected(); err != nil {
+			return built{}, errDisconnected
+		}
+		srv, err := buildFuzzServer(name, g, regionsPow)
+		if err != nil {
+			return built{}, err
+		}
+		return built{srv, g}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.srv, b.g, nil
+}
 
 // FuzzConformance is the property test behind the whole scheme matrix:
 // ANY (network, scheme, loss rate, tune-in position, channel count,
@@ -62,8 +98,8 @@ func FuzzConformance(f *testing.F) {
 		f.Add(int64(si), uint8(si), uint16(0), uint16(1000), uint8(1))
 		f.Add(int64(si)+17, uint8(si), uint16(80), uint16(7000), uint8(4))
 	}
-	f.Add(int64(3), uint8(1), uint16(250), uint16(999), uint8(2))  // NR, heavy loss
-	f.Add(int64(9), uint8(2), uint16(150), uint16(5), uint8(15))   // EB, max channels (k = 1 + 15)
+	f.Add(int64(3), uint8(1), uint16(250), uint16(999), uint8(2)) // NR, heavy loss
+	f.Add(int64(9), uint8(2), uint16(150), uint16(5), uint8(15))  // EB, max channels (k = 1 + 15)
 	f.Fuzz(func(t *testing.T, netSeed int64, schemeIdx uint8, lossPm uint16, tuneIn uint16, channels uint8) {
 		name := fuzzSchemes[int(schemeIdx)%len(fuzzSchemes)]
 		k := 1 + int(channels)%multichannel.MaxChannels
@@ -74,23 +110,12 @@ func FuzzConformance(f *testing.F) {
 
 		genSeed := int64(uint64(netSeed) % 5)
 		regionsPow := int(uint64(netSeed) % 3)
-		key := fmt.Sprintf("%s/%d/%d/%d/%d", name, nodes, edges, genSeed, regionsPow)
-		var srv scheme.Server
-		var g *graph.Graph
-		if v, ok := fuzzCache.Load(key); ok {
-			pair := v.([2]any)
-			srv, g = pair[0].(scheme.Server), pair[1].(*graph.Graph)
-		} else {
-			g = Network(t, nodes, edges, genSeed)
-			if err2 := g.CheckStronglyConnected(); err2 != nil {
-				t.Skip("generator produced a disconnected network")
-			}
-			var err error
-			srv, err = buildFuzzServer(name, g, regionsPow)
-			if err != nil {
-				t.Fatalf("build %s: %v", name, err)
-			}
-			fuzzCache.Store(key, [2]any{srv, g})
+		srv, g, err := fuzzServer(name, nodes, edges, genSeed, regionsPow)
+		if errors.Is(err, errDisconnected) {
+			t.Skip("generator produced a disconnected network")
+		}
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
 		}
 
 		s := graph.NodeID(rng.Intn(g.NumNodes()))

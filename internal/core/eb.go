@@ -96,11 +96,14 @@ func (e *EB) Border() *precompute.BorderData { return e.border }
 
 // regionSegments orders each region's nodes (cross-border first when
 // segmentation is on) and returns per-region (cross, local) packet slices.
+// Regions encode independently, so the work fans across GOMAXPROCS workers;
+// the per-region outputs (and therefore the assembled cycle) are
+// byte-identical to a serial encode.
 func regionSegments(g *graph.Graph, regions *precompute.Regions, border *precompute.BorderData, segments bool, poi []bool) (cross, local [][]packet.Packet) {
 	n := regions.N
 	cross = make([][]packet.Packet, n)
 	local = make([][]packet.Packet, n)
-	for r := 0; r < n; r++ {
+	precompute.ParallelFor(n, func(r int) {
 		if segments {
 			ordered, nCross := precompute.SplitSegments(regions.Nodes[r], border.CrossBorder)
 			cross[r] = netdata.EncodeNodes(g, ordered[:nCross], regions.IsBorder, poi)
@@ -110,7 +113,7 @@ func regionSegments(g *graph.Graph, regions *precompute.Regions, border *precomp
 			// listen to the whole region.
 			cross[r] = netdata.EncodeNodes(g, regions.Nodes[r], regions.IsBorder, poi)
 		}
-	}
+	})
 	return cross, local
 }
 
@@ -205,8 +208,19 @@ func (e *EB) NewClient() scheme.Client {
 // the upper bound UB = A[Rs][Rt].max, prune regions by
 // min(Rs,R)+min(R,Rt) <= UB, receive the surviving regions' data, and run
 // Dijkstra over their union.
+//
+// Like NRClient, an EBClient models one device answering a stream of
+// queries: index accumulators, the collector and the receive queues persist
+// across Query calls and are reset rather than reallocated. Not safe for
+// concurrent use.
 type EBClient struct {
 	opts Options
+
+	idx    ebIndex
+	coll   *netdata.Collector
+	needed []int
+	recv   recvScratch
+	search spath.Search
 }
 
 // Name implements scheme.Client.
@@ -224,44 +238,57 @@ type ebIndex struct {
 	offs   *airidx.OffsetsAccum
 }
 
+// reset forgets all per-query state while keeping the accumulators for
+// reuse (re-initialized size-checked when the first meta arrives).
+func (x *ebIndex) reset() {
+	x.haveLen = false
+	x.nGot = 0
+}
+
 func (x *ebIndex) process(abs int, copyStart int, p packet.Packet, ok bool) {
 	if !ok {
 		return
 	}
-	recs := packet.Records(p.Payload)
-	var meta airidx.Meta
-	found := false
-	for _, r := range recs {
-		if r.Tag == packet.TagMeta {
-			meta, found = airidx.DecodeMeta(r.Data)
-			break
-		}
-	}
+	meta, found := indexMeta(p)
 	if !found {
 		return
 	}
 	if !x.haveLen {
 		x.meta = meta
 		x.haveLen = true
-		x.gotSeq = make([]bool, meta.Packets)
-		x.splits = airidx.NewSplitsAccum(meta.NumRegions)
-		x.cells = airidx.NewCellsAccum(meta.NumRegions)
-		x.offs = airidx.NewOffsetsAccum(meta.NumRegions)
+		x.gotSeq = resizeCleared(x.gotSeq, meta.Packets)
+		x.splits = airidx.ResetSplitsAccum(x.splits, meta.NumRegions)
+		x.cells = airidx.ResetCellsAccum(x.cells, meta.NumRegions)
+		x.offs = airidx.ResetOffsetsAccum(x.offs, meta.NumRegions)
 	}
 	if meta.Seq < len(x.gotSeq) && !x.gotSeq[meta.Seq] {
 		x.gotSeq[meta.Seq] = true
 		x.nGot++
 	}
-	for _, r := range recs {
-		switch r.Tag {
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		switch tag {
 		case packet.TagKDSplits:
-			x.splits.Add(r.Data)
+			x.splits.Add(data)
 		case packet.TagEBCells:
-			x.cells.Add(r.Data)
+			x.cells.Add(data)
 		case packet.TagRegionOffsets:
-			x.offs.Add(r.Data)
+			x.offs.Add(data)
 		}
-	}
+		return true
+	})
+}
+
+// indexMeta extracts the TagMeta record of an index packet without
+// allocating.
+func indexMeta(p packet.Packet) (meta airidx.Meta, found bool) {
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		if tag == packet.TagMeta {
+			meta, found = airidx.DecodeMeta(data)
+			return false
+		}
+		return true
+	})
+	return meta, found
 }
 
 func (x *ebIndex) complete() bool {
@@ -288,7 +315,8 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	var cpu time.Duration
 
 	// Step 1: find and receive an index copy (Algorithm 1, lines 1-7).
-	idx := &ebIndex{}
+	idx := &c.idx
+	idx.reset()
 	copyStart, err := receiveFullIndex(t, idx)
 	if err != nil {
 		return scheme.Result{}, err
@@ -308,27 +336,33 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 
 	// Step 2: prune regions with the elliptic condition (lines 8-10).
 	ub := idx.cells.MaxAt(rs, rt)
-	var needed []int
+	needed := c.needed[:0]
 	for r := 0; r < n; r++ {
 		if r == rs || r == rt || idx.cells.MinAt(rs, r)+idx.cells.MinAt(r, rt) <= ub {
 			needed = append(needed, r)
 		}
 	}
+	c.needed = needed
 	cpu += time.Since(start)
 
 	// Step 3: receive the needed regions (lines 11-15), contracting each
 	// into super-edges on arrival when memory-bound processing is on.
-	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
+	if c.coll == nil {
+		c.coll = netdata.NewCollector(idx.meta.NumNodes, &mem)
+	} else {
+		c.coll.Reset(idx.meta.NumNodes, &mem)
+	}
+	coll := c.coll
 	var ctr *contractor
 	var onComplete func(region int)
 	if c.opts.MemoryBound {
 		ctr = newContractor(kd, coll, q, rs, rt, &mem, &cpu)
 		onComplete = ctr.contract
 	}
-	receiveRegions(t, coll, idx.offs.Offs, needed, rs, rt, c.opts.Segments, onComplete)
+	receiveRegions(t, coll, idx.offs.Offs, needed, rs, rt, c.opts.Segments, onComplete, &c.recv)
 
 	// Step 4: Dijkstra over the union (line 16).
-	res := finishSearch(ctr, coll, q, &mem, &cpu)
+	res := finishSearch(ctr, coll, q, &mem, &cpu, &c.search)
 	res.Metrics = metrics.Query{
 		TuningPackets:  t.Tuning(),
 		LatencyPackets: t.Latency(),
@@ -340,15 +374,16 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 
 // finishSearch runs the final shortest-path computation: over the contracted
 // super-edge graph G' when memory-bound processing is on, over the union of
-// received regions otherwise.
-func finishSearch(ctr *contractor, coll *netdata.Collector, q scheme.Query, mem *metrics.Mem, cpu *time.Duration) scheme.Result {
+// received regions otherwise. search is the client's reusable Dijkstra
+// state.
+func finishSearch(ctr *contractor, coll *netdata.Collector, q scheme.Query, mem *metrics.Mem, cpu *time.Duration, search *spath.Search) scheme.Result {
 	start := time.Now()
 	defer func() { *cpu += time.Since(start) }()
 	if ctr != nil {
 		return ctr.finish()
 	}
 	mem.Alloc(metrics.DistEntryBytes * coll.Net.NumPresent())
-	r := spath.DijkstraNetwork(coll.Net, q.S, q.T)
+	r := search.Dijkstra(coll.Net, q.S, q.T)
 	return scheme.Result{Dist: r.Dist, Path: r.Path}
 }
 
@@ -458,10 +493,23 @@ func receiveIndexCopyAt(t *broadcast.Tuner, idx *ebIndex, copyStart int) int {
 // onComplete, when non-nil, fires once per region as soon as all its
 // packets have been received (the hook for Section 6.1's incremental
 // super-edge contraction).
-func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.RegionOffset, needed []int, rs, rt int, segments bool, onComplete func(region int)) {
+// span is one contiguous packet range awaiting reception.
+type span struct{ region, start, n int }
+
+// recvScratch holds receiveRegions' work queues so a client can reuse them
+// across queries; a nil scratch allocates per call.
+type recvScratch struct {
+	spans   []span
+	lost    []lostPos
+	pending []int
+}
+
+func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.RegionOffset, needed []int, rs, rt int, segments bool, onComplete func(region int), scr *recvScratch) {
+	if scr == nil {
+		scr = &recvScratch{}
+	}
 	l := t.CycleLen()
-	type span struct{ region, start, n int }
-	var spans []span
+	spans := scr.spans[:0]
 	for _, r := range needed {
 		o := offs[r]
 		n := o.NCross
@@ -470,9 +518,10 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 		}
 		spans = append(spans, span{r, o.DataStart, n})
 	}
-	type retry struct{ region, cyclePos int }
-	var lost []retry
-	pending := make(map[int]int) // region -> lost packets outstanding
+	lost := scr.lost[:0]
+	// pending[region] counts lost packets outstanding for that region.
+	pending := resizeCleared(scr.pending, len(offs))
+	scr.pending = pending
 	done := func(r int) {
 		if onComplete != nil {
 			onComplete(r)
@@ -492,11 +541,12 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 		sp := spans[best]
 		spans = append(spans[:best], spans[best+1:]...)
 		t.SleepTo(t.NextOccurrence(sp.start))
+		t.WillListen(sp.n)
 		for k := 0; k < sp.n; k++ {
 			abs := t.Pos()
 			p, ok := t.Listen()
 			if !ok {
-				lost = append(lost, retry{sp.region, abs % l})
+				lost = append(lost, lostPos{sp.region, abs % l})
 				pending[sp.region]++
 				continue
 			}
@@ -522,4 +572,6 @@ func receiveRegions(t *broadcast.Tuner, coll *netdata.Collector, offs []airidx.R
 			done(it.region)
 		}
 	}
+	scr.spans = spans[:0]
+	scr.lost = lost[:0]
 }

@@ -74,7 +74,7 @@ func (c *SpatialClient) RangeOnAir(t *broadcast.Tuner, q scheme.Query, radius fl
 	// so segmentation is disabled for the receive: rs/rt set to -1 forces
 	// full segments... the helper treats every region as terminal when
 	// segments are off.
-	receiveRegions(t, coll, idx.offs.Offs, needed, -1, -1, false, nil)
+	receiveRegions(t, coll, idx.offs.Offs, needed, -1, -1, false, nil, nil)
 
 	start = time.Now()
 	res := collectWithin(coll, q.S, radius, math.MaxInt32)
@@ -136,7 +136,7 @@ func (c *SpatialClient) KNNOnAir(t *broadcast.Tuner, q scheme.Query, k int) ([]P
 			batch = append(batch, order[received])
 			received++
 		}
-		receiveRegions(t, coll, idx.offs.Offs, batch, -1, -1, false, nil)
+		receiveRegions(t, coll, idx.offs.Offs, batch, -1, -1, false, nil, nil)
 
 		start = time.Now()
 		res = collectWithin(coll, q.S, math.Inf(1), k)
@@ -181,7 +181,7 @@ func collectWithin(coll *netdata.Collector, s graph.NodeID, radius float64, maxO
 			break
 		}
 		v := graph.NodeID(item)
-		if coll.POI[v] {
+		if coll.IsPOI(v) {
 			out = append(out, POIResult{Node: v, Dist: d})
 		}
 		for _, a := range net.Arcs(v) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/precompute"
 	"repro/internal/scheme"
+	"repro/internal/spath"
 )
 
 // NR is the Next Region method's server side (Section 5). Pre-computation
@@ -133,9 +134,16 @@ func (s *NR) assemble(kd *partition.KDTree) *broadcast.Cycle {
 		pos += nIdx + len(cross[r]) + len(local[r])
 	}
 
+	// The n local indexes build independently (each a pure function of m and
+	// the shared offsets), so they are pre-computed in parallel and appended
+	// in order — the assembled cycle is byte-identical to a serial build.
+	indexes := make([][]packet.Packet, n)
+	precompute.ParallelFor(n, func(r int) {
+		indexes[r] = buildLocalIndex(r, offs)
+	})
 	asm := broadcast.NewAssembler()
 	for r := 0; r < n; r++ {
-		idx := buildLocalIndex(r, offs)
+		idx := indexes[r]
 		if len(idx) != nIdx {
 			panic("core: NR local index size changed between passes")
 		}
@@ -157,9 +165,25 @@ func (s *NR) NewClient() scheme.Client {
 // local index, read the next-region pointer for (Rs, Rt), sleep until that
 // region, receive it together with the local index that follows it, and
 // repeat until the pointer names a region already received.
+//
+// A client models one device answering a stream of queries, so its work
+// buffers — index accumulators, the partial-network collector, the
+// received/pending tables and the loss-retry queue — persist across Query
+// calls and are reset, not reallocated, per query. Clients are not safe for
+// concurrent use; a fleet gives each worker its own.
 type NRClient struct {
 	opts Options
+
+	st       nrIndexState
+	coll     *netdata.Collector
+	received []bool
+	pending  []int
+	lost     []lostPos
+	search   spath.Search
 }
+
+// lostPos is one lost data packet awaiting recovery.
+type lostPos struct{ region, cyclePos int }
 
 // Name implements scheme.Client.
 func (c *NRClient) Name() string { return "NR" }
@@ -176,9 +200,16 @@ type nrIndexState struct {
 	region  int                 // which A^m the latest rows belong to
 }
 
+// reset forgets all per-query state while keeping the accumulators for
+// reuse (they are re-initialized size-checked when the first meta arrives).
+func (x *nrIndexState) reset() {
+	x.haveLen = false
+	x.region = -1
+}
+
 func (x *nrIndexState) startCopy() {
 	if x.haveLen {
-		x.rows = airidx.NewNRRowsAccum(x.meta.NumRegions)
+		x.rows = airidx.ResetNRRowsAccum(x.rows, x.meta.NumRegions)
 	}
 	x.region = -1
 }
@@ -187,36 +218,29 @@ func (x *nrIndexState) process(p packet.Packet, ok bool) (airidx.Meta, bool) {
 	if !ok {
 		return airidx.Meta{}, false
 	}
-	recs := packet.Records(p.Payload)
-	var meta airidx.Meta
-	found := false
-	for _, r := range recs {
-		if r.Tag == packet.TagMeta {
-			meta, found = airidx.DecodeMeta(r.Data)
-			break
-		}
-	}
+	meta, found := indexMeta(p)
 	if !found {
 		return airidx.Meta{}, false
 	}
 	if !x.haveLen {
 		x.meta = meta
 		x.haveLen = true
-		x.splits = airidx.NewSplitsAccum(meta.NumRegions)
-		x.offs = airidx.NewOffsetsAccum(meta.NumRegions)
-		x.rows = airidx.NewNRRowsAccum(meta.NumRegions)
+		x.splits = airidx.ResetSplitsAccum(x.splits, meta.NumRegions)
+		x.offs = airidx.ResetOffsetsAccum(x.offs, meta.NumRegions)
+		x.rows = airidx.ResetNRRowsAccum(x.rows, meta.NumRegions)
 	}
 	x.region = meta.Region
-	for _, r := range recs {
-		switch r.Tag {
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		switch tag {
 		case packet.TagKDSplits:
-			x.splits.Add(r.Data)
+			x.splits.Add(data)
 		case packet.TagRegionOffsets:
-			x.offs.Add(r.Data)
+			x.offs.Add(data)
 		case packet.TagNRRow:
-			x.rows.Add(r.Data)
+			x.rows.Add(data)
 		}
-	}
+		return true
+	})
 	return meta, true
 }
 
@@ -231,6 +255,7 @@ func (x *nrIndexState) globalsComplete() bool {
 func (x *nrIndexState) receiveLocalIndex(t *broadcast.Tuner) {
 	x.startCopy()
 	if x.haveLen {
+		t.WillListen(x.meta.Packets)
 		for k := 0; k < x.meta.Packets; k++ {
 			p, ok := t.Listen()
 			x.process(p, ok)
@@ -255,7 +280,8 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	var mem metrics.Mem
 	var cpu time.Duration
 
-	st := &nrIndexState{}
+	st := &c.st
+	st.reset()
 
 	// Step 1: find the subsequent local index (Algorithm 2, lines 1-7) and
 	// keep receiving local indexes until the replicated global components
@@ -304,16 +330,21 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	rt := kd.RegionOf(q.TX, q.TY)
 	cpu += time.Since(start)
 
-	coll := netdata.NewCollector(st.meta.NumNodes, &mem)
+	if c.coll == nil {
+		c.coll = netdata.NewCollector(st.meta.NumNodes, &mem)
+	} else {
+		c.coll.Reset(st.meta.NumNodes, &mem)
+	}
+	coll := c.coll
 	var ctr *contractor
 	if c.opts.MemoryBound {
 		ctr = newContractor(kd, coll, q, rs, rt, &mem, &cpu)
 	}
 
 	// Step 2: follow the next-region pointers (lines 8-19).
-	received := make(map[int]bool)
-	type lostPos struct{ region, cyclePos int }
-	var lost []lostPos
+	received := resizeCleared(c.received, n)
+	c.received = received
+	lost := c.lost[:0]
 	for hops := 0; ; hops++ {
 		if hops > 4*n+8 {
 			return scheme.Result{}, fmt.Errorf("core: NR client: pointer chase did not terminate")
@@ -344,6 +375,7 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 				span += o.NLocal
 			}
 			t.SleepTo(t.NextOccurrence(o.DataStart))
+			t.WillListen(span)
 			nLost := 0
 			for k := 0; k < span; k++ {
 				abs := t.Pos()
@@ -373,7 +405,8 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	// for whichever outstanding position crosses the air next (on a
 	// multi-channel feed the channels' shorter cycles make each retry up to
 	// K times cheaper; on a single channel this is plain cyclic order).
-	pendingByRegion := make(map[int]int)
+	pendingByRegion := resizeCleared(c.pending, n)
+	c.pending = pendingByRegion
 	for _, lp := range lost {
 		pendingByRegion[lp.region]++
 	}
@@ -393,9 +426,10 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 			ctr.contract(lp.region)
 		}
 	}
+	c.lost = lost[:0]
 
 	// Step 4: Dijkstra over the collected regions (line 20).
-	res := finishSearch(ctr, coll, q, &mem, &cpu)
+	res := finishSearch(ctr, coll, q, &mem, &cpu, &c.search)
 	res.Metrics = metrics.Query{
 		TuningPackets:  t.Tuning(),
 		LatencyPackets: t.Latency(),
@@ -403,6 +437,17 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 		CPU:            cpu,
 	}
 	return res, nil
+}
+
+// resizeCleared returns a zeroed slice of length n, reusing buf's backing
+// array when it is large enough.
+func resizeCleared[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // regionAfter returns the region whose data segment starts next after the

@@ -58,14 +58,14 @@ func (c *contractor) contract(region int) {
 			return
 		}
 		inRegion[v] = true
-		if c.coll.Border[v] {
+		if c.coll.IsBorder(v) {
 			terminals = append(terminals, v)
 		}
 	})
-	if region == c.rs && inRegion[c.q.S] && !c.coll.Border[c.q.S] {
+	if region == c.rs && inRegion[c.q.S] && !c.coll.IsBorder(c.q.S) {
 		terminals = append(terminals, c.q.S)
 	}
-	if region == c.rt && inRegion[c.q.T] && !c.coll.Border[c.q.T] && c.q.T != c.q.S {
+	if region == c.rt && inRegion[c.q.T] && !c.coll.IsBorder(c.q.T) && c.q.T != c.q.S {
 		terminals = append(terminals, c.q.T)
 	}
 	sort.Slice(terminals, func(i, j int) bool { return terminals[i] < terminals[j] })

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/multichannel"
 	"repro/internal/netgen"
+	"repro/internal/servercache"
 	"repro/internal/station"
 	"repro/internal/workload"
 )
@@ -19,21 +20,37 @@ import (
 // BENCH_baseline.json measures exactly what the benchmarks measure.
 
 // benchSetup builds the standard bench fixture: the germany preset at a
-// bench-friendly scale with an NR server.
+// bench-friendly scale with an NR server. The fixture goes through the
+// shared server cache — the three micro benches measure the serving path,
+// not the build, so they share one cycle like any other cache consumer.
 func benchSetup(scale float64, regions int) (*core.NR, *workload.Workload, error) {
-	p, err := netgen.PresetByName("germany")
+	type fixture struct {
+		srv *core.NR
+		w   *workload.Workload
+	}
+	f, err := servercache.Get(servercache.Key{
+		Network: fmt.Sprintf("germany@%g#2010", scale),
+		Scheme:  "bench-fixture",
+		Params:  fmt.Sprintf("r=%d", regions),
+	}, func() (fixture, error) {
+		p, err := netgen.PresetByName("germany")
+		if err != nil {
+			return fixture{}, err
+		}
+		g, err := p.Scaled(scale).Generate(2010)
+		if err != nil {
+			return fixture{}, err
+		}
+		srv, err := core.NewNR(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
+		if err != nil {
+			return fixture{}, err
+		}
+		return fixture{srv, workload.Generate(g, 40, srv.Cycle().Len(), 2010)}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	g, err := p.Scaled(scale).Generate(2010)
-	if err != nil {
-		return nil, nil, err
-	}
-	srv, err := core.NewNR(g, core.Options{Regions: regions, Segments: true, SquareCells: true})
-	if err != nil {
-		return nil, nil, err
-	}
-	return srv, workload.Generate(g, 40, srv.Cycle().Len(), 2010), nil
+	return f.srv, f.w, nil
 }
 
 // BenchTunerHop measures one channel-hopping query end to end on a

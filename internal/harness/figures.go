@@ -127,7 +127,7 @@ func Figure11(cfg Config) (*Figure, error) {
 
 	var ebAggs, nrAggs, ldAggs, afAggs, djAggs []metrics.Agg
 	for i, regions := range regionSteps {
-		bundle, err := buildCore(g, regions, core.Options{Segments: true, SquareCells: true})
+		bundle, err := buildCore(cfg, g, regions, core.Options{Segments: true, SquareCells: true})
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +255,7 @@ func Figure13(cfg Config) (*Figure, error) {
 		{"EB (w/o precomp)", false},
 	} {
 		regions, _ := cfg.regionsFor(g)
-		bundle, err := buildCore(g, regions, core.Options{
+		bundle, err := buildCore(cfg, g, regions, core.Options{
 			Segments: true, SquareCells: true, MemoryBound: variant.mb,
 		})
 		if err != nil {

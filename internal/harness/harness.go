@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/precompute"
 	"repro/internal/scheme"
+	"repro/internal/servercache"
 	"repro/internal/workload"
 )
 
@@ -51,6 +53,10 @@ type Config struct {
 	HiTiDepth   int
 	IncludeSlow bool // include SPQ and HiTi where optional
 	Out         io.Writer
+	// NoCache disables the shared server/cycle cache (internal/servercache)
+	// for this run. Benchmarks that measure build cost set it; experiment
+	// sweeps leave it off so identical networks and servers build once.
+	NoCache bool
 }
 
 // Defaults fills unset fields with the paper's tuned values.
@@ -82,14 +88,30 @@ func (c Config) printf(format string, args ...any) {
 	fmt.Fprintf(c.Out, format, args...)
 }
 
-// network builds the (scaled) preset network.
+// cached memoizes build under key in the shared server cache, or calls it
+// directly when the config opts out.
+func cached[T any](c Config, key servercache.Key, build func() (T, error)) (T, error) {
+	if c.NoCache {
+		return build()
+	}
+	return servercache.Get(key, build)
+}
+
+// netKey canonically names the (preset, scale, seed) network.
+func (c Config) netKey(preset string) string {
+	return fmt.Sprintf("%s@%g#%d", preset, c.Scale, c.Seed)
+}
+
+// network builds the (scaled) preset network, sharing one generated graph
+// per (preset, scale, seed) across experiments.
 func (c Config) network(preset string) (*graph.Graph, netgen.Preset, error) {
 	p, err := netgen.PresetByName(preset)
 	if err != nil {
 		return nil, p, err
 	}
 	p = p.Scaled(c.Scale)
-	g, err := p.Generate(c.Seed)
+	g, err := cached(c, servercache.Key{Network: c.netKey(preset), Scheme: "graph"},
+		func() (*graph.Graph, error) { return p.Generate(c.Seed) })
 	return g, p, err
 }
 
@@ -107,20 +129,50 @@ type coreBundle struct {
 	Pre time.Duration
 }
 
-func buildCore(g *graph.Graph, regions int, opts core.Options) (*coreBundle, error) {
-	kd, err := partition.NewKDTree(g, regions)
-	if err != nil {
-		return nil, err
+// poiKey canonically names a POI mask for cache keys: a content hash, so
+// two masks of equal length but different bits never collide.
+func poiKey(poi []bool) string {
+	if len(poi) == 0 {
+		return "-"
 	}
-	reg := precompute.BuildRegions(g, kd)
-	bd := precompute.Compute(g, reg)
-	opts.Regions = regions
-	eb := core.NewEBShared(g, kd, reg, bd, opts)
-	nr, err := core.NewNRShared(g, kd, reg, bd, opts)
-	if err != nil {
-		return nil, err
+	h := fnv.New64a()
+	var b [1]byte
+	for _, p := range poi {
+		b[0] = 0
+		if p {
+			b[0] = 1
+		}
+		h.Write(b[:])
 	}
-	return &coreBundle{EB: eb, NR: nr, Pre: bd.Elapsed}, nil
+	return fmt.Sprintf("%d:%x", len(poi), h.Sum64())
+}
+
+// graphKey canonically names a built network for downstream cache keys.
+// Graphs themselves are cached per (preset, scale, seed), so the pointer is
+// a stable identity; a NoCache run bypasses every cache layer anyway.
+func graphKey(g *graph.Graph) string { return fmt.Sprintf("%p", g) }
+
+func buildCore(c Config, g *graph.Graph, regions int, opts core.Options) (*coreBundle, error) {
+	key := servercache.Key{
+		Network: graphKey(g),
+		Scheme:  "core",
+		Params:  fmt.Sprintf("r=%d seg=%v sq=%v mb=%v poi=%s", regions, opts.Segments, opts.SquareCells, opts.MemoryBound, poiKey(opts.POI)),
+	}
+	return cached(c, key, func() (*coreBundle, error) {
+		kd, err := partition.NewKDTree(g, regions)
+		if err != nil {
+			return nil, err
+		}
+		reg := precompute.BuildRegions(g, kd)
+		bd := precompute.Compute(g, reg)
+		opts.Regions = regions
+		eb := core.NewEBShared(g, kd, reg, bd, opts)
+		nr, err := core.NewNRShared(g, kd, reg, bd, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &coreBundle{EB: eb, NR: nr, Pre: bd.Elapsed}, nil
+	})
 }
 
 // MethodResult aggregates one method's measurements over a workload.
@@ -185,20 +237,27 @@ func (c Config) regionsFor(g *graph.Graph) (ebnr, af int) {
 // one network, sharing EB/NR pre-computation.
 func (c Config) buildAll(g *graph.Graph) (map[string]scheme.Server, error) {
 	ebnrRegions, afRegions := c.regionsFor(g)
-	bundle, err := buildCore(g, ebnrRegions, core.Options{Segments: true, SquareCells: true})
+	bundle, err := buildCore(c, g, ebnrRegions, core.Options{Segments: true, SquareCells: true})
 	if err != nil {
 		return nil, err
 	}
-	af, err := arcflag.New(g, arcflag.Options{Regions: afRegions})
+	af, err := cached(c, servercache.Key{Network: graphKey(g), Scheme: "AF", Params: fmt.Sprintf("r=%d", afRegions)},
+		func() (scheme.Server, error) { return arcflag.New(g, arcflag.Options{Regions: afRegions}) })
 	if err != nil {
 		return nil, err
 	}
-	ld, err := landmark.New(g, landmark.Options{Landmarks: c.Landmarks})
+	ld, err := cached(c, servercache.Key{Network: graphKey(g), Scheme: "LD", Params: fmt.Sprintf("l=%d", c.Landmarks)},
+		func() (scheme.Server, error) { return landmark.New(g, landmark.Options{Landmarks: c.Landmarks}) })
+	if err != nil {
+		return nil, err
+	}
+	dj, err := cached(c, servercache.Key{Network: graphKey(g), Scheme: "DJ"},
+		func() (scheme.Server, error) { return djair.New(g), nil })
 	if err != nil {
 		return nil, err
 	}
 	return map[string]scheme.Server{
-		"DJ": djair.New(g),
+		"DJ": dj,
 		"EB": bundle.EB,
 		"NR": bundle.NR,
 		"AF": af,
@@ -208,11 +267,13 @@ func (c Config) buildAll(g *graph.Graph) (map[string]scheme.Server, error) {
 
 // buildSlow constructs SPQ and HiTi (expensive pre-computation).
 func (c Config) buildSlow(g *graph.Graph) (map[string]scheme.Server, error) {
-	sp, err := spq.New(g)
+	sp, err := cached(c, servercache.Key{Network: graphKey(g), Scheme: "SPQ"},
+		func() (scheme.Server, error) { return spq.New(g) })
 	if err != nil {
 		return nil, err
 	}
-	ht, err := hiti.New(g, hiti.Options{Depth: c.HiTiDepth})
+	ht, err := cached(c, servercache.Key{Network: graphKey(g), Scheme: "HiTi", Params: fmt.Sprintf("d=%d", c.HiTiDepth)},
+		func() (scheme.Server, error) { return hiti.New(g, hiti.Options{Depth: c.HiTiDepth}) })
 	if err != nil {
 		return nil, err
 	}

@@ -83,4 +83,6 @@ func (s *airSource) Receive(channel, tick int) (packet.Packet, bool) {
 
 func (s *airSource) Hop(from, to, tick int) {}
 
+func (s *airSource) Prefetch(channel, fromTick, n int) {}
+
 func (s *airSource) Close() {}

@@ -14,7 +14,7 @@ package multichannel
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/airidx"
 	"repro/internal/packet"
@@ -53,22 +53,60 @@ type Directory struct {
 	DirPackets int
 
 	identity bool
+
+	// entryOf maps every logical position to its Entries index: the O(1)
+	// lookup table behind the per-hop Lookup/Extent calls. It builds lazily
+	// exactly once per Directory. Warm radios all hold the plan's one
+	// Directory, so a fleet shares a single table; a cold radio decodes its
+	// own Directory from the air and pays one O(LogicalLen) fill — noise
+	// next to the hundreds of packets its bootstrap scan already cost.
+	tableOnce sync.Once
+	entryOf   []int32
 }
 
 // Identity reports whether the directory is the K=1 identity mapping.
 func (d *Directory) Identity() bool { return d.identity }
 
+// buildTable materializes the position -> entry index table.
+func (d *Directory) buildTable() {
+	if d.identity {
+		return
+	}
+	t := make([]int32, d.LogicalLen)
+	for i, e := range d.Entries {
+		for k := 0; k < e.N; k++ {
+			t[e.LogicalStart+k] = int32(i)
+		}
+	}
+	d.entryOf = t
+}
+
+// entryAt returns the entry covering logical position p (not identity).
+func (d *Directory) entryAt(p int) *Entry {
+	d.tableOnce.Do(d.buildTable)
+	return &d.Entries[d.entryOf[p]]
+}
+
 // Lookup maps a logical cycle position p in [0, LogicalLen) to the channel
-// and channel-local slot that carry it.
+// and channel-local slot that carry it. It is a slice-indexed table lookup,
+// not a search — radios call it once per received packet.
 func (d *Directory) Lookup(p int) (channel, slot int) {
 	if d.identity {
 		return 0, p
 	}
-	i := sort.Search(len(d.Entries), func(i int) bool {
-		return d.Entries[i].LogicalStart > p
-	}) - 1
-	e := d.Entries[i]
+	e := d.entryAt(p)
 	return e.Channel, e.Slot + (p - e.LogicalStart)
+}
+
+// Extent returns how many logical positions from p onward (p included) are
+// carried contiguously on one channel: the largest span a radio can receive
+// without retuning.
+func (d *Directory) Extent(p int) int {
+	if d.identity {
+		return d.LogicalLen
+	}
+	e := d.entryAt(p)
+	return e.LogicalStart + e.N - p
 }
 
 // StartPos returns the logical position of the content at channel-local
@@ -261,15 +299,15 @@ func (a *DirAccum) Process(p packet.Packet, ok bool) {
 	if !ok || p.Kind != packet.KindDir {
 		return
 	}
-	recs := packet.Records(p.Payload)
 	var meta DirMeta
 	found := false
-	for _, r := range recs {
-		if r.Tag == packet.TagDirMeta {
-			meta, found = DecodeDirMeta(r.Data)
-			break
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		if tag == packet.TagDirMeta {
+			meta, found = DecodeDirMeta(data)
+			return false
 		}
-	}
+		return true
+	})
 	if !found {
 		return
 	}
@@ -283,11 +321,11 @@ func (a *DirAccum) Process(p packet.Packet, ok bool) {
 	if meta.Seq < len(a.gotSeq) {
 		a.gotSeq[meta.Seq] = true
 	}
-	for _, r := range recs {
-		switch r.Tag {
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		switch tag {
 		case packet.TagDirChans:
 			if a.chanLens == nil {
-				d := packet.NewDec(r.Data)
+				d := packet.NewDec(data)
 				lens := make([]int, a.Meta.K)
 				for i := range lens {
 					lens[i] = int(d.U32())
@@ -297,7 +335,7 @@ func (a *DirAccum) Process(p packet.Packet, ok bool) {
 				}
 			}
 		case packet.TagDirEntry:
-			d := packet.NewDec(r.Data)
+			d := packet.NewDec(data)
 			first := int(d.U16())
 			count := int(d.U8())
 			for i := 0; i < count; i++ {
@@ -317,7 +355,8 @@ func (a *DirAccum) Process(p packet.Packet, ok bool) {
 				}
 			}
 		}
-	}
+		return true
+	})
 }
 
 // MissingSeqs returns the copy-relative packet positions still needed.

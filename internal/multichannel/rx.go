@@ -12,11 +12,14 @@ import (
 // increasing across calls. Hop tells the source the radio retunes from one
 // channel to another before the next Receive (live sources park the old
 // subscription so the shared clock is never held by a channel nobody
-// listens to).
+// listens to). Prefetch declares an upcoming contiguous reception of n
+// ticks from fromTick on one channel — live sources let the station run
+// ahead into the subscription buffer; replay sources ignore it.
 type Source interface {
 	K() int
 	Receive(channel, tick int) (packet.Packet, bool)
 	Hop(from, to, tick int)
+	Prefetch(channel, fromTick, n int)
 	Close()
 }
 
@@ -181,6 +184,25 @@ func (r *Rx) arrival(abs int) (channel, tick int) {
 		base++
 	}
 	return c, base + mod(slot-base, r.dir.ChanLens[c])
+}
+
+// Prefetch implements broadcast.Prefetcher: the tuner is about to listen to
+// logical positions [abs, abs+n) back to back. The span is clamped to the
+// stretch carried contiguously on one channel and forwarded to the source,
+// which (live) lets the station fill the subscription buffer ahead of the
+// per-packet clock handshake. Receptions and metrics are unchanged.
+func (r *Rx) Prefetch(abs, n int) {
+	if n <= 1 {
+		return
+	}
+	r.ensureDir()
+	if !r.dir.Identity() {
+		if ext := r.dir.Extent(abs % r.dir.LogicalLen); n > ext {
+			n = ext
+		}
+	}
+	c, t0 := r.arrival(abs)
+	r.src.Prefetch(c, t0, n)
 }
 
 // Clock implements broadcast.Clocked.

@@ -9,27 +9,28 @@ import (
 )
 
 // Station is a live K-channel broadcast: one station.Station per channel
-// cycle, all advancing on one station.SharedClock, so global tick T crosses
-// every channel before tick T+1 crosses any. Subscribers get a channel-
-// hopping Rx whose virtual-clock behaviour is bit-identical to an offline
-// Air with the same tune-in tick, loss rate and seed.
+// cycle, all advancing on one global tick sequence (a station.Group drives
+// them from a single transmit goroutine), so global tick T crosses every
+// channel before tick T+1 crosses any. Subscribers get a channel-hopping Rx
+// whose virtual-clock behaviour is bit-identical to an offline Air with the
+// same tune-in tick, loss rate and seed.
 type Station struct {
 	plan     *Plan
 	stations []*station.Station
+	group    *station.Group // drives the shards when K > 1
 	cfg      station.Config
 }
 
 // NewStation builds the K shard stations for the plan. cfg applies to every
-// shard; cfg.Clock is overwritten with the shared barrier and cfg.Start
-// must be zero (the global clock starts at tick 0 on every channel).
+// shard; cfg.Clock must be unset (the group is the synchronizer) and
+// cfg.Start must be zero (the global clock starts at tick 0 on every
+// channel).
 func NewStation(p *Plan, cfg station.Config) (*Station, error) {
 	if cfg.Start != 0 {
 		return nil, fmt.Errorf("multichannel: shard stations start at tick 0, got Start=%d", cfg.Start)
 	}
-	if p.K() > 1 {
-		cfg.Clock = station.NewSharedClock(p.K())
-	} else {
-		cfg.Clock = nil
+	if cfg.Clock != nil {
+		return nil, fmt.Errorf("multichannel: shard stations are group-driven; Clock must be nil")
 	}
 	m := &Station{plan: p, cfg: cfg}
 	for c, cyc := range p.Channels {
@@ -38,6 +39,13 @@ func NewStation(p *Plan, cfg station.Config) (*Station, error) {
 			return nil, fmt.Errorf("multichannel: channel %d: %w", c, err)
 		}
 		m.stations = append(m.stations, st)
+	}
+	if p.K() > 1 {
+		g, err := station.NewGroup(m.stations)
+		if err != nil {
+			return nil, fmt.Errorf("multichannel: %w", err)
+		}
+		m.group = g
 	}
 	return m, nil
 }
@@ -57,22 +65,19 @@ func (m *Station) Rate() int { return m.stations[0].Rate() }
 
 // Start puts every shard on the air under one context.
 func (m *Station) Start(ctx context.Context) error {
-	for c, st := range m.stations {
-		if err := st.Start(ctx); err != nil {
-			for _, prev := range m.stations[:c] {
-				prev.Stop()
-			}
-			return err
-		}
+	if m.group != nil {
+		return m.group.Start(ctx)
 	}
-	return nil
+	return m.stations[0].Start(ctx)
 }
 
-// Stop takes every shard off the air and waits for the transmit loops.
+// Stop takes every shard off the air and waits for the transmit loop.
 func (m *Station) Stop() {
-	for _, st := range m.stations {
-		st.Stop()
+	if m.group != nil {
+		m.group.Stop()
+		return
 	}
+	m.stations[0].Stop()
 }
 
 // Subscribe tunes a channel-hopping radio in at the current global tick:
@@ -134,6 +139,12 @@ func (s *liveSource) Receive(channel, tick int) (packet.Packet, bool) {
 func (s *liveSource) Hop(from, to, tick int) {
 	s.subs[to].WakeAt(tick)
 	s.subs[from].Park()
+}
+
+// Prefetch forwards an upcoming contiguous reception to the channel's
+// subscription so the station can batch delivery into its buffer.
+func (s *liveSource) Prefetch(channel, fromTick, n int) {
+	s.subs[channel].Prefetch(fromTick, n)
 }
 
 func (s *liveSource) Close() {

@@ -6,6 +6,9 @@
 package netdata
 
 import (
+	"encoding/binary"
+	"math"
+
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -15,7 +18,11 @@ import (
 // maxArcsPerRecord keeps a node record within packet.MaxRecord:
 // header (id u32 + x f32 + y f32 + flags u8 + count u8) is 14 bytes, each
 // arc (target u32 + weight f32) is 8.
-const maxArcsPerRecord = (packet.MaxRecord - 14) / 8
+const maxArcsPerRecord = (packet.MaxRecord - nodeRecHeader) / 8
+
+// nodeRecHeader is the fixed prefix of a TagNode record: id u32 + x f32 +
+// y f32 + flags u8 + count u8.
+const nodeRecHeader = 14
 
 // Node record flags.
 const (
@@ -108,65 +115,128 @@ func DecodeNode(data []byte) (NodeRecord, bool) {
 // during packet-loss recovery) is a no-op, so arc lists never double up.
 // Retained bytes are charged to the memory tracker using the shared client
 // memory model.
+//
+// All bookkeeping is slice-indexed (no maps) and the streaming node decode
+// allocates nothing beyond adjacency growth, so a reused Collector (Reset)
+// makes reception alloc-free in the steady state.
 type Collector struct {
-	Net    *spath.SubNetwork
-	Mem    *metrics.Mem
-	Border map[graph.NodeID]bool
-	POI    map[graph.NodeID]bool
-	seen   map[int]bool
+	Net *spath.SubNetwork
+	Mem *metrics.Mem
+
+	border []bool // indexed by node ID, grown alongside Net
+	poi    []bool
+	seen   []bool // indexed by cycle position, grown on demand
+
+	arcScratch [maxArcsPerRecord]graph.Arc // batch decode buffer
 }
 
 // NewCollector returns a collector over an ID space of n nodes, charging
 // memory to mem (which may be nil for untracked use).
 func NewCollector(n int, mem *metrics.Mem) *Collector {
-	return &Collector{
-		Net:    spath.NewSubNetwork(n),
-		Mem:    mem,
-		Border: make(map[graph.NodeID]bool),
-		POI:    make(map[graph.NodeID]bool),
-		seen:   make(map[int]bool),
-	}
+	c := &Collector{Net: spath.NewSubNetwork(n)}
+	c.Reset(n, mem)
+	return c
+}
+
+// Reset empties the collector for a fresh query over an ID space of n
+// nodes, retaining every backing array. Clients that live across queries
+// (one device answering a stream of queries) reset one collector instead of
+// allocating a new partial network per query.
+func (c *Collector) Reset(n int, mem *metrics.Mem) {
+	c.Net.Reset(n)
+	c.Mem = mem
+	clear(c.border)
+	clear(c.poi)
+	clear(c.seen)
 }
 
 // Processed reports whether the packet at the given cycle position has
 // already been folded in.
-func (c *Collector) Processed(cyclePos int) bool { return c.seen[cyclePos] }
+func (c *Collector) Processed(cyclePos int) bool {
+	return cyclePos < len(c.seen) && c.seen[cyclePos]
+}
+
+// IsBorder reports whether v arrived flagged as a region border node.
+func (c *Collector) IsBorder(v graph.NodeID) bool {
+	return int(v) < len(c.border) && c.border[v]
+}
+
+// IsPOI reports whether v arrived flagged as a point of interest.
+func (c *Collector) IsPOI(v graph.NodeID) bool {
+	return int(v) < len(c.poi) && c.poi[v]
+}
+
+// markSeen records cyclePos as processed, growing the position table.
+func (c *Collector) markSeen(cyclePos int) {
+	if cyclePos >= len(c.seen) {
+		grown := make([]bool, max(cyclePos+1, 2*len(c.seen)))
+		copy(grown, c.seen)
+		c.seen = grown
+	}
+	c.seen[cyclePos] = true
+}
+
+// mark sets v in the set backing one of the node-flag tables.
+func mark(set *[]bool, v graph.NodeID) {
+	if int(v) >= len(*set) {
+		grown := make([]bool, max(int(v)+1, 2*len(*set)))
+		copy(grown, *set)
+		*set = grown
+	}
+	(*set)[v] = true
+}
 
 // Process decodes the TagNode records of a data packet received at the
 // given cycle position and merges them into the partial network. Non-node
 // records are ignored. Duplicate positions are skipped.
 func (c *Collector) Process(cyclePos int, p packet.Packet) {
-	if c.seen[cyclePos] {
+	if c.Processed(cyclePos) {
 		return
 	}
-	c.seen[cyclePos] = true
-	for _, rec := range packet.Records(p.Payload) {
-		if rec.Tag != packet.TagNode {
-			continue
+	c.markSeen(cyclePos)
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		if tag != packet.TagNode {
+			return true
 		}
-		nr, ok := DecodeNode(rec.Data)
-		if !ok {
-			continue
+		// Streaming decode: reject short records up front (the DecodeNode
+		// well-formedness check), then read fields straight out of the
+		// payload — no arcs slice, no decoder state.
+		if len(data) < nodeRecHeader {
+			return true
 		}
-		if !c.Net.Has(nr.ID) {
-			c.Net.AddNode(nr.ID, nr.X, nr.Y, nil)
+		id := graph.NodeID(binary.LittleEndian.Uint32(data))
+		x := float64(math.Float32frombits(binary.LittleEndian.Uint32(data[4:])))
+		y := float64(math.Float32frombits(binary.LittleEndian.Uint32(data[8:])))
+		flags := data[12]
+		cnt := int(data[13])
+		if len(data) < nodeRecHeader+8*cnt {
+			return true
+		}
+		if !c.Net.Has(id) {
+			c.Net.AddNode(id, x, y, nil)
 			if c.Mem != nil {
 				c.Mem.Alloc(metrics.NodeRecBytes)
 			}
 		}
-		if nr.Border {
-			c.Border[nr.ID] = true
+		if flags&flagBorder != 0 {
+			mark(&c.border, id)
 		}
-		if nr.POI {
-			c.POI[nr.ID] = true
+		if flags&flagPOI != 0 {
+			mark(&c.poi, id)
 		}
-		for _, a := range nr.Arcs {
-			c.Net.AddArc(nr.ID, a.To, a.Weight)
+		for i := 0; i < cnt; i++ {
+			b := data[nodeRecHeader+8*i:]
+			c.arcScratch[i] = graph.Arc{
+				To:     graph.NodeID(binary.LittleEndian.Uint32(b)),
+				Weight: float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4:]))),
+			}
 		}
+		c.Net.AddArcs(id, c.arcScratch[:cnt])
 		if c.Mem != nil {
-			c.Mem.Alloc(metrics.ArcRecBytes * len(nr.Arcs))
+			c.Mem.Alloc(metrics.ArcRecBytes * cnt)
 		}
-	}
+		return true
+	})
 }
 
 // Release discharges the collector's retained bytes from the tracker
@@ -179,5 +249,7 @@ func (c *Collector) Release(v graph.NodeID) {
 		c.Mem.Free(metrics.NodeRecBytes + metrics.ArcRecBytes*len(c.Net.Arcs(v)))
 	}
 	c.Net.Remove(v)
-	delete(c.Border, v)
+	if int(v) < len(c.border) {
+		c.border[v] = false
+	}
 }

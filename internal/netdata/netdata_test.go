@@ -30,7 +30,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d of %d nodes", coll.Net.NumPresent(), g.NumNodes())
 	}
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		if coll.Border[v] != isBorder[v] {
+		if coll.IsBorder(v) != isBorder[v] {
 			t.Fatalf("border flag of %d wrong", v)
 		}
 		if len(coll.Net.Arcs(v)) != g.OutDegree(v) {

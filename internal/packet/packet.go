@@ -146,23 +146,64 @@ func (w *Writer) Packets() []Packet {
 	return out
 }
 
-// Records decodes the records in a packet payload. Decoding stops at the
-// first TagEnd byte or at a malformed length, so a truncated or padded
-// payload yields its valid prefix.
-func Records(payload []byte) []Record {
-	var out []Record
+// ForEachRecord decodes the records in a packet payload in place, calling
+// fn with views into payload (no copies, no allocation). Decoding stops at
+// the first TagEnd byte, at a malformed length, or when fn returns false, so
+// a truncated or padded payload yields its valid prefix.
+//
+// The data slice aliases payload: callers that retain record bytes past the
+// packet must copy them. Every decode loop in the client hot path runs
+// through here, and TestForEachRecordZeroAlloc pins it at zero allocs/op.
+func ForEachRecord(payload []byte, fn func(tag uint8, data []byte) bool) {
 	for off := 0; off+recordHeader <= len(payload); {
 		tag := payload[off]
 		if tag == TagEnd {
-			break
+			return
 		}
 		n := int(payload[off+1]) | int(payload[off+2])<<8
 		off += recordHeader
 		if off+n > len(payload) {
-			break // malformed; treat the rest as padding
+			return // malformed; treat the rest as padding
 		}
-		out = append(out, Record{Tag: tag, Data: payload[off : off+n]})
+		if !fn(tag, payload[off:off+n]) {
+			return
+		}
 		off += n
 	}
+}
+
+// All returns a range-over-func iterator over the records of a packet
+// payload: `for rec := range packet.All(p.Payload)`. Like ForEachRecord,
+// the yielded Record.Data views alias payload and the loop allocates
+// nothing.
+func All(payload []byte) func(yield func(Record) bool) {
+	return func(yield func(Record) bool) {
+		ForEachRecord(payload, func(tag uint8, data []byte) bool {
+			return yield(Record{Tag: tag, Data: data})
+		})
+	}
+}
+
+// First returns the first record of a packet payload without allocating,
+// and whether the payload holds any record at all.
+func First(payload []byte) (Record, bool) {
+	var out Record
+	found := false
+	ForEachRecord(payload, func(tag uint8, data []byte) bool {
+		out, found = Record{Tag: tag, Data: data}, true
+		return false
+	})
+	return out, found
+}
+
+// Records decodes the records in a packet payload into a fresh slice. It
+// allocates and exists for tests and cold paths; hot loops use ForEachRecord
+// or All, which return views without allocating.
+func Records(payload []byte) []Record {
+	var out []Record
+	ForEachRecord(payload, func(tag uint8, data []byte) bool {
+		out = append(out, Record{Tag: tag, Data: data})
+		return true
+	})
 	return out
 }

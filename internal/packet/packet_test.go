@@ -155,3 +155,121 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// iterPayload builds a representative sealed payload for iteration tests.
+func iterPayload(tb testing.TB) []byte {
+	tb.Helper()
+	w := NewWriter(KindData)
+	w.Add(TagNode, bytes.Repeat([]byte{1}, 30))
+	w.Add(TagKDSplits, bytes.Repeat([]byte{2}, 40))
+	w.Add(TagNRRow, bytes.Repeat([]byte{3}, 20))
+	pkts := w.Packets()
+	if len(pkts) != 1 {
+		tb.Fatalf("%d packets, want 1", len(pkts))
+	}
+	return pkts[0].Payload
+}
+
+func TestForEachRecordMatchesRecords(t *testing.T) {
+	payload := iterPayload(t)
+	want := Records(payload)
+	var got []Record
+	ForEachRecord(payload, func(tag uint8, data []byte) bool {
+		got = append(got, Record{Tag: tag, Data: data})
+		return true
+	})
+	var ranged []Record
+	for rec := range All(payload) {
+		ranged = append(ranged, rec)
+	}
+	if len(got) != len(want) || len(ranged) != len(want) {
+		t.Fatalf("ForEachRecord %d / range %d records, want %d", len(got), len(ranged), len(want))
+	}
+	for i := range want {
+		if got[i].Tag != want[i].Tag || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("ForEachRecord record %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if ranged[i].Tag != want[i].Tag || !bytes.Equal(ranged[i].Data, want[i].Data) {
+			t.Errorf("range record %d = %+v, want %+v", i, ranged[i], want[i])
+		}
+	}
+	if first, ok := First(payload); !ok || first.Tag != want[0].Tag || !bytes.Equal(first.Data, want[0].Data) {
+		t.Errorf("First = %+v/%v, want %+v", first, ok, want[0])
+	}
+}
+
+func TestForEachRecordEarlyStop(t *testing.T) {
+	payload := iterPayload(t)
+	calls := 0
+	ForEachRecord(payload, func(tag uint8, data []byte) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("%d calls after early stop, want 1", calls)
+	}
+	for range All(payload) {
+		break // must not panic or continue
+	}
+}
+
+// TestForEachRecordZeroAlloc pins the record-iteration hot path at zero
+// allocations per packet — the contract every client decode loop relies on.
+func TestForEachRecordZeroAlloc(t *testing.T) {
+	payload := iterPayload(t)
+	sum := 0
+	if n := testing.AllocsPerRun(100, func() {
+		ForEachRecord(payload, func(tag uint8, data []byte) bool {
+			sum += int(tag) + len(data)
+			return true
+		})
+	}); n != 0 {
+		t.Errorf("ForEachRecord allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for rec := range All(payload) {
+			sum += int(rec.Tag) + len(rec.Data)
+		}
+	}); n != 0 {
+		t.Errorf("range over All allocates %v per run, want 0", n)
+	}
+	_ = sum
+}
+
+// BenchmarkRecordIter compares the zero-allocation iterator against the
+// allocating Records on the same sealed payload (`-benchmem` shows 0 B/op
+// for the first two).
+func BenchmarkRecordIter(b *testing.B) {
+	payload := iterPayload(b)
+	b.Run("ForEachRecord", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			ForEachRecord(payload, func(tag uint8, data []byte) bool {
+				sum += len(data)
+				return true
+			})
+		}
+		_ = sum
+	})
+	b.Run("RangeAll", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for rec := range All(payload) {
+				sum += len(rec.Data)
+			}
+		}
+		_ = sum
+	})
+	b.Run("Records", func(b *testing.B) {
+		b.ReportAllocs()
+		sum := 0
+		for i := 0; i < b.N; i++ {
+			for _, rec := range Records(payload) {
+				sum += len(rec.Data)
+			}
+		}
+		_ = sum
+	})
+}

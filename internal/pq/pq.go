@@ -89,14 +89,23 @@ func (h *Min) Pop() (int32, float64) {
 	return item, key
 }
 
-// Reset empties the heap, retaining capacity. Cheaper than New when the same
-// heap is reused across many searches on the same graph.
-func (h *Min) Reset() {
+// Reset empties the heap and grows its ID space to hold items in [0, n) if
+// needed, retaining capacity. Cheaper than New when the same heap is reused
+// across many searches on the same graph.
+func (h *Min) Reset(n int) {
 	for _, it := range h.items {
 		h.pos[it] = -1
 	}
 	h.items = h.items[:0]
 	h.keys = h.keys[:0]
+	if n > len(h.pos) {
+		grown := make([]int32, n)
+		copy(grown, h.pos)
+		for i := len(h.pos); i < n; i++ {
+			grown[i] = -1
+		}
+		h.pos = grown
+	}
 }
 
 func (h *Min) up(i int) {

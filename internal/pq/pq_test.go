@@ -73,7 +73,7 @@ func TestReset(t *testing.T) {
 	for i := int32(0); i < 5; i++ {
 		h.Push(i, float64(i))
 	}
-	h.Reset()
+	h.Reset(0)
 	if h.Len() != 0 {
 		t.Fatalf("len %d after reset", h.Len())
 	}

@@ -9,6 +9,9 @@ package precompute
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -113,10 +116,191 @@ func (b *BorderData) Traversal(i, j, n int) RegionSet { return b.Traverse[i*n+j]
 // target border node, the set of regions on its shortest path (a bitmask
 // propagated down the tree in pop order) and whether each node is an
 // ancestor of some border target (the cross-border classification).
+//
+// The per-border-node Dijkstras are independent, so they are fanned across
+// GOMAXPROCS workers; see ComputeWorkers for the contract.
 func Compute(g *graph.Graph, r *Regions) *BorderData {
+	return ComputeWorkers(g, r, 0)
+}
+
+// borderJob is one unit of pre-computation: the Dijkstra (and tree passes)
+// rooted at border node b of region ri.
+type borderJob struct {
+	ri int
+	b  graph.NodeID
+}
+
+// borderAccum is one worker's private accumulation state. Workers never
+// share memory while jobs run; their partials merge at the end.
+type borderAccum struct {
+	minDist     [][]float64
+	maxDist     [][]float64
+	traverse    []RegionSet // flattened i*n+j
+	crossBorder []bool
+
+	// Dijkstra-tree scratch.
+	ros       []uint64 // regions-on-path bitmask per node
+	hasTarget []bool
+	words     int
+}
+
+func newBorderAccum(n, nn int) *borderAccum {
+	a := &borderAccum{
+		minDist:     newMatrix(n, math.Inf(1)),
+		maxDist:     newMatrix(n, 0),
+		traverse:    make([]RegionSet, n*n),
+		crossBorder: make([]bool, nn),
+		words:       (n + 63) / 64,
+	}
+	a.ros = make([]uint64, nn*a.words)
+	a.hasTarget = make([]bool, nn)
+	for i := range a.traverse {
+		a.traverse[i] = NewRegionSet(n)
+	}
+	return a
+}
+
+// processBorder folds one border node's shortest-path tree into the accum.
+func (a *borderAccum) processBorder(g *graph.Graph, r *Regions, j borderJob) {
+	n := r.N
+	words := a.words
+	tree := spath.Dijkstra(g, j.b)
+
+	// Pass 1 (pop order): regions on the path from b to v.
+	for _, v := range tree.PopOrder {
+		dst := a.ros[int(v)*words : int(v)*words+words]
+		if p := tree.Parent[v]; p != graph.Invalid {
+			src := a.ros[int(p)*words : int(p)*words+words]
+			copy(dst, src)
+		} else {
+			for k := range dst {
+				dst[k] = 0
+			}
+		}
+		reg := r.Assign[v]
+		dst[reg/64] |= 1 << (reg % 64)
+	}
+
+	// Aggregate distances and traversal sets per target region.
+	for rj := 0; rj < n; rj++ {
+		cell := a.traverse[j.ri*n+rj]
+		for _, bt := range r.Borders[rj] {
+			if bt == j.b {
+				continue
+			}
+			d := tree.Dist[bt]
+			if math.IsInf(d, 1) {
+				continue
+			}
+			if d < a.minDist[j.ri][rj] {
+				a.minDist[j.ri][rj] = d
+			}
+			if d > a.maxDist[j.ri][rj] {
+				a.maxDist[j.ri][rj] = d
+			}
+			src := a.ros[int(bt)*words : int(bt)*words+words]
+			for k := range cell {
+				cell[k] |= src[k]
+			}
+		}
+	}
+
+	// Pass 2 (reverse pop order): mark ancestors of border targets in other
+	// regions — the cross-border nodes.
+	for _, v := range tree.PopOrder {
+		a.hasTarget[v] = r.IsBorder[v] && r.Assign[v] != j.ri
+	}
+	for k := len(tree.PopOrder) - 1; k >= 0; k-- {
+		v := tree.PopOrder[k]
+		if a.hasTarget[v] {
+			a.crossBorder[v] = true
+			if p := tree.Parent[v]; p != graph.Invalid {
+				a.hasTarget[p] = true
+			}
+		}
+	}
+}
+
+// clampWorkers resolves a requested worker count against n units of work:
+// <= 0 selects GOMAXPROCS, and the result is capped to [1, n].
+func clampWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelWorkers fans the indices [0, n) across `workers` goroutines
+// (resolved by clampWorkers) pulling from one atomic counter. fn receives
+// the goroutine's worker id (in [0, workers)) and the index; it must only
+// touch per-index outputs or per-worker state. Returns the worker count
+// used, so callers can size per-worker state via the same clamp.
+//
+// This is the one work-stealing loop behind every parallel build step
+// (border pre-computation, region encoding, NR local indexes).
+func ParallelWorkers(n, workers int, fn func(worker, i int)) int {
+	workers = clampWorkers(n, workers)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return workers
+}
+
+// ParallelFor is ParallelWorkers with GOMAXPROCS workers and no worker id.
+func ParallelFor(n int, fn func(i int)) {
+	ParallelWorkers(n, 0, func(_, i int) { fn(i) })
+}
+
+// ComputeWorkers is Compute with an explicit worker count: workers <= 0
+// selects GOMAXPROCS, 1 runs serially. Every worker count produces a
+// bit-identical BorderData — the min/max distance folds, traversal-set
+// unions and cross-border unions are all order-independent — which
+// TestParallelMatchesSerial pins on the five harness networks.
+func ComputeWorkers(g *graph.Graph, r *Regions, workers int) *BorderData {
 	start := time.Now()
 	n := r.N
 	nn := g.NumNodes()
+
+	var jobs []borderJob
+	for ri := 0; ri < n; ri++ {
+		for _, b := range r.Borders[ri] {
+			jobs = append(jobs, borderJob{ri, b})
+		}
+	}
+	workers = clampWorkers(len(jobs), workers)
+	accums := make([]*borderAccum, workers)
+	for w := range accums {
+		accums[w] = newBorderAccum(n, nn)
+	}
+	ParallelWorkers(len(jobs), workers, func(w, i int) {
+		accums[w].processBorder(g, r, jobs[i])
+	})
+
 	bd := &BorderData{
 		MinDist:     newMatrix(n, math.Inf(1)),
 		MaxDist:     newMatrix(n, 0),
@@ -126,73 +310,29 @@ func Compute(g *graph.Graph, r *Regions) *BorderData {
 	for i := range bd.Traverse {
 		bd.Traverse[i] = NewRegionSet(n)
 	}
-	for i := 0; i < n; i++ {
-		bd.MinDist[i][i] = 0
-		bd.Traverse[i*n+i].Set(i)
-	}
-
-	words := (n + 63) / 64
-	ros := make([]uint64, nn*words) // regions-on-path bitmask per node
-	hasTarget := make([]bool, nn)
-
-	for ri := 0; ri < n; ri++ {
-		for _, b := range r.Borders[ri] {
-			tree := spath.Dijkstra(g, b)
-
-			// Pass 1 (pop order): regions on the path from b to v.
-			for _, v := range tree.PopOrder {
-				dst := ros[int(v)*words : int(v)*words+words]
-				if p := tree.Parent[v]; p != graph.Invalid {
-					src := ros[int(p)*words : int(p)*words+words]
-					copy(dst, src)
-				} else {
-					for k := range dst {
-						dst[k] = 0
-					}
+	for _, acc := range accums {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if acc.minDist[i][j] < bd.MinDist[i][j] {
+					bd.MinDist[i][j] = acc.minDist[i][j]
 				}
-				reg := r.Assign[v]
-				dst[reg/64] |= 1 << (reg % 64)
-			}
-
-			// Aggregate distances and traversal sets per target region.
-			for rj := 0; rj < n; rj++ {
-				cell := bd.Traverse[ri*n+rj]
-				for _, bt := range r.Borders[rj] {
-					if bt == b {
-						continue
-					}
-					d := tree.Dist[bt]
-					if math.IsInf(d, 1) {
-						continue
-					}
-					if d < bd.MinDist[ri][rj] {
-						bd.MinDist[ri][rj] = d
-					}
-					if d > bd.MaxDist[ri][rj] {
-						bd.MaxDist[ri][rj] = d
-					}
-					src := ros[int(bt)*words : int(bt)*words+words]
-					for k := range cell {
-						cell[k] |= src[k]
-					}
-				}
-			}
-
-			// Pass 2 (reverse pop order): mark ancestors of border targets
-			// in other regions — the cross-border nodes.
-			for _, v := range tree.PopOrder {
-				hasTarget[v] = r.IsBorder[v] && r.Assign[v] != ri
-			}
-			for k := len(tree.PopOrder) - 1; k >= 0; k-- {
-				v := tree.PopOrder[k]
-				if hasTarget[v] {
-					bd.CrossBorder[v] = true
-					if p := tree.Parent[v]; p != graph.Invalid {
-						hasTarget[p] = true
-					}
+				if acc.maxDist[i][j] > bd.MaxDist[i][j] {
+					bd.MaxDist[i][j] = acc.maxDist[i][j]
 				}
 			}
 		}
+		for i := range bd.Traverse {
+			bd.Traverse[i].Or(acc.traverse[i])
+		}
+		for v, cb := range acc.crossBorder {
+			if cb {
+				bd.CrossBorder[v] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		bd.MinDist[i][i] = 0
+		bd.Traverse[i*n+i].Set(i)
 	}
 	// Border nodes themselves are endpoints of the pre-computed paths.
 	for v, isB := range r.IsBorder {

@@ -198,3 +198,81 @@ func TestBorderCount(t *testing.T) {
 		t.Fatal("no border nodes on a connected partitioned network")
 	}
 }
+
+// equalBorderData fails the test at the first field where a and b diverge.
+func equalBorderData(t *testing.T, label string, n int, a, b *BorderData) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.MinDist[i][j] != b.MinDist[i][j] || a.MaxDist[i][j] != b.MaxDist[i][j] {
+				t.Fatalf("%s: dist cell (%d,%d): serial min/max %v/%v, parallel %v/%v",
+					label, i, j, a.MinDist[i][j], a.MaxDist[i][j], b.MinDist[i][j], b.MaxDist[i][j])
+			}
+			for w := range a.Traverse[i*n+j] {
+				if a.Traverse[i*n+j][w] != b.Traverse[i*n+j][w] {
+					t.Fatalf("%s: traversal set (%d,%d) word %d differs", label, i, j, w)
+				}
+			}
+		}
+	}
+	for v := range a.CrossBorder {
+		if a.CrossBorder[v] != b.CrossBorder[v] {
+			t.Fatalf("%s: CrossBorder[%d]: serial %v, parallel %v", label, v, a.CrossBorder[v], b.CrossBorder[v])
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins ComputeWorkers' contract on all five
+// harness networks (scaled down): every worker count produces the exact
+// BorderData the serial path produces. CI additionally runs this package
+// under -race with GOMAXPROCS > 1.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, p := range netgen.Presets {
+		p := p.Scaled(0.01)
+		g, err := p.Generate(2010)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		kd, err := partition.NewKDTree(g, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		r := BuildRegions(g, kd)
+		serial := ComputeWorkers(g, r, 1)
+		for _, workers := range []int{2, 4, 0} {
+			par := ComputeWorkers(g, r, workers)
+			equalBorderData(t, p.Name, r.N, serial, par)
+		}
+	}
+}
+
+// BenchmarkPrecomputeParallel measures the border-pair pre-computation
+// serial versus fanned across all cores (`-benchmem` shows the per-worker
+// accumulator overhead).
+func BenchmarkPrecomputeParallel(b *testing.B) {
+	g, err := netgen.PresetByName("germany")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gg, err := g.Scaled(0.05).Generate(2010)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kd, err := partition.NewKDTree(gg, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := BuildRegions(gg, kd)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ComputeWorkers(gg, r, 1)
+		}
+	})
+	b.Run("gomaxprocs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ComputeWorkers(gg, r, 0)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Package servercache is the shared immutable build cache for air-index
+// servers and everything expensive on the way to one: generated networks,
+// region pre-computation, assembled broadcast cycles.
+//
+// Building a server is orders of magnitude more expensive than answering a
+// query on it (one Dijkstra per border node, then cycle assembly), and the
+// repo's consumers — the experiment harness regenerating every table and
+// figure, the conformance fuzzer revisiting (network, scheme) pairs, the
+// fleet and the cmd front ends — kept rebuilding identical cycles from
+// scratch. Everything a build produces is immutable after construction
+// (graphs, cycles, border data; clients carry all per-query state), so one
+// cache entry can be shared freely across goroutines: a fuzz worker pool or
+// a fleet shares one decoded air instead of N copies.
+//
+// Entries build at most once: concurrent Gets for the same key block on a
+// single build (singleflight via sync.Once) instead of duplicating it.
+package servercache
+
+import "sync"
+
+// Key identifies one built artifact. All three fields are canonical
+// strings so callers control exactly what "the same build" means.
+type Key struct {
+	// Network names the road network: preset/scale/seed or nodes/edges/seed.
+	Network string
+	// Scheme names what was built on it ("NR", "EB", "graph", "core", ...).
+	Scheme string
+	// Params captures every build parameter that changes the output
+	// (regions, segmentation, landmarks, channel count, ...).
+	Params string
+}
+
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+var cache sync.Map // Key -> *entry
+
+// Get returns the value cached under key, invoking build at most once
+// across all concurrent callers. A build error is cached too: the same key
+// deterministically produces the same error, so there is no point retrying.
+func Get[T any](key Key, build func() (T, error)) (T, error) {
+	e, _ := cache.LoadOrStore(key, &entry{})
+	ent := e.(*entry)
+	ent.once.Do(func() {
+		ent.val, ent.err = build()
+	})
+	if ent.err != nil {
+		var zero T
+		return zero, ent.err
+	}
+	return ent.val.(T), nil
+}
+
+// Len returns the number of cached entries (tests and diagnostics).
+func Len() int {
+	n := 0
+	cache.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// Flush drops every cached entry. Only tests need it.
+func Flush() {
+	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
+}

@@ -1,0 +1,61 @@
+package servercache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetBuildsOncePerKey(t *testing.T) {
+	Flush()
+	var builds atomic.Int64
+	key := Key{Network: "n1", Scheme: "NR", Params: "r=8"}
+	build := func() (int, error) {
+		builds.Add(1)
+		return 42, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Get(key, build)
+			if err != nil || v != 42 {
+				t.Errorf("Get = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds for one key, want 1", builds.Load())
+	}
+	if _, err := Get(Key{Network: "n1", Scheme: "NR", Params: "r=16"}, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("%d builds after distinct params, want 2", builds.Load())
+	}
+	if Len() != 2 {
+		t.Fatalf("Len = %d, want 2", Len())
+	}
+}
+
+func TestGetCachesErrors(t *testing.T) {
+	Flush()
+	sentinel := errors.New("deterministic build failure")
+	builds := 0
+	key := Key{Network: "bad", Scheme: "EB"}
+	for i := 0; i < 3; i++ {
+		_, err := Get(key, func() (int, error) {
+			builds++
+			return 0, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("Get error = %v, want sentinel", err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("%d builds for an erroring key, want 1", builds)
+	}
+}

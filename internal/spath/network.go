@@ -35,14 +35,42 @@ type Result struct {
 // This is the "search in the union of received regions" step every client
 // scheme ends with (paper Sections 4.2, 5.2).
 func DijkstraNetwork(net Network, s, t graph.NodeID) Result {
-	n := net.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]graph.NodeID, n)
-	for i := range dist {
-		dist[i] = Inf
-		parent[i] = graph.Invalid
+	return new(Search).Dijkstra(net, s, t)
+}
+
+// Search is reusable Dijkstra state (distance and parent arrays plus the
+// heap) over an ID space. A client that answers a stream of queries holds
+// one Search and calls Dijkstra per query, reusing the arrays instead of
+// reallocating them; the zero value is ready to use.
+type Search struct {
+	dist   []float64
+	parent []graph.NodeID
+	h      *pq.Min
+}
+
+// prepare sizes and re-initializes the state for an ID space of n nodes.
+func (sc *Search) prepare(n int) {
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.parent = make([]graph.NodeID, n)
 	}
-	h := pq.New(n)
+	sc.dist = sc.dist[:n]
+	sc.parent = sc.parent[:n]
+	for i := range sc.dist {
+		sc.dist[i] = Inf
+		sc.parent[i] = graph.Invalid
+	}
+	if sc.h == nil {
+		sc.h = pq.New(n)
+	} else {
+		sc.h.Reset(n)
+	}
+}
+
+// Dijkstra is DijkstraNetwork over this Search's reusable state.
+func (sc *Search) Dijkstra(net Network, s, t graph.NodeID) Result {
+	sc.prepare(net.NumNodes())
+	dist, parent, h := sc.dist, sc.parent, sc.h
 	dist[s] = 0
 	h.Push(int32(s), 0)
 	settled := 0
@@ -72,23 +100,67 @@ func DijkstraNetwork(net Network, s, t graph.NodeID) Result {
 // SubNetwork is a partial road network keyed by global node IDs: exactly the
 // structure a client accumulates while listening to region data. Nodes not
 // received have no adjacency and are invisible to the search.
+//
+// Storage is slice-indexed by node ID (the ID space is dense and known up
+// front for every indexed scheme), so the reception hot loop does no map
+// hashing and a Reset reuses the backing arrays across queries.
 type SubNetwork struct {
-	n   int
-	adj map[graph.NodeID][]graph.Arc
-	pos map[graph.NodeID][2]float64
+	n        int
+	adj      [][]graph.Arc
+	present  []bool
+	pos      [][2]float64
+	nPresent int
 
 	// scratch buffers reused by Out to avoid per-call allocations.
 	dstBuf []graph.NodeID
 	wgtBuf []float64
+
+	// arena backs the per-node arc slices built by AddArcs: fresh adjacency
+	// is carved out of one chunk instead of one heap allocation per node.
+	// Windows handed out are capacity-capped (three-index slices), so
+	// appends past a window reallocate on the heap and never bleed into a
+	// neighbour's arcs.
+	arena []graph.Arc
+}
+
+// arenaChunk is the arc arena's allocation unit.
+const arenaChunk = 2048
+
+// allocArcs returns an empty arc slice with capacity >= c carved from the
+// arena (or the heap for outsized requests).
+func (s *SubNetwork) allocArcs(c int) []graph.Arc {
+	if c > arenaChunk/8 {
+		return make([]graph.Arc, 0, c)
+	}
+	if cap(s.arena)-len(s.arena) < c {
+		s.arena = make([]graph.Arc, 0, arenaChunk)
+	}
+	off := len(s.arena)
+	s.arena = s.arena[:off+c]
+	return s.arena[off : off : off+c]
 }
 
 // NewSubNetwork returns an empty partial network over an ID space of size n.
 func NewSubNetwork(n int) *SubNetwork {
-	return &SubNetwork{
-		n:   n,
-		adj: make(map[graph.NodeID][]graph.Arc),
-		pos: make(map[graph.NodeID][2]float64),
+	s := &SubNetwork{}
+	s.Reset(n)
+	return s
+}
+
+// Reset empties the network for an ID space of size n, retaining the
+// backing arrays — including per-node arc capacity — so a client reusing
+// one SubNetwork across queries stops paying adjacency growth after its
+// first few queries.
+func (s *SubNetwork) Reset(n int) {
+	s.n = n
+	s.nPresent = 0
+	s.ensure(n)
+	adj := s.adj[:cap(s.adj)]
+	for i := range adj {
+		adj[i] = adj[i][:0]
 	}
+	clear(s.present[:cap(s.present)])
+	clear(s.pos[:cap(s.pos)])
 }
 
 // NumNodes returns the ID-space size. It grows automatically when nodes
@@ -96,19 +168,41 @@ func NewSubNetwork(n int) *SubNetwork {
 // the network size is known (e.g. Dijkstra's index-less cycle) still works.
 func (s *SubNetwork) NumNodes() int { return s.n }
 
+// ensure extends the backing arrays to hold at least n IDs.
+func (s *SubNetwork) ensure(n int) {
+	if n <= len(s.adj) {
+		return
+	}
+	if n <= cap(s.adj) {
+		s.adj = s.adj[:n]
+		s.present = s.present[:n]
+		s.pos = s.pos[:n]
+		return
+	}
+	adj := make([][]graph.Arc, n)
+	copy(adj, s.adj)
+	s.adj = adj
+	present := make([]bool, n)
+	copy(present, s.present)
+	s.present = present
+	pos := make([][2]float64, n)
+	copy(pos, s.pos)
+	s.pos = pos
+}
+
 func (s *SubNetwork) grow(v graph.NodeID) {
 	if int(v) >= s.n {
 		s.n = int(v) + 1
 	}
+	s.ensure(s.n)
 }
 
 // NumPresent returns how many nodes have been added.
-func (s *SubNetwork) NumPresent() int { return len(s.pos) }
+func (s *SubNetwork) NumPresent() int { return s.nPresent }
 
 // Has reports whether node v's adjacency has been added.
 func (s *SubNetwork) Has(v graph.NodeID) bool {
-	_, ok := s.pos[v]
-	return ok
+	return int(v) < len(s.present) && s.present[v]
 }
 
 // AddNode registers node v with its coordinates and (possibly empty)
@@ -119,8 +213,18 @@ func (s *SubNetwork) AddNode(v graph.NodeID, x, y float64, arcs []graph.Arc) {
 	for _, a := range arcs {
 		s.grow(a.To)
 	}
+	if !s.present[v] {
+		s.present[v] = true
+		s.nPresent++
+	}
 	s.pos[v] = [2]float64{x, y}
-	s.adj[v] = arcs
+	if arcs == nil {
+		// Empty adjacency: keep the node's retained arc capacity (Reset
+		// preserves it across queries) instead of dropping it.
+		s.adj[v] = s.adj[v][:0]
+	} else {
+		s.adj[v] = arcs
+	}
 }
 
 // AddArc appends a single outgoing arc to v (used by super-edge graphs).
@@ -128,20 +232,52 @@ func (s *SubNetwork) AddArc(v, to graph.NodeID, w float64) {
 	s.grow(v)
 	s.grow(to)
 	s.adj[v] = append(s.adj[v], graph.Arc{To: to, Weight: w})
-	if _, ok := s.pos[v]; !ok {
-		s.pos[v] = [2]float64{}
+	if !s.present[v] {
+		s.present[v] = true
+		s.nPresent++
+	}
+}
+
+// AddArcs appends a batch of outgoing arcs to v — the reception path's
+// bulk variant of AddArc: one arena carve per node record instead of
+// doubling-growth heap allocations arc by arc.
+func (s *SubNetwork) AddArcs(v graph.NodeID, arcs []graph.Arc) {
+	if len(arcs) == 0 {
+		return
+	}
+	s.grow(v)
+	for _, a := range arcs {
+		s.grow(a.To)
+	}
+	cur := s.adj[v]
+	if len(cur)+len(arcs) > cap(cur) {
+		grown := s.allocArcs(len(cur) + len(arcs))
+		cur = append(grown, cur...)
+	}
+	s.adj[v] = append(cur, arcs...)
+	if !s.present[v] {
+		s.present[v] = true
+		s.nPresent++
 	}
 }
 
 // Remove drops node v and its adjacency (memory-bound processing discards
 // region data after contraction into super-edges).
 func (s *SubNetwork) Remove(v graph.NodeID) {
-	delete(s.adj, v)
-	delete(s.pos, v)
+	if !s.Has(v) {
+		s.adj[v] = nil
+		return
+	}
+	s.adj[v] = nil
+	s.present[v] = false
+	s.nPresent--
 }
 
 // Out implements Network.
 func (s *SubNetwork) Out(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if int(v) >= len(s.adj) {
+		return nil, nil
+	}
 	arcs := s.adj[v]
 	if len(arcs) == 0 {
 		return nil, nil
@@ -156,18 +292,27 @@ func (s *SubNetwork) Out(v graph.NodeID) ([]graph.NodeID, []float64) {
 }
 
 // Arcs returns the raw arc slice of v (no copy).
-func (s *SubNetwork) Arcs(v graph.NodeID) []graph.Arc { return s.adj[v] }
+func (s *SubNetwork) Arcs(v graph.NodeID) []graph.Arc {
+	if int(v) >= len(s.adj) {
+		return nil
+	}
+	return s.adj[v]
+}
 
 // Pos returns the stored coordinates of v and whether v is present.
 func (s *SubNetwork) Pos(v graph.NodeID) (x, y float64, ok bool) {
-	p, ok := s.pos[v]
-	return p[0], p[1], ok
+	if !s.Has(v) {
+		return 0, 0, false
+	}
+	return s.pos[v][0], s.pos[v][1], true
 }
 
-// ForEach calls fn for every present node.
+// ForEach calls fn for every present node, in ascending ID order.
 func (s *SubNetwork) ForEach(fn func(v graph.NodeID)) {
-	for v := range s.pos {
-		fn(v)
+	for v, p := range s.present {
+		if p {
+			fn(graph.NodeID(v))
+		}
 	}
 }
 
@@ -177,8 +322,10 @@ func (s *SubNetwork) ForEach(fn func(v graph.NodeID)) {
 func (s *SubNetwork) ApproxBytes() int {
 	const nodeBytes, arcBytes = 24, 12
 	total := 0
-	for v := range s.pos {
-		total += nodeBytes + arcBytes*len(s.adj[v])
+	for v, p := range s.present {
+		if p {
+			total += nodeBytes + arcBytes*len(s.adj[v])
+		}
 	}
 	return total
 }
@@ -188,14 +335,16 @@ func (s *SubNetwork) ApproxBytes() int {
 // bit vectors) with adjacency lists by ordinal call this after reception,
 // because packet-loss recovery can deliver arc chunks out of order.
 func (s *SubNetwork) SortAllArcs() {
-	for v, arcs := range s.adj {
+	for _, arcs := range s.adj {
+		if len(arcs) < 2 {
+			continue
+		}
 		sort.Slice(arcs, func(i, j int) bool {
 			if arcs[i].To != arcs[j].To {
 				return arcs[i].To < arcs[j].To
 			}
 			return arcs[i].Weight < arcs[j].Weight
 		})
-		s.adj[v] = arcs
 	}
 }
 

@@ -89,7 +89,7 @@ func (s *BGI) assemble() {
 	// Locate each point's data packet for the per-cell directory.
 	pointPacket := make(map[int32]int, len(s.pts))
 	for i, p := range data {
-		for _, rec := range packet.Records(p.Payload) {
+		for rec := range packet.All(p.Payload) {
 			d := packet.NewDec(rec.Data)
 			id := int32(d.U32())
 			if !d.Err() {
@@ -206,7 +206,7 @@ type bgiObj struct {
 }
 
 func (x *bgiIndex) process(p packet.Packet) {
-	for _, rec := range packet.Records(p.Payload) {
+	for rec := range packet.All(p.Payload) {
 		switch rec.Tag {
 		case tagSpatialMeta:
 			d := packet.NewDec(rec.Data)
@@ -323,7 +323,7 @@ func (c *bgiClient) fetch(t *broadcast.Tuner, objs []bgiObj, keep func(Point) bo
 	seen := map[int]bool{}
 	for _, cp := range order {
 		receiveSpan(t, cp, 1, seen, func(_ int, p packet.Packet) {
-			for _, rec := range packet.Records(p.Payload) {
+			for rec := range packet.All(p.Payload) {
 				if rec.Tag != tagPoint {
 					continue
 				}

@@ -60,9 +60,8 @@ func (s *DSI) assemble() {
 
 	frameMinH := make([]uint64, nFrames)
 	for f := 0; f < nFrames; f++ {
-		recs := packet.Records(data[f*framePayload].Payload)
-		if len(recs) > 0 {
-			if _, h, ok := decodePointRecord(recs[0].Data); ok {
+		if rec, found := packet.First(data[f*framePayload].Payload); found {
+			if _, h, ok := decodePointRecord(rec.Data); ok {
 				frameMinH[f] = h
 			}
 		}
@@ -154,7 +153,7 @@ type dsiSkip struct {
 
 func decodeFrameIndex(p packet.Packet) dsiFrame {
 	var f dsiFrame
-	for _, rec := range packet.Records(p.Payload) {
+	for rec := range packet.All(p.Payload) {
 		switch rec.Tag {
 		case tagSpatialMeta:
 			d := packet.NewDec(rec.Data)
@@ -257,7 +256,7 @@ func (c *dsiClient) collectRange(t *broadcast.Tuner, start dsiFrame, lo, hi uint
 		base := frameStart(cur.frame, cur.nFrames, t.CycleLen())
 		span := frameSpan(cur.frame, cur.nFrames, t.CycleLen())
 		receiveSpan(t, base+1, span, seen, func(_ int, p packet.Packet) {
-			for _, rec := range packet.Records(p.Payload) {
+			for rec := range packet.All(p.Payload) {
 				if rec.Tag != tagPoint {
 					continue
 				}

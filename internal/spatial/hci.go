@@ -115,9 +115,8 @@ func (s *HCI) assemble() {
 	// Sparse index: one entry per data packet (its minimum curve value).
 	packetMinH := make([]uint64, len(data))
 	for i := range data {
-		recs := packet.Records(data[i].Payload)
-		if len(recs) > 0 {
-			if _, h, ok := decodePointRecord(recs[0].Data); ok {
+		if rec, found := packet.First(data[i].Payload); found {
+			if _, h, ok := decodePointRecord(rec.Data); ok {
 				packetMinH[i] = h
 			}
 		}
@@ -208,7 +207,7 @@ type hciEntry struct {
 }
 
 func (x *hciIndex) process(p packet.Packet) {
-	for _, rec := range packet.Records(p.Payload) {
+	for rec := range packet.All(p.Payload) {
 		switch rec.Tag {
 		case tagSpatialMeta:
 			d := packet.NewDec(rec.Data)
@@ -366,7 +365,7 @@ func (c *hciClient) Range(t *broadcast.Tuner, w Window) ([]Point, metrics.Query,
 	seen := map[int]bool{}
 	for _, e := range need {
 		receiveSpan(t, e.start, 1, seen, func(_ int, p packet.Packet) {
-			for _, rec := range packet.Records(p.Payload) {
+			for rec := range packet.All(p.Payload) {
 				if rec.Tag != tagPoint {
 					continue
 				}
@@ -415,7 +414,7 @@ func (c *hciClient) KNN(t *broadcast.Tuner, qx, qy float64, k int) ([]Point, met
 	seen := map[int]bool{}
 	read := func(entry hciEntry) {
 		receiveSpan(t, entry.start, 1, seen, func(_ int, p packet.Packet) {
-			for _, rec := range packet.Records(p.Payload) {
+			for rec := range packet.All(p.Payload) {
 				if rec.Tag != tagPoint {
 					continue
 				}
@@ -449,7 +448,7 @@ func (c *hciClient) KNN(t *broadcast.Tuner, qx, qy float64, k int) ([]Point, met
 	var cands []Point
 	for _, e := range x.packetsForCurveRange(lo, hi) {
 		receiveSpan(t, e.start, 1, seen, func(_ int, p packet.Packet) {
-			for _, rec := range packet.Records(p.Payload) {
+			for rec := range packet.All(p.Payload) {
 				if rec.Tag != tagPoint {
 					continue
 				}

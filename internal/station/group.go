@@ -1,0 +1,135 @@
+package station
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group drives several stations from one transmit goroutine on a single
+// global tick sequence: every member transmits tick T (in member order)
+// before any member transmits T+1.
+//
+// It is the cheap way to run a multi-channel broadcast's K shard stations
+// in lockstep: the observable guarantee is exactly a SharedClock barrier's —
+// no shard races another past a tick — but without K goroutines handing a
+// barrier around, which on a busy machine costs scheduler wakeups and a
+// channel allocation per tick. An exact subscription's clock hold (see
+// Station.deliver) blocks the group goroutine and therefore every member,
+// just as the barrier held every shard.
+//
+// Member stations must not be Started individually; the group adopts them.
+type Group struct {
+	stations []*Station
+
+	mu      sync.Mutex
+	running bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// NewGroup returns a group over the given stations. All members must share
+// one pacing configuration; Config.Clock must be nil (the group itself is
+// the synchronizer).
+func NewGroup(stations []*Station) (*Group, error) {
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("station: empty group")
+	}
+	cfg := stations[0].cfg
+	for _, st := range stations {
+		if st.cfg.Clock != nil {
+			return nil, fmt.Errorf("station: grouped station must not have a shared clock")
+		}
+		if st.cfg.BitsPerSecond != cfg.BitsPerSecond || st.cfg.PacketBits != cfg.PacketBits {
+			return nil, fmt.Errorf("station: grouped stations disagree on pacing")
+		}
+	}
+	return &Group{stations: stations}, nil
+}
+
+// Start puts every member on the air under one transmit loop. Transmission
+// stops when ctx is cancelled or Stop is called.
+func (g *Group) Start(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running {
+		return fmt.Errorf("station: group already started")
+	}
+	for i, st := range g.stations {
+		st.mu.Lock()
+		if st.running {
+			st.mu.Unlock()
+			for _, prev := range g.stations[:i] {
+				prev.mu.Lock()
+				prev.running = false
+				prev.mu.Unlock()
+			}
+			return fmt.Errorf("station: group member already started")
+		}
+		st.running = true
+		st.mu.Unlock()
+	}
+	ctx, g.cancel = context.WithCancel(ctx)
+	g.done = make(chan struct{})
+	g.running = true
+	go g.run(ctx, g.done)
+	return nil
+}
+
+// Stop takes every member off the air and waits for the transmit loop to
+// exit. Safe to call multiple times and after context cancellation.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	cancel, done := g.cancel, g.done
+	g.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// run is the group transmit loop: one global tick per iteration, delivered
+// member by member.
+func (g *Group) run(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	defer func() {
+		for _, st := range g.stations {
+			st.closeSubs()
+		}
+		g.mu.Lock()
+		g.running = false
+		g.mu.Unlock()
+	}()
+
+	interval := g.stations[0].cfg.interval()
+	started := time.Now()
+	transmitted := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if interval > 0 {
+			due := started.Add(time.Duration(transmitted) * interval)
+			if wait := time.Until(due); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+		}
+		listeners := 0
+		for _, st := range g.stations {
+			listeners += st.step(ctx)
+		}
+		transmitted++
+		if listeners == 0 && interval == 0 {
+			// Virtual clock with nobody tuned in: don't burn a core.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

@@ -69,8 +69,15 @@ type Station struct {
 
 	mu      sync.Mutex
 	subs    map[*Sub]struct{}
-	pos     int // next absolute position to transmit; guarded by mu
 	running bool
+	// subList is a copy-on-write snapshot of subs, rebuilt under mu on every
+	// subscribe/unsubscribe and never mutated afterwards: the transmit loop
+	// picks it up with one brief lock per tick (to order ticks against
+	// subscribes, which Start-position guarantees rely on) instead of
+	// walking the map.
+	subList []*Sub
+	// pos is the next absolute position to transmit; guarded by mu.
+	pos int
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -151,18 +158,14 @@ func (s *Station) Stop() {
 }
 
 // run is the transmit loop: one packet per tick of the (virtual or paced)
-// clock, fanned out to a snapshot of the current subscribers.
+// clock, fanned out to the current subscribers.
 func (s *Station) run(ctx context.Context, done chan struct{}) {
 	defer close(done)
 	defer s.closeSubs()
 
-	var interval time.Duration
-	if s.cfg.BitsPerSecond > 0 {
-		interval = time.Duration(float64(s.cfg.PacketBits) / float64(s.cfg.BitsPerSecond) * float64(time.Second))
-	}
+	interval := s.cfg.interval()
 	started := time.Now()
 	transmitted := 0
-	var snapshot []*Sub
 	for {
 		select {
 		case <-ctx.Done():
@@ -187,29 +190,47 @@ func (s *Station) run(ctx context.Context, done chan struct{}) {
 				}
 			}
 		}
-
-		s.mu.Lock()
-		pos := s.pos
-		s.pos++
-		snapshot = snapshot[:0]
-		for sub := range s.subs {
-			snapshot = append(snapshot, sub)
-		}
-		s.mu.Unlock()
+		listeners := s.step(ctx)
 		transmitted++
-
-		if len(snapshot) == 0 {
-			if interval == 0 {
-				// Virtual clock with nobody tuned in: the air continues, but
-				// there is no need to burn a core advancing it at full speed.
-				time.Sleep(50 * time.Microsecond)
-			}
-			continue
-		}
-		for _, sub := range snapshot {
-			s.deliver(ctx, sub, pos)
+		if listeners == 0 && interval == 0 {
+			// Virtual clock with nobody tuned in: the air continues, but
+			// there is no need to burn a core advancing it at full speed.
+			time.Sleep(50 * time.Microsecond)
 		}
 	}
+}
+
+// interval returns the per-packet airtime of a paced clock (0 = virtual).
+func (cfg Config) interval() time.Duration {
+	if cfg.BitsPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(float64(cfg.PacketBits) / float64(cfg.BitsPerSecond) * float64(time.Second))
+}
+
+// step transmits one tick to every current subscriber and returns the
+// subscriber count. It is called by the station's own transmit loop or, for
+// stations driven as a Group, by the group's.
+func (s *Station) step(ctx context.Context) int {
+	s.mu.Lock()
+	pos := s.pos
+	s.pos++
+	subs := s.subList
+	s.mu.Unlock()
+	for _, sub := range subs {
+		s.deliver(ctx, sub, pos)
+	}
+	return len(subs)
+}
+
+// updateSubList rebuilds the copy-on-write subscriber snapshot; the caller
+// holds mu.
+func (s *Station) updateSubList() {
+	list := make([]*Sub, 0, len(s.subs))
+	for sub := range s.subs {
+		list = append(list, sub)
+	}
+	s.subList = list
 }
 
 // deliver transmits position pos to one subscriber, applying its private
@@ -232,8 +253,8 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
 			if int64(pos) < w {
 				return
 			}
-			if int64(pos) == w {
-				break // transmit below
+			if int64(pos) == w || int64(pos) < sub.limit.Load() {
+				break // transmit below (wanted now, or inside a declared window)
 			}
 			// pos > want: hold the clock until the subscriber advances.
 			select {
@@ -261,6 +282,13 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
 		}
 		return
 	}
+	// Fast path: a non-blocking send avoids the multi-case select machinery
+	// on every tick; the blocking select only runs under backpressure.
+	select {
+	case sub.ch <- t:
+		return
+	default:
+	}
 	select {
 	case sub.ch <- t:
 	case <-sub.closed:
@@ -277,6 +305,7 @@ func (s *Station) closeSubs() {
 		subs = append(subs, sub)
 		delete(s.subs, sub)
 	}
+	s.updateSubList()
 	s.running = false // the station may be Started again
 	s.mu.Unlock()
 	for _, sub := range subs {
@@ -303,9 +332,21 @@ func (s *Station) SubscribeExact(lossRate float64, seed int64) (*Sub, error) {
 	return s.subscribe(lossRate, seed, true)
 }
 
+// exactBuffer is the channel depth of an exact virtual-clock subscription.
+// Outside a declared Prefetch window the station only transmits to such a
+// subscription at exactly the position it wants, so at most one
+// transmission is in flight; the buffer's job is to absorb window batches,
+// and anything deeper than a typical span is allocation churn on the
+// per-query subscribe path.
+const exactBuffer = 64
+
 func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, error) {
 	if lossRate < 0 || lossRate >= 1 {
 		return nil, fmt.Errorf("station: loss rate %v outside [0,1)", lossRate)
+	}
+	buffer := s.cfg.Buffer
+	if exact && s.cfg.BitsPerSecond == 0 && buffer > exactBuffer {
+		buffer = exactBuffer
 	}
 	sub := &Sub{
 		st:     s,
@@ -313,7 +354,7 @@ func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, err
 		seed:   uint64(seed),
 		exact:  exact,
 		wake:   make(chan struct{}, 1),
-		ch:     make(chan Transmission, s.cfg.Buffer),
+		ch:     make(chan Transmission, buffer),
 		closed: make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -324,6 +365,7 @@ func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, err
 	sub.start = s.pos
 	sub.want.Store(int64(sub.start))
 	s.subs[sub] = struct{}{}
+	s.updateSubList()
 	return sub, nil
 }
 
@@ -347,6 +389,12 @@ type Sub struct {
 	// station skips delivery below it, modelling a sleeping radio.
 	want   atomic.Int64
 	missed atomic.Int64
+	// limit is the end (exclusive) of a declared contiguous listen window:
+	// an exact subscription's clock hold relaxes to it, letting the station
+	// buffer a whole span ahead instead of handing the clock back and forth
+	// once per packet. Positions below want are still skipped, so the window
+	// never changes which packets are received.
+	limit atomic.Int64
 
 	// Subscriber-goroutine state: a transmission read ahead of the position
 	// the tuner asked for, and whether the station has left the air.
@@ -437,6 +485,22 @@ func (s *Sub) setWant(abs int64) {
 	}
 }
 
+// Prefetch declares that the listener will receive the n positions
+// [from, from+n) back to back: an exact subscription's clock hold relaxes
+// to from+n, so the station can deliver the whole span into the buffer in
+// one go. Delivery content is unchanged — positions below the listener's
+// want are still skipped — making this purely a batching hint
+// (broadcast.Prefetcher).
+func (s *Sub) Prefetch(from, n int) {
+	s.limit.Store(int64(from + n))
+	if s.exact {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // WakeAt declares the next absolute position the listener needs without
 // receiving anything: positions below it are skipped (the radio sleeps),
 // and an exact subscription's clock hold moves to it. A multi-channel radio
@@ -455,6 +519,7 @@ func (s *Sub) Close() {
 		close(s.closed)
 		s.st.mu.Lock()
 		delete(s.st.subs, s)
+		s.st.updateSubList()
 		s.st.mu.Unlock()
 	})
 }

@@ -8,10 +8,11 @@
 //	airbench -exp fig10 -scale 0.2 -queries 400 -preset germany
 //	airbench -exp bench -benchout BENCH_baseline.json
 //	airbench -exp compare -tolerance 0.25   # regression gate vs baseline
+//	airbench -exp churn                     # dynamic-network update scenario
 //	airbench -exp all -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Experiments: table1 table2 table3 fig10 fig11 fig12 fig13 fig14 bench
-// compare all. The -scale flag shrinks the synthetic networks (1.0 =
+// compare churn all. The -scale flag shrinks the synthetic networks (1.0 =
 // paper-sized); the heap budget of Table 2 scales along, so the feasibility
 // frontier keeps its shape. See EXPERIMENTS.md for recorded outputs and the
 // comparison against the paper.
@@ -21,6 +22,13 @@
 // -benchout, writes them as JSON — the committed BENCH_baseline.json future
 // PRs compare against. It is explicit-only: `-exp all` covers the paper's
 // tables and figures, not the baseline emitter.
+//
+// `churn` runs the dynamic-network scenario: a live NR broadcast whose arc
+// weights mutate while a fleet answers queries, swept over update
+// intervals; it reports the staleness window (queries forced to re-enter)
+// and the latency overhead versus version-clean queries, failing if any
+// answer missed the post-update Dijkstra reference. Like `bench` it is
+// explicit-only.
 //
 // `compare` reruns the bench suite at the committed baseline's parameters
 // and fails (exit 1) when a metric regresses beyond -tolerance.
@@ -242,7 +250,7 @@ func main() {
 // the process exits with a status code.
 func realMain() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|bench|compare|all")
+		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|bench|compare|churn|all")
 		preset     = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
 		scale      = flag.Float64("scale", 0.05, "network scale factor (1.0 = paper-sized)")
 		queries    = flag.Int("queries", 400, "queries per experiment")
@@ -307,6 +315,7 @@ func realMain() int {
 		"fig14":   func(c harness.Config) error { _, err := harness.Figure14(c); return err },
 		"bench":   func(c harness.Config) error { return runBench(c, *benchout) },
 		"compare": func(c harness.Config) error { return runCompare(c, *baseline, *tolerance, *gateTiming) },
+		"churn":   func(c harness.Config) error { _, err := harness.Churn(c); return err },
 	}
 	order := []string{"table1", "table2", "table3", "fig10", "fig11", "fig12", "fig13", "fig14"}
 

@@ -6,6 +6,7 @@
 //	airserve -method NR -preset germany -scale 0.05 -clients 500
 //	airserve -method EB -clients 1000 -queries 5000 -loss 0.01
 //	airserve -method DJ -duration 5s -rate 2000000   # paced to 2 Mbps
+//	airserve -method NR -updates 5 -update-every 20ms  # dynamic network
 //
 // The station streams the chosen method's broadcast cycle on a virtual
 // clock (or paced to -rate bits per second); each client tunes in at the
@@ -37,6 +38,12 @@ type config struct {
 	rate     int // bits per second; 0 = virtual clock (as fast as possible)
 	regions  int
 	channels int // parallel broadcast channels; <= 1 = single-channel station
+
+	// Dynamic-network churn: apply `updates` weight-update batches during
+	// the run, one every `updateEvery`, swapping the station to each new
+	// cycle version. 0 = static broadcast (the default).
+	updates     int
+	updateEvery time.Duration
 }
 
 // run builds the network and server, puts the station on the air, and
@@ -65,7 +72,12 @@ func run(cfg config, out io.Writer) (repro.FleetResult, error) {
 		Seed:     cfg.seed,
 	}
 
+	if cfg.updates > 0 && cfg.channels > 1 {
+		return zero, fmt.Errorf("-updates currently drives the single-channel station; drop -channels")
+	}
+
 	var res repro.FleetResult
+	var churn *repro.ChurnResult
 	if cfg.channels > 1 {
 		mst, err := repro.NewMultiStation(srv, cfg.channels, repro.StationConfig{BitsPerSecond: cfg.rate})
 		if err != nil {
@@ -86,17 +98,45 @@ func run(cfg config, out io.Writer) (repro.FleetResult, error) {
 		if err != nil {
 			return zero, err
 		}
-		fmt.Fprintf(out, "station  %s cycle, %d packets, %s\n", srv.Name(), st.Len(), clock)
+		fmt.Fprintf(out, "station  %s cycle, %d packets, %s", srv.Name(), st.Len(), clock)
+		if cfg.updates > 0 {
+			fmt.Fprintf(out, ", %d update batches every %v", cfg.updates, cfg.updateEvery)
+		}
+		fmt.Fprintln(out)
 		if err := st.Start(context.Background()); err != nil {
 			return zero, err
 		}
 		defer st.Stop()
-		res, err = repro.RunFleet(context.Background(), st, srv, g, opts)
-		if err != nil {
+		if cfg.updates > 0 {
+			mgr, err := repro.NewUpdateManager(g, srv)
+			if err != nil {
+				return zero, err
+			}
+			cres, err := repro.RunFleetChurn(context.Background(), st, mgr, g, repro.ChurnOptions{
+				Fleet:    opts,
+				Batches:  cfg.updates,
+				Interval: cfg.updateEvery,
+			})
+			if err != nil {
+				return zero, err
+			}
+			res, churn = cres.Result, &cres
+		} else if res, err = repro.RunFleet(context.Background(), st, srv, g, opts); err != nil {
 			return zero, err
 		}
 	}
 	report(out, res)
+	if churn != nil {
+		fmt.Fprintf(out, "\nchurn    %d versions on the air (%d swaps); %d stale queries (%d re-entries)\n",
+			churn.Versions, churn.Swaps, churn.StaleQueries, churn.Reentries)
+		if churn.UpdateErr != nil {
+			fmt.Fprintf(out, "warning  updater stopped early: %v\n", churn.UpdateErr)
+		}
+		if churn.StaleQueries > 0 && churn.MeanCleanLatency > 0 && churn.MeanStaleLatency > 0 {
+			fmt.Fprintf(out, "latency  clean p50 %.0f pkts, stale p50 %.0f pkts (staleness penalty %+.0f%%)\n",
+				churn.CleanLatency.P50, churn.StaleLatency.P50, 100*(churn.MeanStaleLatency/churn.MeanCleanLatency-1))
+		}
+	}
 	return res, nil
 }
 
@@ -142,6 +182,8 @@ func main() {
 	flag.IntVar(&cfg.rate, "rate", 0, "station bit rate in bits/sec (e.g. 2000000); 0 = virtual clock")
 	flag.IntVar(&cfg.regions, "regions", 0, "EB/NR/AF partition count (0 = paper default)")
 	flag.IntVar(&cfg.channels, "channels", 1, "parallel broadcast channels (cycle sharded by region; clients hop)")
+	flag.IntVar(&cfg.updates, "updates", 0, "weight-update batches applied during the run (0 = static broadcast)")
+	flag.DurationVar(&cfg.updateEvery, "update-every", 50*time.Millisecond, "pause between update batches (with -updates)")
 	flag.Parse()
 
 	if _, err := run(cfg, os.Stdout); err != nil {

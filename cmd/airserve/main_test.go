@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSmokeFleetRun runs a tiny end-to-end load test on the germany preset
@@ -72,6 +73,42 @@ func TestSmokeMultiChannel(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestSmokeChurn runs the dynamic-network mode: update batches swap cycle
+// versions under a live fleet, every answer verified against the version
+// it was computed on, and the churn summary renders.
+func TestSmokeChurn(t *testing.T) {
+	var out bytes.Buffer
+	res, err := run(config{
+		method:      "NR",
+		preset:      "germany",
+		scale:       0.02,
+		clients:     10,
+		queries:     60,
+		loss:        0.03,
+		seed:        7,
+		updates:     3,
+		updateEvery: 2 * time.Millisecond,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if res.Queries != 60 || res.Errors != 0 {
+		t.Errorf("queries %d errors %d\n%s", res.Queries, res.Errors, out.String())
+	}
+	for _, want := range []string{"update batches", "churn", "versions on the air"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	// -updates is single-channel only for now.
+	if _, err := run(config{
+		method: "NR", preset: "germany", scale: 0.02, clients: 2, queries: 4,
+		channels: 2, updates: 1, updateEvery: time.Millisecond,
+	}, &out); err == nil {
+		t.Fatal("churn over -channels did not error")
 	}
 }
 

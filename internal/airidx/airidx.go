@@ -85,10 +85,10 @@ func PackIndex(recs []Rec, numNodes, numRegions int, region uint16) []packet.Pac
 	return pkts
 }
 
-// AppendRecord frames one record onto b.
+// AppendRecord frames one record onto b (packet.AppendRecord re-exported
+// for the index-layer callers that grew around this name).
 func AppendRecord(b []byte, tag uint8, data []byte) []byte {
-	b = append(b, tag, byte(len(data)), byte(len(data)>>8))
-	return append(b, data...)
+	return packet.AppendRecord(b, tag, data)
 }
 
 // Meta is a decoded TagMeta record.

@@ -8,6 +8,7 @@ package broadcast
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/packet"
 )
@@ -29,10 +30,56 @@ type Section struct {
 type Cycle struct {
 	Packets  []packet.Packet
 	Sections []Section
+	// Version is the cycle's broadcast version. Static cycles (the paper's
+	// model, and everything a scheme server assembles directly) stay at
+	// zero and are never stamped; a dynamic deployment (internal/update)
+	// bumps it on every rebuild via SetVersion.
+	Version uint32
 }
 
 // Len returns the cycle length in packets.
 func (c *Cycle) Len() int { return len(c.Packets) }
+
+// SetVersion stamps v on the cycle and on every packet's header, so any
+// client receiving any packet learns which cycle version is on the air.
+// Payload bytes are untouched: versioning is header-only, which is what
+// keeps the empty-update-stream path bit-identical to a static broadcast.
+func (c *Cycle) SetVersion(v uint32) {
+	c.Version = v
+	for i := range c.Packets {
+		c.Packets[i].Version = v
+	}
+}
+
+// WithTrailer returns a new cycle consisting of c's sections verbatim
+// followed by pkts as one trailing section, with every next-index pointer
+// re-derived for the longer cycle. c is not modified; packet structs are
+// copied but payload bytes are shared (they are immutable once sealed).
+// The trailer rides at the end, so every content section keeps its start
+// position — region offset tables encoded into c's index packets stay
+// valid on the trailered cycle.
+func WithTrailer(c *Cycle, kind packet.Kind, region int, label string, pkts []packet.Packet) (*Cycle, error) {
+	secs := append([]Section(nil), c.Sections...)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Start < secs[j].Start })
+	pos := 0
+	for _, s := range secs {
+		if s.Start != pos {
+			return nil, fmt.Errorf("broadcast: sections do not tile the cycle at packet %d", pos)
+		}
+		pos += s.N
+	}
+	if pos != c.Len() {
+		return nil, fmt.Errorf("broadcast: sections cover %d of %d packets", pos, c.Len())
+	}
+	asm := NewAssembler()
+	for _, s := range secs {
+		asm.Append(s.Kind, s.Region, s.Label, c.Packets[s.Start:s.Start+s.N])
+	}
+	asm.Append(kind, region, label, pkts)
+	out := asm.Finish()
+	out.Version = c.Version
+	return out, nil
+}
 
 // SectionsOf returns all sections of the given kind.
 func (c *Cycle) SectionsOf(kind packet.Kind) []Section {
@@ -166,6 +213,20 @@ type Hopping interface {
 	// Overhead returns packets the feed itself received on the listener's
 	// behalf (directory bootstrap); the Tuner adds it to tuning time.
 	Overhead() int
+}
+
+// Refreshable is a Feed that holds cached cycle-structure state — a
+// channel-hopping radio's directory — which a versioned cycle swap
+// (internal/update) can invalidate underneath it. Stale reports that the
+// feed has observed air from a cycle version its cached structure does not
+// describe: positions it serves may no longer correspond to the content the
+// client expects, even if every packet it returns is from a single (new)
+// version. A client seeing a stale feed discards the attempt and re-enters
+// on a fresh feed; there is no in-place refresh, because the radio's cached
+// map is wrong in ways it cannot locally repair.
+type Refreshable interface {
+	Feed
+	Stale() bool
 }
 
 // Prefetcher is a Feed that can exploit advance notice of a contiguous

@@ -28,8 +28,25 @@ type Tuner struct {
 	clocked   Clocked
 	hopping   Hopping
 	prefetch  Prefetcher
+	refresh   Refreshable
 	startTick int
 	lastTick  int // clock after the last packet listened to, or -1
+
+	// Version window: the span of cycle versions observed on intact packets
+	// since tune-in or the last ResetVersionWindow. On a static broadcast
+	// every packet carries version zero and the window never widens; on a
+	// versioned air (internal/update) a widened window tells the client its
+	// partial state straddles a cycle swap.
+	verKnown     bool
+	verLo, verHi uint32
+	// Length drift: lost packets carry no version, so a swap whose
+	// pre-swap receptions were all corrupted would be invisible to the
+	// window above — but a client may still have sampled the outgoing
+	// cycle's length (CycleLen, NextOccurrence) and built its reception
+	// plan on it. Feed length is observable without reception, so any
+	// change within a window marks it mixed too.
+	verLen   int
+	verDrift bool
 }
 
 // NewTuner returns a tuner that tunes in at absolute position start: the
@@ -55,7 +72,17 @@ func NewFeedTuner(f Feed, start int) *Tuner {
 	if pf, ok := f.(Prefetcher); ok {
 		t.prefetch = pf
 	}
+	if rf, ok := f.(Refreshable); ok {
+		t.refresh = rf
+	}
 	return t
+}
+
+// FeedStale reports whether the underlying feed's cached cycle structure
+// went stale (Refreshable); plain feeds never do. A stale feed cannot be
+// re-entered in place — the client needs a fresh one.
+func (t *Tuner) FeedStale() bool {
+	return t.refresh != nil && t.refresh.Stale()
 }
 
 // WillListen hints that the client is about to Listen to the next n packets
@@ -71,14 +98,25 @@ func (t *Tuner) WillListen(n int) {
 // Feed returns the underlying packet feed.
 func (t *Tuner) Feed() Feed { return t.feed }
 
-// CycleLen returns the cycle length in packets.
-func (t *Tuner) CycleLen() int { return t.feed.Len() }
+// CycleLen returns the cycle length in packets. The sample joins the
+// version window: a reception plan built on one length is invalid on a
+// swapped cycle of another, even if no packet of the old version was
+// received intact (VersionMixed).
+func (t *Tuner) CycleLen() int {
+	l := t.feed.Len()
+	t.noteLen(l)
+	return l
+}
 
 // Pos returns the absolute position of the next packet.
 func (t *Tuner) Pos() int { return t.pos }
 
 // CyclePos returns Pos modulo the cycle length.
-func (t *Tuner) CyclePos() int { return t.pos % t.feed.Len() }
+func (t *Tuner) CyclePos() int {
+	l := t.feed.Len()
+	t.noteLen(l)
+	return t.pos % l
+}
 
 // Listen receives the packet at the current position and advances. The
 // boolean reports whether the packet arrived intact; a lost packet still
@@ -91,7 +129,57 @@ func (t *Tuner) Listen() (packet.Packet, bool) {
 	if t.clocked != nil {
 		t.lastTick = t.clocked.Clock()
 	}
+	if ok {
+		// Only intact packets widen the version window: a lost packet
+		// carries no trustworthy header.
+		if !t.verKnown {
+			t.verKnown = true
+			t.verLo, t.verHi = p.Version, p.Version
+		} else {
+			t.verLo = min(t.verLo, p.Version)
+			t.verHi = max(t.verHi, p.Version)
+		}
+	}
+	t.noteLen(t.feed.Len())
 	return p, ok
+}
+
+// noteLen folds one cycle-length observation into the version window.
+func (t *Tuner) noteLen(l int) {
+	if t.verLen == 0 {
+		t.verLen = l
+	} else if l != t.verLen {
+		t.verDrift = true
+		t.verLen = l
+	}
+}
+
+// Version returns the highest cycle version observed in the current version
+// window and whether any intact packet has been received in it. Cycle swaps
+// only ever move the version forward, so this is the version of the air the
+// tuner most recently saw.
+func (t *Tuner) Version() (uint32, bool) { return t.verHi, t.verKnown }
+
+// VersionMixed reports whether the current version window straddles a
+// cycle swap: intact packets of more than one version were received, or
+// the cycle length changed under the window (a swap whose old-version
+// packets were all lost still shifts the structure a reception plan was
+// built on). The answer a client is assembling may be stale; it re-enters
+// (resets its per-query state and runs the query again on the same tuner —
+// by then the swap is behind it) or patches its partial state from the
+// KindDelta records of the new cycle.
+func (t *Tuner) VersionMixed() bool {
+	return (t.verKnown && t.verLo != t.verHi) || t.verDrift
+}
+
+// ResetVersionWindow starts a fresh version observation window. Metrics are
+// untouched: tuning and latency keep accumulating across re-entries, so a
+// query that straddled a swap reports the true total cost of answering it.
+func (t *Tuner) ResetVersionWindow() {
+	t.verKnown = false
+	t.verLo, t.verHi = 0, 0
+	t.verLen = 0
+	t.verDrift = false
 }
 
 // SleepTo advances to absolute position abs without listening. It panics if
@@ -108,6 +196,7 @@ func (t *Tuner) SleepTo(abs int) {
 // position equals cyclePos.
 func (t *Tuner) NextOccurrence(cyclePos int) int {
 	l := t.feed.Len()
+	t.noteLen(l)
 	cur := t.pos % l
 	delta := cyclePos - cur
 	if delta < 0 {

@@ -1,0 +1,153 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestSetVersionStampsHeadersOnly(t *testing.T) {
+	c := cycleWith(t, 2, 3)
+	before := make([][]byte, c.Len())
+	for i, p := range c.Packets {
+		before[i] = p.Payload
+	}
+	c.SetVersion(7)
+	if c.Version != 7 {
+		t.Fatalf("cycle version %d, want 7", c.Version)
+	}
+	for i, p := range c.Packets {
+		if p.Version != 7 {
+			t.Fatalf("packet %d version %d, want 7", i, p.Version)
+		}
+		if &p.Payload[0] != &before[i][0] {
+			t.Fatalf("packet %d payload reallocated by stamping", i)
+		}
+	}
+}
+
+func TestWithTrailer(t *testing.T) {
+	c := cycleWith(t, 2, 4, 1, 3)
+	c.SetVersion(3)
+	trailer := make([]packet.Packet, 2)
+	for i := range trailer {
+		trailer[i] = packet.Packet{Kind: packet.KindDelta, Payload: make([]byte, packet.PayloadSize)}
+	}
+	out, err := WithTrailer(c, packet.KindDelta, -1, "delta v3", trailer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != c.Len()+2 {
+		t.Fatalf("trailered len %d, want %d", out.Len(), c.Len()+2)
+	}
+	if out.Version != 3 {
+		t.Fatalf("trailered version %d, want 3", out.Version)
+	}
+	// Content sections keep their start positions and payloads.
+	for i, s := range c.Sections {
+		o := out.Sections[i]
+		if o.Start != s.Start || o.N != s.N || o.Kind != s.Kind {
+			t.Fatalf("section %d moved: %+v -> %+v", i, s, o)
+		}
+	}
+	last := out.Sections[len(out.Sections)-1]
+	if last.Kind != packet.KindDelta || last.Start != c.Len() || last.N != 2 {
+		t.Fatalf("trailer section = %+v", last)
+	}
+	for i := 0; i < c.Len(); i++ {
+		if &out.Packets[i].Payload[0] != &c.Packets[i].Payload[0] {
+			t.Fatalf("packet %d payload copied, want shared", i)
+		}
+	}
+	// Next-index pointers re-derived over the longer cycle: the trailer's
+	// packets point at the first index copy of the next pass.
+	var firstIdx int
+	for _, s := range out.Sections {
+		if s.Kind == packet.KindIndex {
+			firstIdx = s.Start
+			break
+		}
+	}
+	for i := c.Len(); i < out.Len(); i++ {
+		want := uint32(firstIdx + out.Len() - i)
+		if out.Packets[i].NextIndex != want {
+			t.Fatalf("trailer packet %d next-index %d, want %d", i, out.Packets[i].NextIndex, want)
+		}
+	}
+	// The original is untouched.
+	if c.Len() != 10 || len(c.Sections) != 4 {
+		t.Fatalf("original cycle modified: len %d, %d sections", c.Len(), len(c.Sections))
+	}
+}
+
+func TestTunerVersionWindow(t *testing.T) {
+	c := cycleWith(t, 2, 2)
+	ch, err := NewChannel(c, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := NewTuner(ch, 0)
+	if _, known := tuner.Version(); known {
+		t.Fatal("version known before any reception")
+	}
+	if tuner.VersionMixed() {
+		t.Fatal("mixed before any reception")
+	}
+	tuner.Listen()
+	if v, known := tuner.Version(); !known || v != 0 {
+		t.Fatalf("version = %d,%v after static listen", v, known)
+	}
+	if tuner.VersionMixed() {
+		t.Fatal("static air reported mixed")
+	}
+
+	// A feed that swaps versions mid-stream: positions 0-1 carry version 1,
+	// the rest version 2.
+	v1 := cycleWith(t, 2, 2)
+	v1.SetVersion(1)
+	v2 := cycleWith(t, 2, 2)
+	v2.SetVersion(2)
+	f := &swapFeed{a: v1, b: v2, swapAt: 2}
+	tuner = NewFeedTuner(f, 0)
+	tuner.Listen()
+	tuner.Listen()
+	if tuner.VersionMixed() {
+		t.Fatal("mixed inside version 1")
+	}
+	tuner.Listen() // first version-2 packet
+	if !tuner.VersionMixed() {
+		t.Fatal("swap not detected")
+	}
+	if v, _ := tuner.Version(); v != 2 {
+		t.Fatalf("version after swap = %d, want 2", v)
+	}
+	tuner.ResetVersionWindow()
+	if tuner.VersionMixed() {
+		t.Fatal("mixed survived reset")
+	}
+	tuner.Listen()
+	if v, known := tuner.Version(); !known || v != 2 {
+		t.Fatalf("post-reset version = %d,%v, want 2,true", v, known)
+	}
+	if tuner.VersionMixed() {
+		t.Fatal("clean window reported mixed")
+	}
+	if tuner.Tuning() != 4 {
+		t.Fatalf("tuning %d after 4 listens (reset must not touch metrics)", tuner.Tuning())
+	}
+}
+
+// swapFeed serves cycle a before swapAt and cycle b from swapAt on.
+type swapFeed struct {
+	a, b   *Cycle
+	swapAt int
+}
+
+func (f *swapFeed) Len() int { return f.b.Len() }
+
+func (f *swapFeed) At(abs int) (packet.Packet, bool) {
+	if abs < f.swapAt {
+		return f.a.Packets[abs%f.a.Len()], true
+	}
+	return f.b.Packets[abs%f.b.Len()], true
+}

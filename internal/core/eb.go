@@ -51,6 +51,7 @@ func DefaultOptions() Options {
 type EB struct {
 	opts    Options
 	g       *graph.Graph
+	kd      *partition.KDTree
 	regions *precompute.Regions
 	border  *precompute.BorderData
 	cycle   *broadcast.Cycle
@@ -65,7 +66,7 @@ func NewEB(g *graph.Graph, opts Options) (*EB, error) {
 	}
 	regions := precompute.BuildRegions(g, kd)
 	border := precompute.Compute(g, regions)
-	e := &EB{opts: opts, g: g, regions: regions, border: border, pre: border.Elapsed}
+	e := &EB{opts: opts, g: g, kd: kd, regions: regions, border: border, pre: border.Elapsed}
 	e.cycle = e.assemble(kd)
 	return e, nil
 }
@@ -74,9 +75,35 @@ func NewEB(g *graph.Graph, opts Options) (*EB, error) {
 // experiments comparing EB and NR (which share pre-computation per the
 // paper) pay for it once.
 func NewEBShared(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regions, border *precompute.BorderData, opts Options) *EB {
-	e := &EB{opts: opts, g: g, regions: regions, border: border, pre: border.Elapsed}
+	e := &EB{opts: opts, g: g, kd: kd, regions: regions, border: border, pre: border.Elapsed}
 	e.cycle = e.assemble(kd)
 	return e
+}
+
+// Rebuild builds a new EB server broadcasting the same road network with
+// mutated arc weights (internal/update's cycle rebuild entry point). The
+// kd-tree partition and the region/border structure are functions of
+// coordinates and topology only — both unchanged under a weight-only
+// mutation — so they are reused; the border shortest-path pre-computation
+// reruns on the new weights across all cores, and the cycle is assembled
+// exactly as a fresh build would: byte-identical to NewEB(g2, opts).
+func (e *EB) Rebuild(g2 *graph.Graph) (*EB, error) {
+	if err := rebuildable(e.g, g2); err != nil {
+		return nil, fmt.Errorf("core: EB: %w", err)
+	}
+	border := precompute.Compute(g2, e.regions)
+	return NewEBShared(g2, e.kd, e.regions, border, e.opts), nil
+}
+
+// rebuildable checks that g2 is a weight-only mutation of g: identical
+// nodes and arcs, possibly different weights. Anything else needs a full
+// server rebuild from scratch — the reused partition and region structure
+// would silently describe the wrong network.
+func rebuildable(g, g2 *graph.Graph) error {
+	if !g.SameTopology(g2) {
+		return fmt.Errorf("rebuild requires an identical topology (weight-only mutation, e.g. graph.WithWeights)")
+	}
+	return nil
 }
 
 // Name implements scheme.Server.

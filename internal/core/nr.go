@@ -26,6 +26,7 @@ import (
 type NR struct {
 	opts    Options
 	g       *graph.Graph
+	kd      *partition.KDTree
 	regions *precompute.Regions
 	border  *precompute.BorderData
 	cycle   *broadcast.Cycle
@@ -52,9 +53,22 @@ func newNRShared(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regio
 	if regions.N > 256 {
 		return nil, fmt.Errorf("core: NR local indexes encode next-region cells as one byte; %d regions exceed 256", regions.N)
 	}
-	s := &NR{opts: opts, g: g, regions: regions, border: border, pre: border.Elapsed}
+	s := &NR{opts: opts, g: g, kd: kd, regions: regions, border: border, pre: border.Elapsed}
 	s.cycle = s.assemble(kd)
 	return s, nil
+}
+
+// Rebuild builds a new NR server broadcasting the same road network with
+// mutated arc weights, reusing the kd partition and region structure (pure
+// functions of coordinates and topology) and re-running the parallel border
+// pre-computation on the new weights. The result is byte-identical to
+// NewNR(g2, opts) — internal/update's determinism tests pin it.
+func (s *NR) Rebuild(g2 *graph.Graph) (*NR, error) {
+	if err := rebuildable(s.g, g2); err != nil {
+		return nil, fmt.Errorf("core: NR: %w", err)
+	}
+	border := precompute.Compute(g2, s.regions)
+	return newNRShared(g2, s.kd, s.regions, border, s.opts)
 }
 
 // Name implements scheme.Server.

@@ -1,0 +1,315 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/precompute"
+	"repro/internal/scheme"
+	"repro/internal/spath"
+	"repro/internal/station"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+// ChurnOptions tunes an update-churn run: a fleet answering queries while a
+// synthetic traffic feed mutates arc weights and the station swaps cycle
+// versions underneath the clients.
+type ChurnOptions struct {
+	// Fleet carries the usual load parameters (clients, queries, loss, seed).
+	Fleet Options
+	// Batches is the number of update batches applied during the run
+	// (default 4).
+	Batches int
+	// BatchSize is the number of arc-weight updates per batch (default 25).
+	BatchSize int
+	// Interval is the wall-clock pause between batches (default 10ms; the
+	// updater also waits for each swap to reach the air before pausing).
+	Interval time.Duration
+	// Mode picks the weight-change profile (default mixed).
+	Mode update.Mode
+	// UpdateSeed seeds the synthetic traffic feed (default Fleet.Seed+1).
+	UpdateSeed int64
+}
+
+// ChurnResult aggregates a churn run. The staleness accounting is the
+// point: how many queries were caught by a swap, how many re-entries that
+// cost, and what the latency penalty looks like against version-clean
+// queries answered on the same air.
+type ChurnResult struct {
+	Result
+	// Versions is the cycle version on the air when the run ended.
+	Versions int
+	// Swaps counts cycle swaps that reached the air during the run.
+	Swaps int
+	// StaleQueries counts answered queries that straddled at least one swap
+	// (their version window widened and they re-entered).
+	StaleQueries int
+	// Reentries counts discarded query attempts across the fleet; the
+	// staleness window of a swap is the span of queries it forces through
+	// this path.
+	Reentries int
+	// CleanLatency and StaleLatency split access latency (packets) by
+	// whether the query straddled a swap; the gap is the staleness penalty.
+	CleanLatency metrics.Quantiles
+	StaleLatency metrics.Quantiles
+	// MeanCleanLatency and MeanStaleLatency are the exact means of the same
+	// samples (the EXPERIMENTS.md overhead table divides them).
+	MeanCleanLatency float64
+	MeanStaleLatency float64
+	// UpdateErr is the first error the updater hit (a failed rebuild or a
+	// failed swap); the broadcast kept serving the previous version, so the
+	// answered queries are still verified, but the run churned less than
+	// asked. Nil on a healthy run.
+	UpdateErr error
+}
+
+// refTable maps cycle versions to per-workload-query reference distances.
+// The updater publishes a version's references before swapping the station
+// to it, so a worker verifying against the version its tuner reports always
+// finds them.
+type refTable struct {
+	mu    sync.RWMutex
+	byVer map[uint32][]float64
+}
+
+func (r *refTable) publish(ver uint32, refs []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byVer[ver] = refs
+}
+
+func (r *refTable) get(ver uint32, i int) (float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	refs, ok := r.byVer[ver]
+	if !ok {
+		return 0, false
+	}
+	return refs[i], true
+}
+
+// referenceDistances computes the workload's shortest-path references on
+// one network version, fanned across all cores: the updater runs this
+// between rebuilding and swapping, and a sequential loop here would
+// stretch the effective update interval well past the configured one.
+func referenceDistances(g *graph.Graph, w *workload.Workload) []float64 {
+	out := make([]float64, len(w.Queries))
+	precompute.ParallelFor(len(w.Queries), func(i int) {
+		out[i], _, _ = spath.PointToPoint(g, w.Queries[i].S, w.Queries[i].T)
+	})
+	return out
+}
+
+// churnAgg collects the staleness accounting next to the usual Aggregator.
+type churnAgg struct {
+	mu           sync.Mutex
+	stale        int
+	reentries    int
+	cleanLatency metrics.Series
+	staleLatency metrics.Series
+}
+
+// RunChurn drives w's queries through a fleet of concurrent clients of
+// mgr's scheme while an updater goroutine applies opts.Batches weight
+// batches through mgr and swaps st to each new cycle version. The station
+// must already be on the air broadcasting mgr.Cycle(). Every answered
+// query is verified against the reference distance of the network version
+// its (version-clean, possibly re-entered) answer was computed on.
+func RunChurn(ctx context.Context, st *station.Station, mgr *update.Manager, w *workload.Workload, opts ChurnOptions) (ChurnResult, error) {
+	if len(w.Queries) == 0 {
+		return ChurnResult{}, fmt.Errorf("fleet: empty workload")
+	}
+	if opts.Fleet.Loss < 0 || opts.Fleet.Loss >= 1 {
+		return ChurnResult{}, fmt.Errorf("fleet: loss rate %v outside [0,1)", opts.Fleet.Loss)
+	}
+	clients := opts.Fleet.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	total := opts.Fleet.Queries
+	if total <= 0 {
+		total = len(w.Queries)
+	}
+	batches := opts.Batches
+	if batches <= 0 {
+		batches = 4
+	}
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 25
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	updateSeed := opts.UpdateSeed
+	if updateSeed == 0 {
+		updateSeed = opts.Fleet.Seed + 1
+	}
+	shards := opts.Fleet.Shards
+	if shards <= 0 {
+		shards = min(clients, 64)
+	}
+	agg := NewAggregator(shards, st.Rate())
+	churn := &churnAgg{}
+	refs := &refTable{byVer: map[uint32][]float64{}}
+	// Base references come from the manager's current graph, not from the
+	// workload's RefDist: the manager may already be past version 0 (prior
+	// Applies), in which case the workload's references describe a network
+	// no longer on the air.
+	refs.publish(mgr.Version(), referenceDistances(mgr.Graph(), w))
+
+	if opts.Fleet.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Fleet.Duration)
+		defer cancel()
+	}
+	ctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	// The updater: mutate, rebuild, publish references, swap, wait for the
+	// swap to reach the air, pause. It stops after its batches, on the
+	// first failure (the old version stays on the air, so the run remains
+	// correct — the error is surfaced in the result), or when the fleet is
+	// done (cancelRun).
+	swaps := 0
+	var updateErr error
+	var updaterWG sync.WaitGroup
+	updaterWG.Add(1)
+	go func() {
+		defer updaterWG.Done()
+		rng := rand.New(rand.NewSource(updateSeed))
+		for b := 0; b < batches; b++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(interval):
+			}
+			build, err := mgr.Apply(update.RandomUpdates(mgr.Graph(), rng, batchSize, opts.Mode))
+			if err != nil {
+				updateErr = fmt.Errorf("fleet: churn batch %d: %w", b, err)
+				return
+			}
+			refs.publish(build.Version, referenceDistances(build.Graph, w))
+			applied, err := st.Swap(build.Cycle)
+			if err != nil {
+				updateErr = fmt.Errorf("fleet: churn swap to v%d: %w", build.Version, err)
+				return
+			}
+			select {
+			case _, ok := <-applied:
+				if !ok {
+					return // station stopped with the swap pending
+				}
+				swaps++
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// The work queue: workload indices round-robin.
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for i := 0; i < total; i++ {
+			select {
+			case work <- i % len(w.Queries):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	started := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := mgr.Server().NewClient()
+			rng := rand.New(rand.NewSource(opts.Fleet.Seed + int64(id)*7919))
+			for qi := range work {
+				runOneChurn(st, client, id, qi, w.Queries[qi], opts.Fleet.Loss, rng.Int63(), agg, churn, refs)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+	cancelRun()
+	updaterWG.Wait()
+
+	res := ChurnResult{Result: agg.Summarize()}
+	res.Method = mgr.Server().Name()
+	res.Clients = clients
+	res.Elapsed = elapsed
+	if elapsed > 0 {
+		res.QPS = float64(res.Agg.N) / elapsed.Seconds()
+	}
+	// Versions reports the air, not the manager: a build that never swapped
+	// in (or versions applied before this run started) would otherwise
+	// inflate it.
+	res.Versions = int(st.Version())
+	res.Swaps = swaps
+	res.UpdateErr = updateErr
+	res.StaleQueries = churn.stale
+	res.Reentries = churn.reentries
+	res.CleanLatency = churn.cleanLatency.Quantiles()
+	res.StaleLatency = churn.staleLatency.Quantiles()
+	res.MeanCleanLatency = churn.cleanLatency.Mean()
+	res.MeanStaleLatency = churn.staleLatency.Mean()
+	return res, nil
+}
+
+// runOneChurn answers one query on the churning air. The scheme client's
+// own Query runs under update.Query, which re-enters on the same live
+// subscription whenever the attempt straddled a swap; the answer is then
+// verified against the reference of the version the clean pass ran on.
+func runOneChurn(st *station.Station, client scheme.Client, worker, qi int, q workload.Query,
+	loss float64, seed int64, agg *Aggregator, churn *churnAgg, refs *refTable) {
+	sub, err := st.Subscribe(loss, seed)
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	defer sub.Close()
+	tuner := broadcast.NewFeedTuner(sub, sub.Start())
+	res, attempts, err := update.Query(client, tuner, q.Query)
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	ver, known := tuner.Version()
+	if !known {
+		agg.AddError(worker)
+		return
+	}
+	ref, ok := refs.get(ver, qi)
+	if !ok {
+		// A version whose references were never published would be a swap
+		// that bypassed the updater: count it loudly as an error.
+		agg.AddError(worker)
+		return
+	}
+	if rel := (res.Dist - ref) / (1 + ref); rel > 1e-3 || rel < -1e-3 {
+		agg.AddError(worker)
+		return
+	}
+	agg.Add(worker, res.Metrics)
+	churn.mu.Lock()
+	churn.reentries += attempts - 1
+	if attempts > 1 {
+		churn.stale++
+		churn.staleLatency.Add(float64(res.Metrics.LatencyPackets))
+	} else {
+		churn.cleanLatency.Add(float64(res.Metrics.LatencyPackets))
+	}
+	churn.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/graph"
+	"repro/internal/station"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+// TestRunChurn drives the update-churn scenario end to end under the race
+// detector (CI runs this package with -race): a fleet of clients answering
+// on a live station while the updater rolls cycle versions. Every answered
+// query is verified inside RunChurn against the Dijkstra reference of the
+// version it was answered on, so zero errors means the versioned swap
+// pipeline — rebuild, delta trailer, boundary swap, staleness re-entry —
+// produced only correct answers.
+func TestRunChurn(t *testing.T) {
+	g := conformance.Network(t, 400, 600, 21)
+	srv := nrServer(t, g)
+	mgr, err := update.NewManager(g, srv, update.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 40, srv.Cycle().Len(), 21)
+
+	res, err := RunChurn(context.Background(), st, mgr, w, ChurnOptions{
+		Fleet:     Options{Clients: 16, Queries: 400, Loss: 0.05, Seed: 21},
+		Batches:   4,
+		BatchSize: 20,
+		Interval:  2 * time.Millisecond,
+		Mode:      update.ModeMixed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d of %d churn queries failed verification", res.Errors, res.Queries)
+	}
+	if res.UpdateErr != nil {
+		t.Fatalf("updater: %v", res.UpdateErr)
+	}
+	if res.Queries != 400 || res.Agg.N != 400 {
+		t.Fatalf("answered %d/%d queries, want 400", res.Agg.N, res.Queries)
+	}
+	if res.Swaps == 0 || res.Versions == 0 {
+		t.Fatalf("no swaps reached the air (swaps=%d versions=%d) — the scenario did not churn", res.Swaps, res.Versions)
+	}
+	if res.Versions < res.Swaps {
+		t.Fatalf("versions=%d < swaps=%d", res.Versions, res.Swaps)
+	}
+	// Consistency of the staleness split: stale queries are a subset of the
+	// answered ones, and re-entries only come from stale queries.
+	if res.StaleQueries > res.Agg.N {
+		t.Fatalf("stale %d > answered %d", res.StaleQueries, res.Agg.N)
+	}
+	if res.Reentries < res.StaleQueries {
+		t.Fatalf("reentries %d < stale queries %d", res.Reentries, res.StaleQueries)
+	}
+	if res.QPS <= 0 {
+		t.Fatalf("QPS = %v", res.QPS)
+	}
+}
+
+// TestRunChurnOnPreUpdatedManager is the regression test for the stale
+// base-reference bug: a manager that already applied updates (and a
+// station already swapped to the resulting cycle) before RunChurn starts.
+// The workload's RefDist values describe the original network, so the run
+// must verify against the manager's current graph instead — with a heavy
+// pre-update, trusting RefDist fails most queries.
+func TestRunChurnOnPreUpdatedManager(t *testing.T) {
+	g := conformance.Network(t, 400, 600, 23)
+	srv := nrServer(t, g)
+	mgr, err := update.NewManager(g, srv, update.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 30, srv.Cycle().Len(), 23)
+
+	// Pre-churn: push every touched weight up 10x, swap the station.
+	rng := rand.New(rand.NewSource(24))
+	heavy := make([]graph.WeightUpdate, 0, 300)
+	for i := 0; i < 300; i++ {
+		from, to, wgt := g.ArcAt(rng.Intn(g.NumArcs()))
+		heavy = append(heavy, graph.WeightUpdate{From: from, To: to, Weight: wgt * 10})
+	}
+	b, err := mgr.Apply(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := st.Swap(b.Cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-swapped
+
+	res, err := RunChurn(context.Background(), st, mgr, w, ChurnOptions{
+		Fleet:    Options{Clients: 8, Queries: 90, Loss: 0.02, Seed: 23},
+		Batches:  1,
+		Interval: time.Hour, // no further churn: the pre-update is the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d of %d queries failed verification against the pre-updated network", res.Errors, res.Queries)
+	}
+	if res.Versions != 1 {
+		t.Fatalf("versions on the air = %d, want 1", res.Versions)
+	}
+}
+
+// TestRunChurnNoUpdatesDegeneratesToFleet: with zero batches the churn
+// driver is an ordinary verified fleet run — no stale queries, no
+// re-entries, version 0 throughout.
+func TestRunChurnNoUpdatesDegeneratesToFleet(t *testing.T) {
+	g := conformance.Network(t, 300, 450, 22)
+	srv := nrServer(t, g)
+	mgr, err := update.NewManager(g, srv, update.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := startStation(t, srv, station.Config{})
+	w := workload.Generate(g, 20, srv.Cycle().Len(), 22)
+	res, err := RunChurn(context.Background(), st, mgr, w, ChurnOptions{
+		Fleet:    Options{Clients: 8, Queries: 80, Loss: 0.02, Seed: 22},
+		Batches:  1,
+		Interval: time.Hour, // never fires within the run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors on a static churn run", res.Errors)
+	}
+	if res.StaleQueries != 0 || res.Reentries != 0 || res.Swaps != 0 || res.Versions != 0 {
+		t.Fatalf("static run reported churn: %+v", res)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightUpdate sets the weight of the directed arc From->To. It is the
+// server-side mutation unit of the dynamic-network subsystem
+// (internal/update): traffic feeds report per-segment travel-time changes,
+// never topology changes — roads do not appear or vanish between broadcast
+// cycles.
+type WeightUpdate struct {
+	From, To NodeID
+	Weight   float64
+}
+
+// WithWeights returns a new graph identical to g except that every arc
+// named by an update carries its new weight. Topology is immutable, so the
+// node table and both CSR index structures are shared with g; only the two
+// weight arrays are cloned. With parallel From->To arcs, all of them take
+// the new weight. Updates referencing a non-existent arc, or carrying a
+// negative or non-finite weight, fail — a dynamic server must reject a bad
+// traffic report rather than broadcast it.
+//
+// Applying the same update twice, or an update restating the current weight
+// (a no-op), is valid and idempotent.
+func (g *Graph) WithWeights(updates []WeightUpdate) (*Graph, error) {
+	out := *g // shares nodes, off, dst, roff, rdst and the bounds
+	out.wgt = append([]float64(nil), g.wgt...)
+	out.rwgt = append([]float64(nil), g.rwgt...)
+	for i, u := range updates {
+		if u.From < 0 || int(u.From) >= g.NumNodes() || u.To < 0 || int(u.To) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: update %d names node out of range [0,%d): %d->%d", i, g.NumNodes(), u.From, u.To)
+		}
+		if u.Weight < 0 || math.IsNaN(u.Weight) || math.IsInf(u.Weight, 0) {
+			return nil, fmt.Errorf("graph: update %d (%d->%d) has invalid weight %v", i, u.From, u.To, u.Weight)
+		}
+		if !setWeight(g.off, g.dst, out.wgt, u.From, u.To, u.Weight) {
+			return nil, fmt.Errorf("graph: update %d names non-existent arc %d->%d", i, u.From, u.To)
+		}
+		// The reverse CSR mirrors every arc; keep it consistent.
+		if !setWeight(g.roff, g.rdst, out.rwgt, u.To, u.From, u.Weight) {
+			return nil, fmt.Errorf("graph: update %d: reverse CSR missing arc %d->%d", i, u.From, u.To)
+		}
+	}
+	return &out, nil
+}
+
+// setWeight assigns w to every arc tail->head in one CSR half. Adjacency
+// lists are sorted by target (buildCSR), so the run of parallel arcs is
+// found by binary search.
+func setWeight(off []int32, dst []NodeID, wgt []float64, tail, head NodeID, w float64) bool {
+	lo, hi := int(off[tail]), int(off[tail+1])
+	adj := dst[lo:hi]
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= head })
+	found := false
+	for ; i < len(adj) && adj[i] == head; i++ {
+		wgt[lo+i] = w
+		found = true
+	}
+	return found
+}
+
+// SameTopology reports whether g and o have identical nodes (IDs and
+// coordinates) and identical arcs, weights aside: the precondition of a
+// weight-only server rebuild (core's EB/NR Rebuild reuse partitions, which
+// are functions of coordinates and arcs). Graphs derived via WithWeights
+// share their topology arrays and hit the identity fast path; independent
+// but equal graphs fall through to an O(n+m) comparison — trivial next to
+// the pre-computation a rebuild runs.
+func (g *Graph) SameTopology(o *Graph) bool {
+	if g.NumNodes() != o.NumNodes() || g.NumArcs() != o.NumArcs() {
+		return false
+	}
+	if g.NumNodes() == 0 {
+		return true
+	}
+	if &g.nodes[0] == &o.nodes[0] && &g.off[0] == &o.off[0] &&
+		(g.NumArcs() == 0 || &g.dst[0] == &o.dst[0]) {
+		return true // shared storage (a WithWeights derivative)
+	}
+	for i := range g.nodes {
+		if g.nodes[i] != o.nodes[i] {
+			return false
+		}
+	}
+	for i := range g.off {
+		if g.off[i] != o.off[i] {
+			return false
+		}
+	}
+	for i := range g.dst {
+		if g.dst[i] != o.dst[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArcAt returns the i-th directed arc in global arc-index order (the order
+// OutOffset defines): its endpoints and current weight. Workload and fuzz
+// generators use it to draw uniform random arcs for weight updates.
+func (g *Graph) ArcAt(i int) (from, to NodeID, weight float64) {
+	v := sort.Search(g.NumNodes(), func(v int) bool { return int(g.off[v+1]) > i })
+	return NodeID(v), g.dst[i], g.wgt[i]
+}

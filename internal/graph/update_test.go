@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// diamond builds a 4-node test graph with bidirectional edges
+// 0-1 (w 1), 0-2 (w 2), 1-3 (w 3), 2-3 (w 1) and the one-way arc 0->3 (w 9).
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 9)
+	for i := 0; i < 4; i++ {
+		b.AddNode(float64(i), 0)
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 2)
+	b.AddEdge(1, 3, 3)
+	b.AddEdge(2, 3, 1)
+	b.AddArc(0, 3, 9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWithWeights(t *testing.T) {
+	g := diamond(t)
+	g2, err := g.WithWeights([]WeightUpdate{
+		{From: 0, To: 1, Weight: 5},   // one direction only
+		{From: 0, To: 3, Weight: 0.5}, // the one-way arc
+		{From: 2, To: 3, Weight: 1},   // no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mutated copy reflects the updates, forward and reverse.
+	if w, _ := g2.ArcWeight(0, 1); w != 5 {
+		t.Fatalf("0->1 = %v, want 5", w)
+	}
+	if w, _ := g2.ArcWeight(1, 0); w != 1 {
+		t.Fatalf("1->0 = %v, want 1 (only the 0->1 direction was updated)", w)
+	}
+	if w, _ := g2.ArcWeight(0, 3); w != 0.5 {
+		t.Fatalf("0->3 = %v, want 0.5", w)
+	}
+	src, wgts := g2.In(1)
+	for i, s := range src {
+		if s == 0 && wgts[i] != 5 {
+			t.Fatalf("reverse CSR of 0->1 = %v, want 5", wgts[i])
+		}
+	}
+	// The original is untouched and topology arrays are shared.
+	if w, _ := g.ArcWeight(0, 1); w != 1 {
+		t.Fatalf("original mutated: 0->1 = %v", w)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+		t.Fatal("topology changed")
+	}
+	if &g2.dst[0] != &g.dst[0] || &g2.nodes[0] != &g.nodes[0] {
+		t.Fatal("topology arrays copied, want shared")
+	}
+	if &g2.wgt[0] == &g.wgt[0] {
+		t.Fatal("weight array shared, want cloned")
+	}
+}
+
+func TestWithWeightsRejectsBadUpdates(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		name string
+		u    WeightUpdate
+	}{
+		{"missing arc", WeightUpdate{From: 1, To: 2, Weight: 1}},
+		{"out of range", WeightUpdate{From: 0, To: 99, Weight: 1}},
+		{"negative", WeightUpdate{From: 0, To: 1, Weight: -1}},
+		{"NaN", WeightUpdate{From: 0, To: 1, Weight: math.NaN()}},
+		{"Inf", WeightUpdate{From: 0, To: 1, Weight: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := g.WithWeights([]WeightUpdate{tc.u}); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// A failed batch must not have corrupted the receiver.
+	if w, _ := g.ArcWeight(0, 1); w != 1 {
+		t.Fatalf("original mutated by rejected batch: %v", w)
+	}
+}
+
+func TestWithWeightsParallelArcs(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddNode(0, 0)
+	b.AddNode(1, 0)
+	b.AddArc(0, 1, 1)
+	b.AddArc(0, 1, 2) // parallel
+	b.AddArc(1, 0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g.WithWeights([]WeightUpdate{{From: 0, To: 1, Weight: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, wgt := g2.Out(0)
+	for i := range dst {
+		if wgt[i] != 7 {
+			t.Fatalf("parallel arc %d kept weight %v", i, wgt[i])
+		}
+	}
+}
+
+func TestArcAt(t *testing.T) {
+	g := diamond(t)
+	seen := map[[2]NodeID]int{}
+	for i := 0; i < g.NumArcs(); i++ {
+		from, to, w := g.ArcAt(i)
+		if got, ok := g.ArcWeight(from, to); !ok || got > w {
+			t.Fatalf("arc %d: %d->%d w=%v inconsistent with ArcWeight (%v,%v)", i, from, to, w, got, ok)
+		}
+		seen[[2]NodeID{from, to}]++
+	}
+	if len(seen) != 9 || seen[[2]NodeID{0, 3}] != 1 {
+		t.Fatalf("arc enumeration wrong: %v", seen)
+	}
+}

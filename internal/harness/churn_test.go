@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// TestChurnRuns executes the update-churn sweep at CI size: every row must
+// verify all its answers (Churn returns an error otherwise) and report a
+// coherent staleness split.
+func TestChurnRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweep runs a multi-second live fleet; skipped with -short (CI covers it via internal/fleet's -race churn test)")
+	}
+	cfg := small()
+	cfg.Out = io.Discard
+	rows, err := Churn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Errorf("interval %vms: %d errors", r.IntervalMS, r.Errors)
+		}
+		if r.Stale > r.Queries || r.Reentries < r.Stale {
+			t.Errorf("interval %vms: incoherent staleness split %+v", r.IntervalMS, r)
+		}
+	}
+}

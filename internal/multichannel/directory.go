@@ -51,6 +51,11 @@ type Directory struct {
 	DirSlots [][]int
 	// DirPackets is the packet count of one directory copy (0 for K=1).
 	DirPackets int
+	// Version is the broadcast-cycle version the directory describes
+	// (zero for a static broadcast). A radio compares it against the
+	// version stamped on received packets to detect that a cycle swap
+	// invalidated its cached copy (Rx.Stale).
+	Version uint32
 
 	identity bool
 
@@ -155,6 +160,7 @@ func identityDirectory(logicalLen int) *Directory {
 //	dirmeta  = ver u8, k u8, nEntries u16, dirPackets u16, seq u16,
 //	           logicalLen u32, channel u8, chanLen u32,
 //	           nCopies u8, nCopies x slot u32
+//	           [, cycleVersion u32]
 //	dirchans = k x chanLen u32
 //	direntry = first u16, count u8, count x (start u32, n u32, ch u8, slot u32)
 //
@@ -162,6 +168,11 @@ func identityDirectory(logicalLen int) *Directory {
 // so a cold radio that catches any one intact directory packet can compute
 // when this channel's other copies come around and patch losses by slot
 // instead of scanning.
+//
+// The trailing cycleVersion announces which broadcast version the directory
+// maps (internal/update's versioned cycles). It is appended only when
+// non-zero: a static broadcast encodes byte-identically to the pre-versioned
+// format, which keeps the committed deterministic baselines unchanged.
 //
 // Directory packets are synthesized per channel — they are not part of the
 // logical cycle and never reachable through Lookup.
@@ -176,6 +187,9 @@ const entryBytes = 13
 // Build relies on when laying out channel cycles.
 func EncodeDirectory(d *Directory, channel int) []packet.Packet {
 	metaLen := 18 + 4*len(d.DirSlots[channel])
+	if d.Version != 0 {
+		metaLen += 4
+	}
 	capacity := packet.PayloadSize - (3 + metaLen)
 
 	// Chunk entries into records of up to entriesPerRec placements.
@@ -234,13 +248,16 @@ func EncodeDirectory(d *Directory, channel int) []packet.Packet {
 		for _, s := range d.DirSlots[channel] {
 			meta.U32(uint32(s))
 		}
+		if d.Version != 0 {
+			meta.U32(d.Version)
+		}
 		payload := airidx.AppendRecord(nil, packet.TagDirMeta, meta.Bytes())
 		for _, r := range g.recs {
 			payload = airidx.AppendRecord(payload, r.Tag, r.Data)
 		}
 		full := make([]byte, packet.PayloadSize)
 		copy(full, payload)
-		pkts[seq] = packet.Packet{Kind: packet.KindDir, Payload: full}
+		pkts[seq] = packet.Packet{Kind: packet.KindDir, Version: d.Version, Payload: full}
 	}
 	return pkts
 }
@@ -252,9 +269,10 @@ type DirMeta struct {
 	Packets    int // packets per directory copy
 	Seq        int
 	LogicalLen int
-	Channel    int   // channel this copy travels on
-	ChanLen    int   // that channel's cycle length
-	CopySlots  []int // this channel's directory copy start slots
+	Channel    int    // channel this copy travels on
+	ChanLen    int    // that channel's cycle length
+	CopySlots  []int  // this channel's directory copy start slots
+	Version    uint32 // broadcast-cycle version (0 = static / pre-versioned)
 }
 
 // DecodeDirMeta parses a TagDirMeta record.
@@ -275,6 +293,9 @@ func DecodeDirMeta(data []byte) (DirMeta, bool) {
 	n := int(d.U8())
 	for i := 0; i < n; i++ {
 		m.CopySlots = append(m.CopySlots, int(d.U32()))
+	}
+	if d.Remaining() >= 4 {
+		m.Version = d.U32() // versioned cycle; absent on a static broadcast
 	}
 	if d.Err() || m.K < 1 || m.K > MaxChannels {
 		return DirMeta{}, false
@@ -310,6 +331,14 @@ func (a *DirAccum) Process(p packet.Packet, ok bool) {
 	})
 	if !found {
 		return
+	}
+	if a.haveMeta && meta.Version < a.Meta.Version {
+		return // a straggler from a superseded cycle version
+	}
+	if a.haveMeta && meta.Version > a.Meta.Version {
+		// The cycle swapped mid-bootstrap: everything assembled so far maps
+		// a version that just left the air. Start over on the new one.
+		*a = DirAccum{}
 	}
 	if !a.haveMeta {
 		a.Meta = meta
@@ -386,6 +415,7 @@ func (a *DirAccum) Directory() (*Directory, error) {
 		ChanLens:   a.chanLens,
 		Entries:    a.entries,
 		DirPackets: a.Meta.Packets,
+		Version:    a.Meta.Version,
 		DirSlots:   make([][]int, a.Meta.K),
 	}
 	d.DirSlots[a.Meta.Channel] = a.Meta.CopySlots

@@ -94,7 +94,9 @@ func Build(c *broadcast.Cycle, k int, opts PlanOptions) (*Plan, error) {
 		return nil, fmt.Errorf("multichannel: sections cover %d of %d packets", pos, c.Len())
 	}
 	if k == 1 {
-		return &Plan{Logical: c, Channels: []*broadcast.Cycle{c}, Dir: identityDirectory(c.Len())}, nil
+		d := identityDirectory(c.Len())
+		d.Version = c.Version
+		return &Plan{Logical: c, Channels: []*broadcast.Cycle{c}, Dir: d}, nil
 	}
 
 	// Classify sections and weigh regions.
@@ -197,7 +199,7 @@ func Build(c *broadcast.Cycle, k int, opts PlanOptions) (*Plan, error) {
 	// Materialize channel cycles: directory copies plus verbatim sections.
 	channels := make([]*broadcast.Cycle, k)
 	for ch := 0; ch < k; ch++ {
-		cyc := &broadcast.Cycle{}
+		cyc := &broadcast.Cycle{Version: c.Version}
 		dirPkts := EncodeDirectory(d, ch)
 		nextDir := 0
 		appendDir := func() {
@@ -252,6 +254,7 @@ func layout(c *broadcast.Cycle, secs []broadcast.Section, chanOf []int, k, copie
 		ChanLens:   make([]int, k),
 		DirSlots:   make([][]int, k),
 		DirPackets: dirPackets,
+		Version:    c.Version,
 	}
 	slotOf := make([]int, len(secs))
 	for ch := 0; ch < k; ch++ {

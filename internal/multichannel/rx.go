@@ -45,6 +45,13 @@ type Rx struct {
 	cur      int // channel currently tuned
 	startPos int // logical position of the content at tune-in
 
+	// stale flips when an intact packet carries a cycle version other than
+	// the one the directory describes: a versioned cycle swap invalidated
+	// the radio's cached map, so the positions it serves may no longer be
+	// the content the client expects (broadcast.Refreshable). The radio
+	// cannot repair itself — the client re-enters on a fresh Rx.
+	stale bool
+
 	perChannel []int
 	hops       int
 	overhead   int
@@ -97,31 +104,39 @@ func (r *Rx) ensureDir() {
 	}
 	// Phase 1: scan the start channel until any directory packet arrives
 	// intact; its meta names the copy shape and this channel's copy slots.
+	// A cycle swap mid-bootstrap resets the accumulator (it must not mix
+	// copies of two versions), which sends the radio back to scanning.
 	const scanCap = 1 << 22
-	for !acc.haveMeta {
-		if r.overhead > scanCap {
-			panic(fmt.Sprintf("multichannel: no directory found on channel %d after %d packets", r.cur, r.overhead))
-		}
-		listen(r.tick)
-	}
-	chanLen := acc.Meta.ChanLen
-	if chanLen <= 0 || len(acc.Meta.CopySlots) == 0 {
-		panic(fmt.Sprintf("multichannel: malformed directory meta %+v", acc.Meta))
-	}
-	// Phase 2: fetch the still-missing copy packets by slot — the meta
-	// names this channel's copy starts and cycle length, so each missing
-	// seq is patched from whichever upcoming copy carries it first, until
-	// the table is complete.
 	for !acc.Complete() {
-		for _, seq := range acc.MissingSeqs() {
-			best := -1
-			for _, s := range acc.Meta.CopySlots {
-				t := r.tick + mod(s+seq-r.tick, chanLen)
-				if best < 0 || t < best {
-					best = t
+		for !acc.haveMeta {
+			if r.overhead > scanCap {
+				panic(fmt.Sprintf("multichannel: no directory found on channel %d after %d packets", r.cur, r.overhead))
+			}
+			listen(r.tick)
+		}
+		chanLen := acc.Meta.ChanLen
+		if chanLen <= 0 || len(acc.Meta.CopySlots) == 0 {
+			panic(fmt.Sprintf("multichannel: malformed directory meta %+v", acc.Meta))
+		}
+		// Phase 2: fetch the still-missing copy packets by slot — the meta
+		// names this channel's copy starts and cycle length, so each missing
+		// seq is patched from whichever upcoming copy carries it first, until
+		// the table is complete (or a swap resets the accumulator).
+		ver := acc.Meta.Version
+		for acc.haveMeta && acc.Meta.Version == ver && !acc.Complete() {
+			for _, seq := range acc.MissingSeqs() {
+				best := -1
+				for _, s := range acc.Meta.CopySlots {
+					t := r.tick + mod(s+seq-r.tick, chanLen)
+					if best < 0 || t < best {
+						best = t
+					}
+				}
+				listen(best)
+				if !acc.haveMeta || acc.Meta.Version != ver {
+					break
 				}
 			}
-			listen(best)
 		}
 	}
 	d, err := acc.Directory()
@@ -159,8 +174,15 @@ func (r *Rx) At(abs int) (packet.Packet, bool) {
 	p, ok := r.src.Receive(c, t)
 	r.perChannel[c]++
 	r.tick = t + 1
+	if ok && p.Version != r.dir.Version {
+		r.stale = true
+	}
 	return p, ok
 }
+
+// Stale implements broadcast.Refreshable: the air swapped to a cycle
+// version the radio's directory does not describe.
+func (r *Rx) Stale() bool { return r.stale }
 
 // arrival maps a logical position to its channel and next arrival tick.
 // Retuning to another channel costs one tick: the radio cannot receive on

@@ -3,6 +3,7 @@ package multichannel
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/packet"
 	"repro/internal/station"
@@ -15,10 +16,18 @@ import (
 // whose virtual-clock behaviour is bit-identical to an offline Air with the
 // same tune-in tick, loss rate and seed.
 type Station struct {
-	plan     *Plan
 	stations []*station.Station
 	group    *station.Group // drives the shards when K > 1
 	cfg      station.Config
+
+	// plan is the sharding plan on (or about to leave) the air; next is a
+	// swapped-in plan waiting for the shard stations to apply it. The pair
+	// reconciles on read against the version the shards actually transmit,
+	// so a Subscribe between Swap and its tick-aligned application still
+	// pairs the directory with the air it describes.
+	mu   sync.Mutex
+	plan *Plan
+	next *Plan
 }
 
 // NewStation builds the K shard stations for the plan. cfg applies to every
@@ -50,14 +59,93 @@ func NewStation(p *Plan, cfg station.Config) (*Station, error) {
 	return m, nil
 }
 
+// reconcileLocked promotes a pending plan once the shard stations have
+// applied its swap (their cycle version equals the next plan's), and drops
+// it if the swap was abandoned (the station or group stopped with it still
+// pending — no pending swap, old version still on the air); the caller
+// holds mu. The ordering guarantee behind the second test: the station
+// side clears its pending slot only after the new epoch is visible, so
+// "not pending and not applied" can only mean abandoned.
+func (m *Station) reconcileLocked() {
+	if m.next == nil {
+		return
+	}
+	if m.stations[0].Cycle().Version == m.next.Logical.Version {
+		m.plan, m.next = m.next, nil
+		return
+	}
+	pending := false
+	if m.group != nil {
+		pending = m.group.SwapPending()
+	} else {
+		pending = m.stations[0].SwapPending()
+	}
+	if !pending {
+		// Not pending: if it applied between the version check above and
+		// here, the new version is visible now; otherwise it never will be.
+		if m.stations[0].Cycle().Version == m.next.Logical.Version {
+			m.plan, m.next = m.next, nil
+		} else {
+			m.next = nil
+		}
+	}
+}
+
+// currentPlan returns the plan matching the air.
+func (m *Station) currentPlan() *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reconcileLocked()
+	return m.plan
+}
+
 // Plan returns the sharding plan on the air.
-func (m *Station) Plan() *Plan { return m.plan }
+func (m *Station) Plan() *Plan { return m.currentPlan() }
 
 // K returns the channel count.
-func (m *Station) K() int { return m.plan.K() }
+func (m *Station) K() int { return len(m.stations) }
 
 // Len returns the logical cycle length in packets.
-func (m *Station) Len() int { return m.plan.LogicalLen() }
+func (m *Station) Len() int { return m.currentPlan().LogicalLen() }
+
+// Version returns the cycle version currently on the air.
+func (m *Station) Version() uint32 { return m.stations[0].Cycle().Version }
+
+// Swap schedules p2 to replace the plan on the air: every shard station
+// swaps to its new channel cycle at one global tick (station.Group.Swap's
+// atomicity guarantee; a K=1 station swaps at its cycle boundary), and
+// subscribers arriving after that tick get p2's directory. p2 must shard
+// the same channel count and carry a cycle version different from the
+// current plan's — versions are how the air and the directory are matched.
+// Radios subscribed before the swap keep their old directory; they detect
+// the swap (version stamps flip, Rx.Stale) and their clients re-enter on a
+// fresh subscription. The returned channel reports the swap tick.
+func (m *Station) Swap(p2 *Plan) (<-chan int, error) {
+	if p2.K() != m.K() {
+		return nil, fmt.Errorf("multichannel: swap changes channel count %d -> %d", m.K(), p2.K())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reconcileLocked()
+	if m.next != nil {
+		return nil, fmt.Errorf("multichannel: swap already pending")
+	}
+	if p2.Logical.Version == m.plan.Logical.Version {
+		return nil, fmt.Errorf("multichannel: swap requires a new cycle version (have %d)", p2.Logical.Version)
+	}
+	var applied <-chan int
+	var err error
+	if m.group != nil {
+		applied, err = m.group.Swap(p2.Channels)
+	} else {
+		applied, err = m.stations[0].Swap(p2.Channels[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.next = p2
+	return applied, nil
+}
 
 // Rate returns the bit rate queries should be costed at (per channel; a
 // K-channel broadcast spends K times the spectrum).
@@ -91,6 +179,7 @@ func (m *Station) Subscribe(lossRate float64, seed int64, opts RxOptions) (*Rx, 
 	if opts.Cold && m.K() == 1 {
 		opts.Cold = false
 	}
+	plan := m.currentPlan()
 	src := &liveSource{subs: make([]*station.Sub, m.K())}
 	t0 := 0
 	for c, st := range m.stations {
@@ -113,7 +202,7 @@ func (m *Station) Subscribe(lossRate float64, seed int64, opts RxOptions) (*Rx, 
 			sub.Park()
 		}
 	}
-	dir := m.plan.Dir
+	dir := plan.Dir
 	if opts.Cold {
 		dir = nil
 	}

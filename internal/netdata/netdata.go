@@ -239,6 +239,27 @@ func (c *Collector) Process(cyclePos int, p packet.Packet) {
 	})
 }
 
+// PatchArc updates the weight of every collected From->To arc to w and
+// reports whether any arc changed: the client half of the versioned-cycle
+// delta protocol (internal/update). A client whose query straddled a cycle
+// swap replays the new cycle's KindDelta patch list through here; arcs it
+// never collected return false and cost nothing — the regions they belong
+// to will arrive from the new cycle anyway.
+func (c *Collector) PatchArc(from, to graph.NodeID, w float64) bool {
+	if !c.Net.Has(from) {
+		return false
+	}
+	patched := false
+	arcs := c.Net.Arcs(from)
+	for i := range arcs {
+		if arcs[i].To == to && arcs[i].Weight != w {
+			arcs[i].Weight = w
+			patched = true
+		}
+	}
+	return patched
+}
+
 // Release discharges the collector's retained bytes from the tracker
 // (memory-bound processing frees region data after contraction).
 func (c *Collector) Release(v graph.NodeID) {

@@ -1,0 +1,195 @@
+package packet
+
+import (
+	"math"
+	"testing"
+)
+
+// deltaArcs decodes every DeltaArc of a delta packet run, verifying the
+// per-packet meta self-description along the way.
+func deltaArcs(t *testing.T, pkts []Packet, wantVer, wantFrom uint32) []DeltaArc {
+	t.Helper()
+	var out []DeltaArc
+	for seq, p := range pkts {
+		if p.Kind != KindDelta {
+			t.Fatalf("packet %d kind %v, want delta", seq, p.Kind)
+		}
+		if p.Version != wantVer {
+			t.Fatalf("packet %d header version %d, want %d", seq, p.Version, wantVer)
+		}
+		if len(p.Payload) != PayloadSize {
+			t.Fatalf("packet %d payload %d bytes, want %d", seq, len(p.Payload), PayloadSize)
+		}
+		gotMeta := false
+		ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+			switch tag {
+			case TagDeltaMeta:
+				m, ok := DecodeDeltaMeta(data)
+				if !ok {
+					t.Fatalf("packet %d: malformed delta meta", seq)
+				}
+				if m.Version != wantVer || m.FromVersion != wantFrom {
+					t.Fatalf("packet %d meta versions %d<-%d, want %d<-%d",
+						seq, m.Version, m.FromVersion, wantVer, wantFrom)
+				}
+				if m.Packets != len(pkts) || m.Seq != seq {
+					t.Fatalf("packet %d meta shape %d/%d, want %d/%d",
+						seq, m.Seq, m.Packets, seq, len(pkts))
+				}
+				gotMeta = true
+			case TagDeltaArcs:
+				ForEachDeltaArc(data, func(a DeltaArc) bool {
+					out = append(out, a)
+					return true
+				})
+			}
+			return true
+		})
+		if !gotMeta {
+			t.Fatalf("packet %d carries no meta record", seq)
+		}
+	}
+	return out
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	mkArcs := func(n int) []DeltaArc {
+		arcs := make([]DeltaArc, n)
+		for i := range arcs {
+			arcs[i] = DeltaArc{
+				From:   uint32(i),
+				To:     uint32(3*i + 1),
+				Weight: float64(i) * 1.5,
+			}
+		}
+		return arcs
+	}
+	cases := []struct {
+		name      string
+		ver, from uint32
+		arcs      []DeltaArc
+		wantPkts  int
+	}{
+		{"empty patch", 1, 0, nil, 1},
+		{"single arc", 2, 1, mkArcs(1), 1},
+		{"exactly one packet", 3, 2, mkArcs(DeltaArcsPerPacket), 1},
+		{"one arc over", 4, 3, mkArcs(DeltaArcsPerPacket + 1), 2},
+		{"several packets", 9, 7, mkArcs(3*DeltaArcsPerPacket + 5), 4},
+		{"version wrap-scale", math.MaxUint32, math.MaxUint32 - 1, mkArcs(2), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkts := EncodeDelta(tc.ver, tc.from, tc.arcs)
+			if len(pkts) != tc.wantPkts {
+				t.Fatalf("%d packets, want %d", len(pkts), tc.wantPkts)
+			}
+			got := deltaArcs(t, pkts, tc.ver, tc.from)
+			if len(got) != len(tc.arcs) {
+				t.Fatalf("decoded %d arcs, want %d", len(got), len(tc.arcs))
+			}
+			for i, a := range got {
+				want := tc.arcs[i]
+				// Weights travel as float32, like every on-air weight.
+				if a.From != want.From || a.To != want.To ||
+					a.Weight != float64(float32(want.Weight)) {
+					t.Fatalf("arc %d = %+v, want %+v", i, a, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeDeltaMetaRejectsMalformed(t *testing.T) {
+	pkts := EncodeDelta(5, 4, []DeltaArc{{From: 1, To: 2, Weight: 3}})
+	var meta []byte
+	ForEachRecord(pkts[0].Payload, func(tag uint8, data []byte) bool {
+		if tag == TagDeltaMeta {
+			meta = data
+		}
+		return true
+	})
+	if meta == nil {
+		t.Fatal("no meta record")
+	}
+	if _, ok := DecodeDeltaMeta(meta[:len(meta)-1]); ok {
+		t.Error("truncated meta decoded")
+	}
+	var e Enc
+	e.U32(5)
+	e.U32(4)
+	e.U32(1)
+	e.U16(0) // zero packets
+	e.U16(0)
+	if _, ok := DecodeDeltaMeta(e.Bytes()); ok {
+		t.Error("zero-packet meta decoded")
+	}
+	e.Reset()
+	e.U32(5)
+	e.U32(4)
+	e.U32(1)
+	e.U16(2)
+	e.U16(2) // seq == packets
+	if _, ok := DecodeDeltaMeta(e.Bytes()); ok {
+		t.Error("out-of-range seq decoded")
+	}
+}
+
+func TestForEachDeltaArcTruncatedPrefix(t *testing.T) {
+	var e Enc
+	for i := 0; i < 3; i++ {
+		e.U32(uint32(i))
+		e.U32(uint32(i + 1))
+		e.F32(float64(i))
+	}
+	data := e.Bytes()[:2*deltaArcBytes+5] // third arc truncated
+	n := 0
+	ForEachDeltaArc(data, func(DeltaArc) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("decoded %d arcs from truncated record, want 2", n)
+	}
+	n = 0
+	ForEachDeltaArc(data, func(DeltaArc) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop decoded %d arcs, want 1", n)
+	}
+}
+
+// TestForEachDeltaArcZeroAlloc pins the PR-3 zero-allocation invariant on
+// the new delta iteration: walking a full delta packet — record framing and
+// arc triples — allocates nothing.
+func TestForEachDeltaArcZeroAlloc(t *testing.T) {
+	arcs := make([]DeltaArc, DeltaArcsPerPacket)
+	for i := range arcs {
+		arcs[i] = DeltaArc{From: uint32(i), To: uint32(i + 1), Weight: float64(i)}
+	}
+	pkts := EncodeDelta(7, 6, arcs)
+	payload := pkts[0].Payload
+	var sum float64
+	allocs := testing.AllocsPerRun(100, func() {
+		ForEachRecord(payload, func(tag uint8, data []byte) bool {
+			if tag == TagDeltaArcs {
+				ForEachDeltaArc(data, func(a DeltaArc) bool {
+					sum += a.Weight
+					return true
+				})
+			}
+			return true
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("delta iteration allocates %v per run, want 0", allocs)
+	}
+	if sum == 0 {
+		t.Fatal("iteration saw no arcs")
+	}
+}
+
+func TestVersionFieldDefaultsZero(t *testing.T) {
+	w := NewWriter(KindData)
+	w.Add(TagNode, []byte{1})
+	for _, p := range w.Packets() {
+		if p.Version != 0 {
+			t.Fatalf("static writer stamped version %d, want 0", p.Version)
+		}
+	}
+}

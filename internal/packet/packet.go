@@ -37,6 +37,7 @@ const (
 	KindData              // road-network adjacency data
 	KindAux               // scheme-specific pre-computed information (flags, vectors, quadtrees, super-edge tables)
 	KindDir               // multi-channel directory: logical-section -> (channel, slot) table
+	KindDelta             // versioned-cycle patch list: arcs whose weight changed since the previous version
 )
 
 func (k Kind) String() string {
@@ -51,6 +52,8 @@ func (k Kind) String() string {
 		return "aux"
 	case KindDir:
 		return "dir"
+	case KindDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -64,6 +67,22 @@ type Packet struct {
 	// The paper mandates this pointer on every packet so a client tuning in
 	// anywhere can find the index.
 	NextIndex uint32
+	// Version is the broadcast-cycle version the packet belongs to. A static
+	// broadcast (the paper's model) never stamps it, so it stays zero;
+	// a dynamic deployment bumps it on every cycle rebuild
+	// (broadcast.Cycle.SetVersion), letting a client detect mid-query that
+	// the air swapped underneath it. Versions are compared intact-packet to
+	// intact-packet only: a lost packet carries no trustworthy header.
+	//
+	// Airtime model: Version is not charged against the 128-byte packet
+	// budget (headerSize stays kind + next-index). A real dynamic
+	// deployment would widen the header by four bytes — ~3% airtime — or
+	// fold the version into the per-packet meta records the way the
+	// directory wire format does; the simulation keeps the packet economy
+	// of the paper's static model so that versioned and static runs measure
+	// the same packet counts and the staleness overhead isolates the swap
+	// protocol itself.
+	Version uint32
 	// Payload holds the framed records (PayloadSize bytes once sealed).
 	Payload []byte
 }
@@ -93,6 +112,8 @@ const (
 	TagDirMeta                    // multi-channel directory shape (internal/multichannel)
 	TagDirChans                   // per-channel cycle lengths
 	TagDirEntry                   // logical-range -> (channel, slot) placements
+	TagDeltaMeta                  // versioned-cycle patch shape (version, predecessor, arc count)
+	TagDeltaArcs                  // changed-arc batch: (from, to, new weight) triples
 )
 
 // Writer frames records into packets. Records are placed whole; a record
@@ -144,6 +165,15 @@ func (w *Writer) Packets() []Packet {
 	out := make([]Packet, len(w.packets))
 	copy(out, w.packets)
 	return out
+}
+
+// AppendRecord frames one record onto b, append-style: the same framing
+// Writer.Add applies, for encoders that lay out a payload by hand (index
+// packers, directory and delta encoders). It is the only place the record
+// envelope is written.
+func AppendRecord(b []byte, tag uint8, data []byte) []byte {
+	b = append(b, tag, byte(len(data)), byte(len(data)>>8))
+	return append(b, data...)
 }
 
 // ForEachRecord decodes the records in a packet payload in place, calling

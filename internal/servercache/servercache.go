@@ -18,16 +18,24 @@ package servercache
 
 import "sync"
 
-// Key identifies one built artifact. All three fields are canonical
-// strings so callers control exactly what "the same build" means.
+// Key identifies one built artifact. The string fields are canonical so
+// callers control exactly what "the same build" means.
 type Key struct {
 	// Network names the road network: preset/scale/seed or nodes/edges/seed.
 	Network string
 	// Scheme names what was built on it ("NR", "EB", "graph", "core", ...).
 	Scheme string
 	// Params captures every build parameter that changes the output
-	// (regions, segmentation, landmarks, channel count, ...).
+	// (regions, segmentation, landmarks, channel count, ...). A versioned
+	// build additionally folds the identity of its update sequence in here
+	// (internal/update signs the applied updates), because a version number
+	// alone does not identify what the network looks like.
 	Params string
+	// Version is the broadcast-cycle version of a dynamic build
+	// (internal/update); static builds leave it zero. Every version of a
+	// network is its own immutable cache entry — rebuilds never invalidate,
+	// they key differently.
+	Version uint32
 }
 
 type entry struct {

@@ -41,6 +41,26 @@ func TestGetBuildsOncePerKey(t *testing.T) {
 	}
 }
 
+// TestVersionKeysAreDistinct: every cycle version of a dynamic network is
+// its own immutable entry — rebuilds key differently instead of
+// invalidating.
+func TestVersionKeysAreDistinct(t *testing.T) {
+	Flush()
+	builds := 0
+	for _, v := range []uint32{0, 1, 2, 1} {
+		got, err := Get(Key{Network: "n1", Scheme: "NR", Params: "r=8", Version: v}, func() (uint32, error) {
+			builds++
+			return v, nil
+		})
+		if err != nil || got != v {
+			t.Fatalf("Get(v=%d) = %v, %v", v, got, err)
+		}
+	}
+	if builds != 3 {
+		t.Fatalf("%d builds for versions {0,1,2,1}, want 3", builds)
+	}
+}
+
 func TestGetCachesErrors(t *testing.T) {
 	Flush()
 	sentinel := errors.New("deterministic build failure")

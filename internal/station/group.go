@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/broadcast"
 )
 
 // Group drives several stations from one transmit goroutine on a single
@@ -27,6 +29,10 @@ type Group struct {
 	running bool
 	cancel  context.CancelFunc
 	done    chan struct{}
+	// pending holds one cycle per member awaiting the group swap, applied to
+	// every member at the same global tick; swapped reports that tick.
+	pending []*broadcast.Cycle
+	swapped chan int
 }
 
 // NewGroup returns a group over the given stations. All members must share
@@ -77,6 +83,70 @@ func (g *Group) Start(ctx context.Context) error {
 	return nil
 }
 
+// Swap schedules cycles[i] to replace member i's cycle on the air. The
+// swap is atomic across the group: every member switches at the same
+// global tick (before any member transmits it), so at no instant do two
+// channels of a multi-channel broadcast carry different versions. Unlike a
+// single station's boundary-aligned Swap, members with different cycle
+// lengths have no common boundary, so the group cuts at a tick: the
+// incoming cycles enter the rotation at that tick's phase. The returned
+// channel delivers the swap tick once applied; if the group stops first
+// the swap is abandoned and the channel closes without a value. One swap
+// may be pending at a time.
+func (g *Group) Swap(cycles []*broadcast.Cycle) (<-chan int, error) {
+	if len(cycles) != len(g.stations) {
+		return nil, fmt.Errorf("station: group swap got %d cycles for %d members", len(cycles), len(g.stations))
+	}
+	for i, c := range cycles {
+		if c.Len() == 0 {
+			return nil, fmt.Errorf("station: group swap: member %d cycle is empty", i)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.running {
+		return nil, fmt.Errorf("station: group not on the air")
+	}
+	if g.pending != nil {
+		return nil, fmt.Errorf("station: group swap already pending")
+	}
+	g.pending = cycles
+	g.swapped = make(chan int, 1)
+	return g.swapped, nil
+}
+
+// applyPendingSwap installs a pending swap on every member; called by the
+// group loop between ticks, so the cut is atomic across members. The
+// pending slot clears only after every member carries the new cycle, so
+// anyone who observes no pending swap (SwapPending) also observes the new
+// versions.
+func (g *Group) applyPendingSwap() {
+	g.mu.Lock()
+	cycles := g.pending
+	g.mu.Unlock()
+	if cycles == nil {
+		return
+	}
+	tick := 0
+	for i, st := range g.stations {
+		tick = st.forceSwap(cycles[i])
+	}
+	g.mu.Lock()
+	swapped := g.swapped
+	g.pending, g.swapped = nil, nil
+	g.mu.Unlock()
+	swapped <- tick // cap 1, one pending swap: never blocks
+	close(swapped)
+}
+
+// SwapPending reports whether a scheduled group swap has not yet reached
+// the air.
+func (g *Group) SwapPending() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pending != nil
+}
+
 // Stop takes every member off the air and waits for the transmit loop to
 // exit. Safe to call multiple times and after context cancellation.
 func (g *Group) Stop() {
@@ -99,6 +169,12 @@ func (g *Group) run(ctx context.Context, done chan struct{}) {
 			st.closeSubs()
 		}
 		g.mu.Lock()
+		if g.pending != nil {
+			// Abandon a swap that never reached the air: close its channel
+			// without a value so waiters unblock.
+			close(g.swapped)
+			g.pending, g.swapped = nil, nil
+		}
 		g.running = false
 		g.mu.Unlock()
 	}()
@@ -122,6 +198,7 @@ func (g *Group) run(ctx context.Context, done chan struct{}) {
 				}
 			}
 		}
+		g.applyPendingSwap()
 		listeners := 0
 		for _, st := range g.stations {
 			listeners += st.step(ctx)

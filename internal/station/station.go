@@ -62,10 +62,57 @@ type Transmission struct {
 	OK  bool
 }
 
+// epoch is one cycle's tenure on the air. A static station has exactly one;
+// every Swap pushes a new one whose origin records the absolute position it
+// took over at. The chain stays reachable so degraded paths (buffer-overrun
+// skeletons, off-air replay) can still serve any historic position
+// deterministically — but only as far back as some current subscriber can
+// still ask (newEpoch prunes the rest, so a long-churning station does not
+// pin every cycle it ever broadcast). Positions map into an epoch's cycle
+// as pos mod Len — a swapped-in cycle enters the rotation at whatever
+// phase the absolute position dictates, so client-side cyclic arithmetic
+// (which runs on pos mod Len) needs no adjustment.
+type epoch struct {
+	cycle  *broadcast.Cycle
+	origin int // absolute position this cycle went on the air
+	prev   *epoch
+}
+
+// find returns the epoch whose tenure covers absolute position abs (or the
+// oldest retained one for positions older than the pruned history).
+func (e *epoch) find(abs int) *epoch {
+	for e.prev != nil && abs < e.origin {
+		e = e.prev
+	}
+	return e
+}
+
+// newEpoch returns the epoch for cycle c taking over at origin, chaining
+// copies of only those predecessors whose tenure a position >= minNeeded
+// can still fall into. Copies, not the originals: published epoch nodes
+// are read lock-free by subscriber goroutines and must never be mutated.
+func newEpoch(c *broadcast.Cycle, origin int, prev *epoch, minNeeded int) *epoch {
+	var keep []*epoch
+	for e := prev; e != nil; e = e.prev {
+		keep = append(keep, e)
+		if minNeeded >= e.origin {
+			break // everything older can no longer be requested
+		}
+	}
+	var chain *epoch
+	for i := len(keep) - 1; i >= 0; i-- {
+		chain = &epoch{cycle: keep[i].cycle, origin: keep[i].origin, prev: chain}
+	}
+	return &epoch{cycle: c, origin: origin, prev: chain}
+}
+
 // Station streams a broadcast cycle to its subscribers.
 type Station struct {
-	cycle *broadcast.Cycle
-	cfg   Config
+	cfg Config
+
+	// cur is the epoch on the air: swapped under mu by the transmit paths,
+	// loaded lock-free by subscriber-goroutine reads (Len, replay).
+	cur atomic.Pointer[epoch]
 
 	mu      sync.Mutex
 	subs    map[*Sub]struct{}
@@ -78,6 +125,11 @@ type Station struct {
 	subList []*Sub
 	// pos is the next absolute position to transmit; guarded by mu.
 	pos int
+	// pending is a cycle awaiting its swap-in at the next cycle boundary,
+	// and swapped reports the absolute swap position once it happens;
+	// guarded by mu.
+	pending *broadcast.Cycle
+	swapped chan int
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -97,19 +149,23 @@ func New(c *broadcast.Cycle, cfg Config) (*Station, error) {
 	if cfg.BitsPerSecond < 0 || cfg.PacketBits <= 0 || cfg.Buffer < 1 || cfg.Start < 0 {
 		return nil, fmt.Errorf("station: invalid config %+v", cfg)
 	}
-	return &Station{
-		cycle: c,
-		cfg:   cfg,
-		subs:  make(map[*Sub]struct{}),
-		pos:   cfg.Start,
-	}, nil
+	s := &Station{
+		cfg:  cfg,
+		subs: make(map[*Sub]struct{}),
+		pos:  cfg.Start,
+	}
+	s.cur.Store(&epoch{cycle: c, origin: cfg.Start})
+	return s, nil
 }
 
-// Cycle returns the cycle on the air.
-func (s *Station) Cycle() *broadcast.Cycle { return s.cycle }
+// Cycle returns the cycle currently on the air.
+func (s *Station) Cycle() *broadcast.Cycle { return s.cur.Load().cycle }
 
-// Len returns the cycle length in packets.
-func (s *Station) Len() int { return s.cycle.Len() }
+// Len returns the current cycle length in packets.
+func (s *Station) Len() int { return s.cur.Load().cycle.Len() }
+
+// Version returns the version of the cycle currently on the air.
+func (s *Station) Version() uint32 { return s.cur.Load().cycle.Version }
 
 // Rate returns the channel bit rate queries should be costed at: the paced
 // rate, or metrics.RateFast for a virtual clock.
@@ -142,6 +198,68 @@ func (s *Station) Start(ctx context.Context) error {
 	s.running = true
 	go s.run(ctx, s.done)
 	return nil
+}
+
+// Swap schedules c to replace the cycle on the air at the next cycle
+// boundary: the first position p with p mod Len == 0, so the outgoing
+// version always completes its final cycle and no cycle ever mixes two
+// versions. The returned channel delivers the absolute swap position once
+// the swap happens; if the station leaves the air first the swap is
+// abandoned and the channel is closed without a value (receive with
+// comma-ok to tell the two apart). One swap may be pending at a time;
+// stations driven by a Group swap through Group.Swap instead, which
+// trades boundary alignment for cross-member atomicity.
+func (s *Station) Swap(c *broadcast.Cycle) (<-chan int, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("station: swap to empty cycle")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return nil, fmt.Errorf("station: not on the air")
+	}
+	if s.pending != nil {
+		return nil, fmt.Errorf("station: swap already pending")
+	}
+	s.pending = c
+	s.swapped = make(chan int, 1)
+	return s.swapped, nil
+}
+
+// forceSwap installs c on the air from the station's current position,
+// regardless of cycle boundaries, and returns that position. The group
+// transmit loop uses it to swap every member at one global tick; the caller
+// must not hold mu.
+func (s *Station) forceSwap(c *broadcast.Cycle) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.Store(newEpoch(c, s.pos, s.cur.Load(), s.minNeededLocked()))
+	return s.pos
+}
+
+// minNeededLocked returns the oldest absolute position any current
+// subscriber can still request — the epoch-history pruning horizon. Want
+// positions are non-decreasing (a broadcast cannot be rewound), so nothing
+// below the minimum want is ever served again; with no subscribers the
+// horizon is the transmit position itself. The caller holds mu.
+func (s *Station) minNeededLocked() int {
+	minN := s.pos
+	for _, sub := range s.subList {
+		if w := sub.want.Load(); w < int64(minN) {
+			minN = int(w)
+		}
+	}
+	return minN
+}
+
+// SwapPending reports whether a scheduled swap has not yet reached the
+// air. Because a swap clears only after the new epoch is visible (and an
+// abandoned one only on shutdown), "no pending swap and still the old
+// version" means the swap will never happen.
+func (s *Station) SwapPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending != nil
 }
 
 // Stop takes the station off the air and waits for the transmit loop to
@@ -215,10 +333,22 @@ func (s *Station) step(ctx context.Context) int {
 	s.mu.Lock()
 	pos := s.pos
 	s.pos++
+	ep := s.cur.Load()
+	if s.pending != nil && pos%ep.cycle.Len() == 0 {
+		// Cycle boundary: the outgoing version completed its last cycle, the
+		// pending one takes over from this very position. The new epoch is
+		// visible before the pending slot clears, so anyone who observes no
+		// pending swap (SwapPending) also observes the new version.
+		ep = newEpoch(s.pending, pos, ep, s.minNeededLocked())
+		s.cur.Store(ep)
+		s.pending = nil
+		s.swapped <- pos // cap 1, one pending swap: never blocks
+		close(s.swapped)
+	}
 	subs := s.subList
 	s.mu.Unlock()
 	for _, sub := range subs {
-		s.deliver(ctx, sub, pos)
+		s.deliver(ctx, sub, pos, ep)
 	}
 	return len(subs)
 }
@@ -246,7 +376,7 @@ func (s *Station) updateSubList() {
 // the tick it will hop to — the stale want between two receptions is the
 // hold. On a paced clock exactness is moot: real time does not wait, and a
 // late radio misses packets like any other.
-func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
+func (s *Station) deliver(ctx context.Context, sub *Sub, pos int, ep *epoch) {
 	if sub.exact && s.cfg.BitsPerSecond == 0 {
 		for {
 			w := sub.want.Load()
@@ -269,10 +399,11 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
 		return
 	}
 	t := Transmission{Pos: pos, OK: !broadcast.Lost(sub.seed, pos, sub.loss)}
+	p := ep.cycle.Packets[pos%ep.cycle.Len()]
 	if t.OK {
-		t.Pkt = s.cycle.Packets[pos%s.cycle.Len()]
+		t.Pkt = p
 	} else {
-		t.Pkt = packet.Packet{Kind: s.cycle.Packets[pos%s.cycle.Len()].Kind}
+		t.Pkt = packet.Packet{Kind: p.Kind}
 	}
 	if s.cfg.BitsPerSecond > 0 {
 		select {
@@ -297,7 +428,9 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int) {
 }
 
 // closeSubs closes every open subscription's channel once the transmit loop
-// has exited (so no send can race the close).
+// has exited (so no send can race the close). A swap still pending at that
+// point is abandoned: its channel closes without a value, so waiters
+// unblock instead of hanging on a station that will never tick again.
 func (s *Station) closeSubs() {
 	s.mu.Lock()
 	subs := make([]*Sub, 0, len(s.subs))
@@ -306,6 +439,10 @@ func (s *Station) closeSubs() {
 		delete(s.subs, sub)
 	}
 	s.updateSubList()
+	if s.pending != nil {
+		close(s.swapped)
+		s.pending, s.swapped = nil, nil
+	}
 	s.running = false // the station may be Started again
 	s.mu.Unlock()
 	for _, sub := range subs {
@@ -408,8 +545,11 @@ type Sub struct {
 // subscription is guaranteed to receive.
 func (s *Sub) Start() int { return s.start }
 
-// Len returns the cycle length in packets (broadcast.Feed).
-func (s *Sub) Len() int { return s.st.cycle.Len() }
+// Len returns the current cycle length in packets (broadcast.Feed). It
+// changes when a swap installs a cycle of a different length (e.g. one
+// carrying a delta trailer); clients always read it live through the tuner,
+// so their cyclic arithmetic follows the air.
+func (s *Sub) Len() int { return s.st.cur.Load().cycle.Len() }
 
 // Missed returns how many packets the station dropped because this
 // subscriber's buffer was full (paced clock only).
@@ -457,16 +597,19 @@ func (s *Sub) At(abs int) (packet.Packet, bool) {
 
 // missedAt serves a packet the subscriber was tuned in for but never got
 // buffered (already counted by the station when it dropped it): on the air
-// it is indistinguishable from a corrupted packet.
+// it is indistinguishable from a corrupted packet. The epoch chain keeps
+// the kind correct even when the miss straddles a cycle swap.
 func (s *Sub) missedAt(abs int) (packet.Packet, bool) {
-	return packet.Packet{Kind: s.st.cycle.Packets[abs%s.st.cycle.Len()].Kind}, false
+	ep := s.st.cur.Load().find(abs)
+	return packet.Packet{Kind: ep.cycle.Packets[abs%ep.cycle.Len()].Kind}, false
 }
 
 // replayAt serves positions after the station left the air: a deterministic
 // replay identical to a broadcast.Channel with this subscription's loss
-// pattern.
+// pattern, version-faithful across any swaps the station performed.
 func (s *Sub) replayAt(abs int) (packet.Packet, bool) {
-	p := s.st.cycle.Packets[abs%s.st.cycle.Len()]
+	ep := s.st.cur.Load().find(abs)
+	p := ep.cycle.Packets[abs%ep.cycle.Len()]
 	if broadcast.Lost(s.seed, abs, s.loss) {
 		return packet.Packet{Kind: p.Kind}, false
 	}

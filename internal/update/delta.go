@@ -1,0 +1,89 @@
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+)
+
+// DeltaAccum reassembles a patch from (possibly lossy) KindDelta packets —
+// the client half of the delta wire format. Like the directory accumulator
+// it tolerates any arrival order, ignores duplicates, and restarts cleanly
+// if a newer version's patch appears mid-assembly.
+type DeltaAccum struct {
+	Meta     packet.DeltaMeta
+	haveMeta bool
+	gotSeq   []bool
+	arcs     [][]packet.DeltaArc // per seq, so ordering is deterministic
+	missing  int
+}
+
+// Process folds one packet; non-KindDelta and lost packets are ignored.
+func (a *DeltaAccum) Process(p packet.Packet, ok bool) {
+	if !ok || p.Kind != packet.KindDelta {
+		return
+	}
+	var meta packet.DeltaMeta
+	found := false
+	var arcsData []byte
+	packet.ForEachRecord(p.Payload, func(tag uint8, data []byte) bool {
+		switch tag {
+		case packet.TagDeltaMeta:
+			meta, found = packet.DecodeDeltaMeta(data)
+		case packet.TagDeltaArcs:
+			arcsData = data
+		}
+		return true
+	})
+	if !found {
+		return
+	}
+	if a.haveMeta && meta.Version < a.Meta.Version {
+		return // straggler from a superseded patch
+	}
+	if a.haveMeta && meta.Version > a.Meta.Version {
+		*a = DeltaAccum{} // the air moved on mid-assembly: start over
+	}
+	if !a.haveMeta {
+		a.Meta = meta
+		a.haveMeta = true
+		a.gotSeq = make([]bool, meta.Packets)
+		a.arcs = make([][]packet.DeltaArc, meta.Packets)
+		a.missing = meta.Packets
+	}
+	if meta.Seq >= len(a.gotSeq) || a.gotSeq[meta.Seq] {
+		return
+	}
+	a.gotSeq[meta.Seq] = true
+	a.missing--
+	if arcsData != nil {
+		var arcs []packet.DeltaArc
+		packet.ForEachDeltaArc(arcsData, func(d packet.DeltaArc) bool {
+			arcs = append(arcs, d)
+			return true
+		})
+		a.arcs[meta.Seq] = arcs
+	}
+}
+
+// Complete reports whether every packet of the patch has been folded in.
+func (a *DeltaAccum) Complete() bool { return a.haveMeta && a.missing == 0 }
+
+// Updates materializes the assembled patch in server-side form, in the
+// original encode order. Call only when Complete.
+func (a *DeltaAccum) Updates() ([]graph.WeightUpdate, error) {
+	if !a.Complete() {
+		return nil, fmt.Errorf("update: delta incomplete (%d of %d packets missing)", a.missing, a.Meta.Packets)
+	}
+	out := make([]graph.WeightUpdate, 0, a.Meta.Arcs)
+	for _, arcs := range a.arcs {
+		for _, d := range arcs {
+			out = append(out, graph.WeightUpdate{From: graph.NodeID(d.From), To: graph.NodeID(d.To), Weight: d.Weight})
+		}
+	}
+	if len(out) != a.Meta.Arcs {
+		return nil, fmt.Errorf("update: delta carries %d arcs, meta says %d", len(out), a.Meta.Arcs)
+	}
+	return out, nil
+}

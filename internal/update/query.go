@@ -1,0 +1,51 @@
+package update
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/scheme"
+)
+
+// ErrStaleFeed reports that the feed's cached cycle structure (a hopping
+// radio's directory) no longer describes the air: re-entering on the same
+// tuner cannot help, the client must tune in on a fresh feed.
+var ErrStaleFeed = errors.New("update: feed structure stale after cycle swap; re-enter on a fresh feed")
+
+// maxAttempts bounds Query's re-entry loop. Swaps are rare relative to a
+// query (a rebuild takes many cycles' worth of air time), so two versions
+// per query is already unusual; eight consecutive swap-straddling attempts
+// means the update rate outruns the broadcast and no client can finish.
+const maxAttempts = 8
+
+// Query answers q through client on t, re-entering when the attempt
+// straddled a cycle swap: if the tuner's version window widened during the
+// attempt, the partial state the client assembled may mix two network
+// versions, so the result is discarded and the query reruns — on the same
+// tuner, whose position is now past the swap, making the retry cheap (the
+// paper's loss-recovery machinery already re-fetches whatever is missing).
+// Tuning and latency accumulate across attempts, so the reported metrics
+// are the true end-to-end cost including the staleness penalty.
+//
+// It returns the number of attempts: 1 means the fast path (version-clean
+// first try), more means the query was caught by a swap — the staleness
+// accounting the churn scenario aggregates.
+func Query(client scheme.Client, t *broadcast.Tuner, q scheme.Query) (scheme.Result, int, error) {
+	for attempt := 1; ; attempt++ {
+		t.ResetVersionWindow()
+		res, err := client.Query(t, q)
+		if err != nil {
+			return res, attempt, err
+		}
+		if t.FeedStale() {
+			return res, attempt, ErrStaleFeed
+		}
+		if !t.VersionMixed() {
+			return res, attempt, nil
+		}
+		if attempt >= maxAttempts {
+			return res, attempt, fmt.Errorf("update: query still version-mixed after %d attempts", attempt)
+		}
+	}
+}

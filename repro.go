@@ -46,6 +46,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/spath"
 	"repro/internal/station"
+	"repro/internal/update"
 	"repro/internal/workload"
 )
 
@@ -121,6 +122,34 @@ type (
 	// bootstraps the channel directory from the air (cold) or holds a
 	// cached copy (warm, the default).
 	MultiSubOptions = multichannel.RxOptions
+	// WeightUpdate sets the weight of one directed arc: the mutation unit
+	// of the dynamic-network subsystem.
+	WeightUpdate = graph.WeightUpdate
+	// UpdateManager owns a versioned broadcast's server side: it accepts
+	// weight-update batches, rebuilds the scheme structures into new cycle
+	// versions (with KindDelta patch trailers), and hands the cycles to a
+	// live station's Swap.
+	UpdateManager = update.Manager
+	// UpdateBuild is one immutable cycle version an UpdateManager produced.
+	UpdateBuild = update.Build
+	// ChurnOptions tunes an update-churn load run: fleet parameters plus
+	// the synthetic traffic feed (batches, batch size, interval, mode).
+	ChurnOptions = fleet.ChurnOptions
+	// ChurnResult aggregates a churn run: the usual fleet result plus the
+	// staleness accounting (swaps, stale queries, re-entries, clean vs
+	// stale latency).
+	ChurnResult = fleet.ChurnResult
+	// UpdateMode picks the weight-change profile of the synthetic traffic
+	// feed (mixed, increase, decrease, no-op).
+	UpdateMode = update.Mode
+)
+
+// Weight-change profiles for ChurnOptions.Mode.
+const (
+	UpdateMixed    = update.ModeMixed
+	UpdateIncrease = update.ModeIncrease
+	UpdateDecrease = update.ModeDecrease
+	UpdateNoop     = update.ModeNoop
 )
 
 // Params tunes a method's server. Zero values select the paper's defaults.
@@ -218,6 +247,26 @@ func fleetWorkload(g *Graph, opts FleetOptions, cycleLen int) *workload.Workload
 		n = 400 // the paper's workload size
 	}
 	return workload.Generate(g, min(n, 400), cycleLen, opts.Seed)
+}
+
+// NewUpdateManager returns a versioned-cycle manager over srv (which must
+// have been built for g). Apply weight-update batches to produce new cycle
+// versions and hand each Build.Cycle to Station.Swap (or MultiStation.Swap
+// after re-planning); with no updates applied the manager serves srv's own
+// static cycle bit-identically. EB, NR and DJ rebuild natively.
+func NewUpdateManager(g *Graph, srv Server) (*UpdateManager, error) {
+	return update.NewManager(g, srv, update.Config{})
+}
+
+// RunFleetChurn load-tests a live station while mgr's network churns: a
+// background updater applies opts.Batches weight batches and swaps the
+// station to each new cycle version, and opts.Fleet.Clients concurrent
+// clients keep answering queries throughout, re-entering whenever a swap
+// catches them mid-query. Every answer is verified against the Dijkstra
+// reference of the network version it was computed on. The station must
+// already be on the air broadcasting mgr's current cycle.
+func RunFleetChurn(ctx context.Context, st *Station, mgr *UpdateManager, g *Graph, opts ChurnOptions) (ChurnResult, error) {
+	return fleet.RunChurn(ctx, st, mgr, fleetWorkload(g, opts.Fleet, st.Len()), opts)
 }
 
 // NewMultiStation shards srv's cycle across `channels` parallel broadcast

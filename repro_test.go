@@ -5,6 +5,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -128,5 +129,78 @@ func TestFacadeMultiStation(t *testing.T) {
 	}
 	if len(res.Channels) != 4 || res.MeanHops <= 0 {
 		t.Errorf("channels %d, mean hops %v", len(res.Channels), res.MeanHops)
+	}
+}
+
+// TestFacadeUpdateChurn exercises the dynamic-network facade: a versioned
+// update manager, explicit Apply + live Swap, and the churn load runner.
+func TestFacadeUpdateChurn(t *testing.T) {
+	g, err := repro.Generate(400, 550, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.NR, g, repro.Params{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := repro.NewUpdateManager(g, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := repro.NewStation(srv, repro.StationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := st.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	// An explicit manual update: apply one weight change, swap the station,
+	// and answer a query on the new version.
+	from, to, w := g.ArcAt(0)
+	b, err := mgr.Apply([]repro.WeightUpdate{{From: from, To: to, Weight: w * 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != 1 || b.Cycle.Version != 1 {
+		t.Fatalf("build version %d/%d, want 1", b.Version, b.Cycle.Version)
+	}
+	swapped, err := st.Swap(b.Cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-swapped
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := repro.NewFeedTuner(sub, sub.Start())
+	res, err := srv.NewClient().Query(tuner, repro.QueryFor(b.Graph, 3, 77))
+	sub.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := repro.ShortestPath(b.Graph, 3, 77)
+	if math.Abs(res.Dist-want) > 1e-3*(1+want) {
+		t.Fatalf("post-swap answer %v, want %v", res.Dist, want)
+	}
+
+	// The churn load runner on top of the same station and manager.
+	cres, err := repro.RunFleetChurn(ctx, st, mgr, g, repro.ChurnOptions{
+		Fleet:    repro.FleetOptions{Clients: 8, Queries: 64, Loss: 0.03, Seed: 8},
+		Batches:  2,
+		Interval: 2 * time.Millisecond,
+		Mode:     repro.UpdateIncrease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Errors != 0 || cres.Agg.N != 64 {
+		t.Fatalf("churn errors %d answered %d", cres.Errors, cres.Agg.N)
+	}
+	if cres.Versions < 1 {
+		t.Fatalf("versions %d after churn", cres.Versions)
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -47,10 +48,15 @@ func main() {
 	}
 
 	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
-	srv, err := repro.NewServer(repro.Method(*method), g, repro.Params{Regions: *regions, Landmarks: *regions})
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.Method(*method)),
+		repro.WithParams(repro.Params{Regions: *regions, Landmarks: *regions}),
+		repro.WithLoss(*loss, *seed))
 	if err != nil {
 		fail(err)
 	}
+	defer d.Close()
+	srv := d.Server()
 	cy := srv.Cycle()
 	fmt.Printf("method:  %s\n", srv.Name())
 	fmt.Printf("cycle:   %d packets (%.3fs at 2Mbps, %.3fs at 384Kbps)\n",
@@ -59,11 +65,12 @@ func main() {
 		float64(cy.Len())*128*8/float64(repro.Rate384Kbps))
 	fmt.Printf("precomp: %s\n", srv.PrecomputeTime())
 
-	ch, err := repro.NewChannel(srv, *loss, *seed)
+	ctx := context.Background()
+	sess, err := d.Session(ctx, repro.SessionOptions{TuneIn: *tuneIn})
 	if err != nil {
 		fail(err)
 	}
-	res, err := repro.Ask(ch, srv, g, s, t, *tuneIn)
+	res, err := sess.Query(ctx, s, t)
 	if err != nil {
 		fail(err)
 	}

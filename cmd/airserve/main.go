@@ -6,13 +6,15 @@
 //	airserve -method NR -preset germany -scale 0.05 -clients 500
 //	airserve -method EB -clients 1000 -queries 5000 -loss 0.01
 //	airserve -method DJ -duration 5s -rate 2000000   # paced to 2 Mbps
+//	airserve -method NR -channels 4 -loss 0.1        # sharded broadcast
 //	airserve -method NR -updates 5 -update-every 20ms  # dynamic network
 //
-// The station streams the chosen method's broadcast cycle on a virtual
-// clock (or paced to -rate bits per second); each client tunes in at the
-// live position, answers shortest-path queries on the air, and tunes out.
-// The report shows aggregate throughput (queries/sec) and mean plus
-// p50/p95/p99 tuning time, access latency, and per-query energy.
+// One Deployment composes every shape — single station, K sharded
+// channels on a shared clock, or a churning versioned broadcast — and one
+// RunFleet drives it: each client tunes in at the live position, answers
+// shortest-path queries on the air, and tunes out. The report shows
+// aggregate throughput (queries/sec) and mean plus p50/p95/p99 tuning
+// time, access latency, and per-query energy.
 package main
 
 import (
@@ -32,6 +34,7 @@ type config struct {
 	scale    float64
 	clients  int
 	queries  int
+	pool     int
 	duration time.Duration
 	loss     float64
 	seed     int64
@@ -46,87 +49,64 @@ type config struct {
 	updateEvery time.Duration
 }
 
-// run builds the network and server, puts the station on the air, and
-// drives the fleet. Split from main so the smoke test can call it.
-func run(cfg config, out io.Writer) (repro.FleetResult, error) {
-	var zero repro.FleetResult
+// run builds the deployment for the requested shape, puts it on the air,
+// and drives the fleet. Split from main so the smoke test can call it.
+func run(cfg config, out io.Writer) (repro.RunReport, error) {
+	var zero repro.RunReport
 	g, err := repro.GeneratePreset(cfg.preset, cfg.scale, cfg.seed)
 	if err != nil {
 		return zero, err
 	}
 	fmt.Fprintf(out, "network  %s x%.2g: %d nodes, %d arcs\n", cfg.preset, cfg.scale, g.NumNodes(), g.NumArcs())
 
-	srv, err := repro.NewServer(repro.Method(cfg.method), g, repro.Params{Regions: cfg.regions})
+	opts := []repro.DeployOption{
+		repro.WithMethod(repro.Method(cfg.method)),
+		repro.WithParams(repro.Params{Regions: cfg.regions}),
+		repro.WithLive(repro.StationConfig{BitsPerSecond: cfg.rate}),
+		repro.WithLoss(cfg.loss, cfg.seed),
+	}
+	if cfg.channels > 1 {
+		opts = append(opts, repro.WithChannels(cfg.channels))
+	}
+	if cfg.updates > 0 {
+		opts = append(opts, repro.WithUpdates(repro.UpdateConfig{
+			Batches:  cfg.updates,
+			Interval: cfg.updateEvery,
+		}))
+	}
+	d, err := repro.Deploy(g, opts...)
 	if err != nil {
 		return zero, err
 	}
+	defer d.Close()
+
 	clock := "virtual clock (max speed)"
 	if cfg.rate > 0 {
 		clock = fmt.Sprintf("paced to %.3g Mbps", float64(cfg.rate)/1e6)
 	}
-	opts := repro.FleetOptions{
+	fmt.Fprintf(out, "station  %s cycle, %d packets", d.Server().Name(), d.Len())
+	if cfg.channels > 1 {
+		fmt.Fprintf(out, " over %d channels", d.Channels())
+	}
+	fmt.Fprintf(out, ", %s", clock)
+	if cfg.updates > 0 {
+		fmt.Fprintf(out, ", %d update batches every %v", cfg.updates, cfg.updateEvery)
+	}
+	fmt.Fprintln(out)
+
+	rep, err := d.RunFleet(context.Background(), repro.FleetOptions{
 		Clients:  cfg.clients,
 		Queries:  cfg.queries,
+		PoolSize: cfg.pool,
 		Duration: cfg.duration,
 		Loss:     cfg.loss,
 		Seed:     cfg.seed,
+	})
+	if err != nil {
+		return zero, err
 	}
-
-	if cfg.updates > 0 && cfg.channels > 1 {
-		return zero, fmt.Errorf("-updates currently drives the single-channel station; drop -channels")
-	}
-
-	var res repro.FleetResult
-	var churn *repro.ChurnResult
-	if cfg.channels > 1 {
-		mst, err := repro.NewMultiStation(srv, cfg.channels, repro.StationConfig{BitsPerSecond: cfg.rate})
-		if err != nil {
-			return zero, err
-		}
-		fmt.Fprintf(out, "station  %s cycle, %d packets over %d channels, %s\n",
-			srv.Name(), mst.Len(), mst.K(), clock)
-		if err := mst.Start(context.Background()); err != nil {
-			return zero, err
-		}
-		defer mst.Stop()
-		res, err = repro.RunFleetMulti(context.Background(), mst, srv, g, opts)
-		if err != nil {
-			return zero, err
-		}
-	} else {
-		st, err := repro.NewStation(srv, repro.StationConfig{BitsPerSecond: cfg.rate})
-		if err != nil {
-			return zero, err
-		}
-		fmt.Fprintf(out, "station  %s cycle, %d packets, %s", srv.Name(), st.Len(), clock)
-		if cfg.updates > 0 {
-			fmt.Fprintf(out, ", %d update batches every %v", cfg.updates, cfg.updateEvery)
-		}
-		fmt.Fprintln(out)
-		if err := st.Start(context.Background()); err != nil {
-			return zero, err
-		}
-		defer st.Stop()
-		if cfg.updates > 0 {
-			mgr, err := repro.NewUpdateManager(g, srv)
-			if err != nil {
-				return zero, err
-			}
-			cres, err := repro.RunFleetChurn(context.Background(), st, mgr, g, repro.ChurnOptions{
-				Fleet:    opts,
-				Batches:  cfg.updates,
-				Interval: cfg.updateEvery,
-			})
-			if err != nil {
-				return zero, err
-			}
-			res, churn = cres.Result, &cres
-		} else if res, err = repro.RunFleet(context.Background(), st, srv, g, opts); err != nil {
-			return zero, err
-		}
-	}
-	report(out, res)
-	if churn != nil {
+	report(out, rep.Result)
+	if churn := rep.Churn; churn != nil {
 		fmt.Fprintf(out, "\nchurn    %d versions on the air (%d swaps); %d stale queries (%d re-entries)\n",
 			churn.Versions, churn.Swaps, churn.StaleQueries, churn.Reentries)
 		if churn.UpdateErr != nil {
@@ -137,12 +117,15 @@ func run(cfg config, out io.Writer) (repro.FleetResult, error) {
 				churn.CleanLatency.P50, churn.StaleLatency.P50, 100*(churn.MeanStaleLatency/churn.MeanCleanLatency-1))
 		}
 	}
-	return res, nil
+	return rep, nil
 }
 
 // report renders the load-test summary.
 func report(w io.Writer, r repro.FleetResult) {
 	fmt.Fprintf(w, "\nfleet    %d clients, %d queries in %v", r.Clients, r.Queries, r.Elapsed.Round(time.Millisecond))
+	if r.Pool > 0 && r.Pool < r.Queries {
+		fmt.Fprintf(w, " (%d distinct)", r.Pool)
+	}
 	if r.Errors > 0 {
 		fmt.Fprintf(w, " (%d errors)", r.Errors)
 	}
@@ -176,6 +159,7 @@ func main() {
 	flag.Float64Var(&cfg.scale, "scale", 0.05, "network scale factor (1.0 = paper-sized)")
 	flag.IntVar(&cfg.clients, "clients", 100, "concurrent clients in the fleet")
 	flag.IntVar(&cfg.queries, "queries", 2000, "total queries across the fleet")
+	flag.IntVar(&cfg.pool, "pool", 0, "distinct workload queries (0 = cap at the paper's 400)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "optional wall-clock limit (e.g. 10s); 0 = run all queries")
 	flag.Float64Var(&cfg.loss, "loss", 0, "per-client packet loss rate in [0,1)")
 	flag.Int64Var(&cfg.seed, "seed", 2010, "random seed (network, workload, loss patterns)")

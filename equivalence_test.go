@@ -1,0 +1,338 @@
+package repro_test
+
+// The facade equivalence suite: every deprecated pre-PR-5 free function is
+// pinned bit-identical — same Result, same Metrics (CPU wall time zeroed,
+// the one nondeterministic factor), same fleet accounting — to its
+// Deployment/Session counterpart, so the old paper-reproduction surface
+// and the new API provably answer with one implementation.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// normalize zeroes the wall-clock CPU factor, the only field of a query's
+// metrics that legitimately differs between two identical runs.
+func normalize(m repro.Metrics) repro.Metrics {
+	m.CPU = 0
+	return m
+}
+
+func sameResult(t *testing.T, label string, a, b repro.Result) {
+	t.Helper()
+	if a.Dist != b.Dist {
+		t.Errorf("%s: dist %v != %v", label, a.Dist, b.Dist)
+	}
+	if len(a.Path) != len(b.Path) {
+		t.Errorf("%s: path %d nodes != %d", label, len(a.Path), len(b.Path))
+	} else {
+		for i := range a.Path {
+			if a.Path[i] != b.Path[i] {
+				t.Errorf("%s: path[%d] %d != %d", label, i, a.Path[i], b.Path[i])
+				break
+			}
+		}
+	}
+	if normalize(a.Metrics) != normalize(b.Metrics) {
+		t.Errorf("%s: metrics %+v != %+v", label, normalize(a.Metrics), normalize(b.Metrics))
+	}
+}
+
+// TestAskEquivalence pins the deprecated Ask to Session.Query three ways:
+// the pre-PR-5 expression of Ask (explicit tuner + fresh client), the Ask
+// wrapper itself, and a Deployment Session — across methods, loss rates
+// and tune-in positions.
+func TestAskEquivalence(t *testing.T) {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []repro.Method{repro.NR, repro.EB, repro.DJ} {
+		for _, loss := range []float64{0, 0.1} {
+			srv, err := repro.NewServer(m, g, repro.Params{Regions: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := repro.NewChannel(srv, loss, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := repro.Deploy(g, repro.WithMethod(m), repro.WithParams(repro.Params{Regions: 8}),
+				repro.WithLoss(loss, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, at := range []int{0, 123, 4567} {
+				// Legacy path, written out exactly as Ask was implemented
+				// before the redesign.
+				tuner := repro.NewTuner(ch, at)
+				legacy, err := srv.NewClient().Query(tuner, repro.QueryFor(g, 17, 342))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Deprecated wrapper.
+				asked, err := repro.Ask(ch, srv, g, 17, 342, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// New path.
+				sess, err := d.Session(context.Background(), repro.SessionOptions{TuneIn: at})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := sess.Query(context.Background(), 17, 342)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := string(m)
+				sameResult(t, label+" ask-vs-legacy", asked, legacy)
+				sameResult(t, label+" session-vs-legacy", fresh, legacy)
+			}
+		}
+	}
+}
+
+// TestSpatialEquivalence pins SpatialServer.RangeOnAir/KNNOnAir to
+// Session.Range/KNN.
+func TestSpatialEquivalence(t *testing.T) {
+	g, err := repro.Generate(400, 520, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poi := make([]bool, g.NumNodes())
+	for i := 0; i < len(poi); i += 9 {
+		poi[i] = true
+	}
+	srv, err := repro.NewSpatialServer(g, poi, repro.Params{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := srv.NewChannel(0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.Deploy(g, repro.WithPOI(poi), repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithLoss(0.05, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int{0, 42, 999} {
+		oldR, oldM, err := srv.RangeOnAir(ch, g, 200, 900, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := d.Session(context.Background(), repro.SessionOptions{TuneIn: at})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newR, newM, err := sess.Range(context.Background(), 200, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if normalize(oldM) != normalize(newM) {
+			t.Errorf("range@%d: metrics %+v != %+v", at, normalize(oldM), normalize(newM))
+		}
+		if len(oldR) != len(newR) {
+			t.Fatalf("range@%d: %d POIs != %d", at, len(oldR), len(newR))
+		}
+		for i := range oldR {
+			if oldR[i] != newR[i] {
+				t.Errorf("range@%d: result[%d] %+v != %+v", at, i, oldR[i], newR[i])
+			}
+		}
+
+		oldK, oldKM, err := srv.KNNOnAir(ch, g, 200, 3, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess2, err := d.Session(context.Background(), repro.SessionOptions{TuneIn: at})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newK, newKM, err := sess2.KNN(context.Background(), 200, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if normalize(oldKM) != normalize(newKM) {
+			t.Errorf("knn@%d: metrics differ", at)
+		}
+		for i := range oldK {
+			if oldK[i] != newK[i] {
+				t.Errorf("knn@%d: result[%d] %+v != %+v", at, i, oldK[i], newK[i])
+			}
+		}
+	}
+}
+
+// sameAccounting compares the deterministic fleet accounting two
+// equivalent load runs must share; wall-clock fields (Elapsed, QPS) and
+// position-dependent tails legitimately differ between two live runs.
+func sameAccounting(t *testing.T, label string, a, b repro.FleetResult) {
+	t.Helper()
+	if a.Method != b.Method || a.Clients != b.Clients || a.Queries != b.Queries ||
+		a.Errors != b.Errors || a.Pool != b.Pool || a.Agg.N != b.Agg.N ||
+		len(a.Channels) != len(b.Channels) {
+		t.Errorf("%s: accounting differs:\n  old %s %d clients %d queries (%d errors, pool %d, answered %d, %d channels)\n  new %s %d clients %d queries (%d errors, pool %d, answered %d, %d channels)",
+			label,
+			a.Method, a.Clients, a.Queries, a.Errors, a.Pool, a.Agg.N, len(a.Channels),
+			b.Method, b.Clients, b.Queries, b.Errors, b.Pool, b.Agg.N, len(b.Channels))
+	}
+}
+
+// TestRunFleetEquivalence pins the three deprecated fleet runners to
+// Deployment.RunFleet's dispatch: identical engine, identical workload
+// pool, identical accounting.
+func TestRunFleetEquivalence(t *testing.T) {
+	g, err := repro.Generate(400, 520, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.NR, g, repro.Params{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := repro.FleetOptions{Clients: 8, Queries: 48, Loss: 0.02, Seed: 4}
+	ctx := context.Background()
+
+	t.Run("single", func(t *testing.T) {
+		st, err := repro.NewStation(srv, repro.StationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer st.Stop()
+		old, err := repro.RunFleet(ctx, st, srv, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := repro.Deploy(g, repro.WithParams(repro.Params{Regions: 8}), repro.WithLive(repro.StationConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		rep, err := d.RunFleet(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAccounting(t, "fleet", old, rep.Result)
+	})
+
+	t.Run("multi", func(t *testing.T) {
+		mst, err := repro.NewMultiStation(srv, 3, repro.StationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mst.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer mst.Stop()
+		old, err := repro.RunFleetMulti(ctx, mst, srv, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := repro.Deploy(g, repro.WithParams(repro.Params{Regions: 8}),
+			repro.WithChannels(3), repro.WithLive(repro.StationConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		rep, err := d.RunFleet(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAccounting(t, "fleet-multi", old, rep.Result)
+	})
+
+	t.Run("churn", func(t *testing.T) {
+		mgr, err := repro.NewUpdateManager(g, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := repro.NewStation(srv, repro.StationConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer st.Stop()
+		old, err := repro.RunFleetChurn(ctx, st, mgr, g, repro.ChurnOptions{
+			Fleet: opts, Batches: 2, Interval: time.Millisecond, Mode: repro.UpdateIncrease,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := repro.Deploy(g, repro.WithParams(repro.Params{Regions: 8}),
+			repro.WithLive(repro.StationConfig{}),
+			repro.WithUpdates(repro.UpdateConfig{Batches: 2, Interval: time.Millisecond, Mode: repro.UpdateIncrease}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		rep, err := d.RunFleet(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAccounting(t, "fleet-churn", old.Result, rep.Result)
+		if rep.Churn == nil {
+			t.Fatal("dynamic deployment reported no churn accounting")
+		}
+		if old.UpdateErr != nil || rep.Churn.UpdateErr != nil {
+			t.Errorf("updater errors: old %v new %v", old.UpdateErr, rep.Churn.UpdateErr)
+		}
+	})
+}
+
+// TestSessionSequenceMatchesAskSequence pins the session cursor semantics:
+// a session answering a sequence of queries reports exactly what a
+// sequence of Ask calls does when each call tunes in where the previous
+// one left the air.
+func TestSessionSequenceMatchesAskSequence(t *testing.T) {
+	g, err := repro.Generate(400, 520, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := repro.NewServer(repro.EB, g, repro.Params{Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := repro.NewChannel(srv, 0.08, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.Deploy(g, repro.WithMethod(repro.EB), repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithLoss(0.08, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := d.Session(context.Background(), repro.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]repro.NodeID{{17, 342}, {8, 250}, {399, 3}}
+	at := 0
+	client := srv.NewClient()
+	for _, p := range pairs {
+		got, err := sess.Query(context.Background(), p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuner := repro.NewTuner(ch, at)
+		want, err := client.Query(tuner, repro.QueryFor(g, p[0], p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = tuner.Pos()
+		sameResult(t, "sequence", got, want)
+		ref, _, _ := repro.ShortestPath(g, p[0], p[1])
+		if math.Abs(got.Dist-ref) > 1e-3*(1+ref) {
+			t.Errorf("answer %v, reference %v", got.Dist, ref)
+		}
+	}
+}

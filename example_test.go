@@ -1,0 +1,196 @@
+package repro_test
+
+// Compiled, executed godoc examples: one per deployment shape (offline,
+// live, K-channel, spatial, churn). These are the README quickstart and
+// godoc snippets — CI runs them, so the documented API provably works,
+// and only deterministic facts are printed (distances and packet counts
+// offline, accounting on live runs).
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example builds the simplest deployment — one offline broadcast channel,
+// the paper's model — and answers one shortest-path query on the air.
+func Example() {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.Deploy(g, repro.WithMethod(repro.NR), repro.WithParams(repro.Params{Regions: 8}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	ctx := context.Background()
+	s, err := d.Session(ctx, repro.SessionOptions{TuneIn: 1234})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Query(ctx, 17, 342)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, _, _ := repro.ShortestPath(g, 17, 342)
+	fmt.Printf("distance %.1f (reference %.1f)\n", res.Dist, ref)
+	fmt.Printf("tuned %d packets\n", res.Metrics.TuningPackets)
+	// Output:
+	// distance 6742.6 (reference 6742.6)
+	// tuned 152 packets
+}
+
+// ExampleDeployment_Session shows a lossy offline deployment: the channel
+// drops 10% of packets deterministically, the client recovers what it
+// lost in later cycles, and the answer stays exact.
+func ExampleDeployment_Session() {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.EB),
+		repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithLoss(0.10, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	ctx := context.Background()
+	s, err := d.Session(ctx, repro.SessionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Query(ctx, 5, 211)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, _, _ := repro.ShortestPath(g, 5, 211)
+	fmt.Printf("exact despite loss: %v\n", res.Dist == ref || res.Dist-ref < 1e-3*(1+ref) && ref-res.Dist < 1e-3*(1+ref))
+	// Output:
+	// exact despite loss: true
+}
+
+// ExampleDeployment_RunFleet puts a live station on the air and
+// load-tests it with a concurrent client fleet; every answer is verified
+// against a server-side Dijkstra reference.
+func ExampleDeployment_RunFleet() {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.Deploy(g,
+		repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithLive(repro.StationConfig{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	rep, err := d.RunFleet(context.Background(), repro.FleetOptions{Clients: 16, Queries: 64, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answered %d of %d queries, %d errors\n", rep.Agg.N, rep.Queries, rep.Errors)
+	// Output:
+	// answered 64 of 64 queries, 0 errors
+}
+
+// ExampleDeployment_RunFleet_channels shards the cycle across four
+// parallel channels on one global clock; session radios hop between them
+// guided by the on-air directory.
+func ExampleDeployment_RunFleet_channels() {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.Deploy(g,
+		repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithChannels(4),
+		repro.WithLive(repro.StationConfig{}),
+		repro.WithLoss(0.05, 9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	rep, err := d.RunFleet(context.Background(), repro.FleetOptions{Clients: 16, Queries: 64, Loss: 0.05, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answered %d of %d over %d channels, %d errors\n",
+		rep.Agg.N, rep.Queries, len(rep.Channels), rep.Errors)
+	// Output:
+	// answered 64 of 64 over 4 channels, 0 errors
+}
+
+// ExampleSession_Range is the spatial shape: the cycle carries
+// POI-flagged nodes and a session asks for every point of interest within
+// a network-distance radius, without any uplink.
+func ExampleSession_Range() {
+	g, err := repro.Generate(400, 520, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poi := make([]bool, g.NumNodes())
+	for i := 0; i < len(poi); i += 9 { // every ninth node is a point of interest
+		poi[i] = true
+	}
+	d, err := repro.Deploy(g, repro.WithPOI(poi), repro.WithParams(repro.Params{Regions: 8}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	ctx := context.Background()
+	s, err := d.Session(ctx, repro.SessionOptions{TuneIn: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	within, _, err := s.Range(ctx, 200, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nearest, _, err := s.KNN(ctx, 200, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d POIs within 2000, nearest 3 at %.0f/%.0f/%.0f\n",
+		len(within), nearest[0].Dist, nearest[1].Dist, nearest[2].Dist)
+	// Output:
+	// 4 POIs within 2000, nearest 3 at 1371/1546/1773
+}
+
+// ExampleDeployment_RunFleet_churn is the dynamic shape: a synthetic
+// traffic feed mutates arc weights during the run, the station swaps to
+// each rebuilt cycle version on the air, and clients that straddle a swap
+// re-enter — every answer still verified against the reference of the
+// network version it was computed on.
+func ExampleDeployment_RunFleet_churn() {
+	g, err := repro.Generate(400, 520, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.Deploy(g,
+		repro.WithParams(repro.Params{Regions: 8}),
+		repro.WithLive(repro.StationConfig{}),
+		repro.WithUpdates(repro.UpdateConfig{Batches: 2, BatchSize: 10}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	rep, err := d.RunFleet(context.Background(), repro.FleetOptions{Clients: 8, Queries: 64, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answered %d of %d on churning air, %d errors, churn accounted: %v\n",
+		rep.Agg.N, rep.Queries, rep.Errors, rep.Churn != nil)
+	// Output:
+	// answered 64 of 64 on churning air, 0 errors, churn accounted: true
+}

@@ -24,45 +24,39 @@ func main() {
 	}
 	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
 
-	srv, err := repro.NewServer(repro.NR, g, repro.Params{})
+	// A live deployment streams the cycle on a virtual clock: as fast as
+	// its listeners accept, with lossless backpressure. Set BitsPerSecond
+	// to pace it to a real channel (e.g. repro.Rate2Mbps) instead.
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.NR),
+		repro.WithLive(repro.StationConfig{}),
+		repro.WithLoss(0.01, 1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cycle:   %d packets of 128 bytes\n", srv.Cycle().Len())
+	defer d.Close()
+	fmt.Printf("cycle:   %d packets of 128 bytes\n", d.Cycle().Len())
 
-	// The station streams the cycle on a virtual clock: as fast as its
-	// listeners accept, with lossless backpressure. Set BitsPerSecond to
-	// pace it to a real channel (e.g. repro.Rate2Mbps) instead.
-	st, err := repro.NewStation(srv, repro.StationConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if err := st.Start(ctx); err != nil {
-		log.Fatal(err)
-	}
-	defer st.Stop()
 
-	// One mid-cycle tune-in by hand, to see the live path: subscribe at the
-	// true current position, run an ordinary tuner over the subscription.
-	sub, err := st.Subscribe(0, 1)
+	// One live tune-in by hand, to see the session path: the session
+	// subscribes at the true current position of the air and answers
+	// mid-cycle, exactly like a device would.
+	sess, err := d.Session(ctx, repro.SessionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuner := repro.NewFeedTuner(sub, sub.Start())
-	q := repro.QueryFor(g, 3, repro.NodeID(g.NumNodes()-3))
-	res, err := srv.NewClient().Query(tuner, q)
-	sub.Close()
+	res, err := sess.Query(ctx, 3, repro.NodeID(g.NumNodes()-3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nlive tune-in at packet %d (mid-cycle): dist %.1f, %d packets tuned\n",
-		sub.Start()%st.Len(), res.Dist, res.Metrics.TuningPackets)
+	fmt.Printf("\nlive mid-cycle tune-in: dist %.1f, %d packets tuned\n",
+		res.Dist, res.Metrics.TuningPackets)
 
 	// Now the fleet: 200 concurrent clients, 1000 queries, 1% loss.
 	started := time.Now()
-	fr, err := repro.RunFleet(ctx, st, srv, g, repro.FleetOptions{
+	rep, err := d.RunFleet(ctx, repro.FleetOptions{
 		Clients: 200,
 		Queries: 1000,
 		Loss:    0.01,
@@ -71,6 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fr := rep.Result
 	fmt.Printf("\nfleet: %d clients answered %d queries in %v (%d errors)\n",
 		fr.Clients, fr.Queries, time.Since(started).Round(time.Millisecond), fr.Errors)
 	fmt.Printf("  throughput  %.0f queries/sec\n", fr.QPS)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,29 +23,32 @@ func main() {
 	fmt.Printf("device: memory-bound client (think 90s J2ME heap)\n\n")
 
 	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
 	const queries = 50
 	fmt.Printf("%-22s %14s %14s %12s\n", "variant", "peak mem (KB)", "cpu/query", "answers")
 
 	for _, m := range []repro.Method{repro.NR, repro.EB} {
 		for _, memoryBound := range []bool{false, true} {
-			srv, err := repro.NewServer(m, g, repro.Params{Regions: 8, MemoryBound: memoryBound})
-			if err != nil {
-				log.Fatal(err)
-			}
-			ch, err := repro.NewChannel(srv, 0, 9)
+			d, err := repro.Deploy(g,
+				repro.WithMethod(m),
+				repro.WithParams(repro.Params{Regions: 8, MemoryBound: memoryBound}))
 			if err != nil {
 				log.Fatal(err)
 			}
 			localRng := rand.New(rand.NewSource(rng.Int63()))
-			client := srv.NewClient()
 			peak := 0
 			exact := 0
 			var cpu float64
 			for i := 0; i < queries; i++ {
 				s := repro.NodeID(localRng.Intn(g.NumNodes()))
 				t := repro.NodeID(localRng.Intn(g.NumNodes()))
-				tuner := repro.NewTuner(ch, localRng.Intn(srv.Cycle().Len()))
-				res, err := client.Query(tuner, repro.QueryFor(g, s, t))
+				sess, err := d.Session(ctx, repro.SessionOptions{
+					TuneIn: localRng.Intn(d.Cycle().Len()),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := sess.Query(ctx, s, t)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -63,6 +67,7 @@ func main() {
 			}
 			fmt.Printf("%-22s %14.1f %13.0fµs %9d/%d\n",
 				label, float64(peak)/1024, cpu/queries*1e6, exact, queries)
+			d.Close()
 		}
 	}
 	fmt.Println("\nsuper-edge contraction trades client CPU for a lower peak working")

@@ -3,7 +3,7 @@
 // live air. The NR cycle is cut by kd-tree region — each region's data and
 // local index travel on one channel, a small directory on every channel
 // maps regions to channels — and the four station shards advance on one
-// shared clock. A client's radio serves the ordinary single-cycle address
+// shared clock. A session's radio serves the ordinary single-cycle address
 // space to the unchanged NR client while hopping underneath, so access
 // latency runs on the global clock: waits (and lost-packet retries in
 // particular) shrink with the per-channel cycle length, roughly K-fold.
@@ -25,55 +25,52 @@ func main() {
 	}
 	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
 
-	srv, err := repro.NewServer(repro.NR, g, repro.Params{})
+	// Four shard stations on one global clock. WithChannels(1) would
+	// reproduce the plain single station bit for bit.
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.NR),
+		repro.WithChannels(4),
+		repro.WithLive(repro.StationConfig{}),
+		repro.WithLoss(0.05, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cycle:   %d packets of 128 bytes\n", srv.Cycle().Len())
+	defer d.Close()
+	fmt.Printf("cycle:   %d packets of 128 bytes\n", d.Cycle().Len())
 
-	// Four shard stations on one global clock. K=1 would reproduce the
-	// plain single station bit for bit.
-	mst, err := repro.NewMultiStation(srv, 4, repro.StationConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if err := mst.Start(ctx); err != nil {
+	if err := d.Start(ctx); err != nil {
 		log.Fatal(err)
 	}
-	defer mst.Stop()
-	fmt.Printf("station: %d channels on a shared clock\n\n", mst.K())
+	fmt.Printf("station: %d channels on a shared clock\n\n", d.Channels())
 
-	// One query by hand: subscribe a channel-hopping radio (5% loss), run
-	// the ordinary NR client over it, and look at where the packets came
-	// from.
-	rx, err := mst.Subscribe(0.05, 7, repro.MultiSubOptions{Channel: 2})
+	// One query by hand: the session's channel-hopping radio starts on
+	// channel 2 (5% loss) and serves the logical cycle to the ordinary NR
+	// client while hopping underneath.
+	sess, err := d.Session(ctx, repro.SessionOptions{Channel: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuner := repro.NewFeedTuner(rx, rx.StartPos())
 	q := repro.QueryFor(g, 11, repro.NodeID(g.NumNodes()-11))
-	res, err := srv.NewClient().Query(tuner, q)
-	rxHops, perChannel := rx.Hops(), rx.PerChannel()
-	rx.Close()
+	res, err := sess.Query(ctx, q.S, q.T)
 	if err != nil {
 		log.Fatal(err)
 	}
 	wantDist, _, _ := repro.ShortestPath(g, q.S, q.T)
-	fmt.Printf("one query: dist %.0f (reference %.0f), tuning %d pkts, latency %d ticks\n",
+	fmt.Printf("one query: dist %.0f (reference %.0f), tuning %d pkts, latency %d ticks\n\n",
 		res.Dist, wantDist, res.Metrics.TuningPackets, res.Metrics.LatencyPackets)
-	fmt.Printf("           %d channel hops, packets per channel %v\n\n", rxHops, perChannel)
 
 	// A 200-client fleet across the channels; every answer is verified
 	// against a server-side Dijkstra reference.
 	start := time.Now()
-	fleet, err := repro.RunFleetMulti(ctx, mst, srv, g, repro.FleetOptions{
+	rep, err := d.RunFleet(ctx, repro.FleetOptions{
 		Clients: 200, Queries: 1000, Loss: 0.05, Seed: 42,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fleet := rep.Result
 	fmt.Printf("fleet:   %d clients, %d queries (%d errors) in %v — %.0f q/s, %.1f hops/query\n",
 		fleet.Clients, fleet.Queries, fleet.Errors, time.Since(start).Round(time.Millisecond), fleet.QPS, fleet.MeanHops)
 	fmt.Printf("         mean tuning %.0f pkts, mean latency %.0f ticks (p99 %.0f)\n",

@@ -3,10 +3,13 @@
 // server cost. This example simulates a morning's worth of navigation
 // queries against EB and NR side by side and prints the fleet-level
 // economics: total energy, mean wait, and the server load (which is zero
-// regardless of fleet size — the whole point of the model).
+// regardless of fleet size — the whole point of the model). Each trip is
+// one Session tuning in at a random moment of the broadcast, like a
+// driver starting the app mid-cycle.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,26 +40,28 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
 	fmt.Printf("%-8s %10s %12s %12s %12s %14s\n",
 		"method", "cycle", "tuning/query", "wait/query", "energy/query", "fleet energy")
 	for _, m := range []repro.Method{repro.EB, repro.NR} {
-		srv, err := repro.NewServer(m, g, repro.Params{Regions: 16})
-		if err != nil {
-			log.Fatal(err)
-		}
-		ch, err := repro.NewChannel(srv, 0.01 /* realistic 1% loss */, 5)
+		d, err := repro.Deploy(g,
+			repro.WithMethod(m),
+			repro.WithParams(repro.Params{Regions: 16}),
+			repro.WithLoss(0.01 /* realistic 1% loss */, 5))
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i := range trips {
-			trips[i].tuneIn = rng.Intn(srv.Cycle().Len())
+			trips[i].tuneIn = rng.Intn(d.Cycle().Len())
 		}
 		var tuning, latency int
 		var energy float64
-		client := srv.NewClient()
 		for _, tr := range trips {
-			tuner := repro.NewTuner(ch, tr.tuneIn)
-			res, err := client.Query(tuner, repro.QueryFor(g, tr.s, tr.t))
+			sess, err := d.Session(ctx, repro.SessionOptions{TuneIn: tr.tuneIn})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sess.Query(ctx, tr.s, tr.t)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,10 +70,11 @@ func main() {
 			energy += repro.EnergyJoules(res.Metrics, repro.Rate384Kbps)
 		}
 		fmt.Printf("%-8s %10d %12.0f %11.2fs %11.3fJ %13.1fJ\n",
-			m, srv.Cycle().Len(),
+			m, d.Cycle().Len(),
 			float64(tuning)/fleet,
 			float64(latency)/fleet*128*8/float64(repro.Rate384Kbps),
 			energy/fleet, energy)
+		d.Close()
 	}
 
 	fmt.Println("\nserver-side work per query: 0 (the broadcast is identical for 1 or 1M devices)")

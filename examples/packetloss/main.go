@@ -3,9 +3,13 @@
 // rate climbs from perfect to a noisy 10%; every answer stays exact — the
 // recovery strategies re-listen precisely what was lost — and the printout
 // shows how gracefully each method's tuning time and latency degrade.
+// Each (method, loss) pair is its own Deployment; WithCache keys the
+// expensive server build in the shared build cache, so the five loss rates
+// of one method share a single pre-computation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -24,20 +28,27 @@ func main() {
 		g.NumNodes(), s, t, ref)
 
 	rates := []float64{0, 0.001, 0.01, 0.05, 0.10}
+	ctx := context.Background()
 
 	for _, m := range []repro.Method{repro.NR, repro.EB, repro.DJ} {
-		srv, err := repro.NewServer(m, g, repro.Params{Regions: 16})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s (cycle %d packets)\n", m, srv.Cycle().Len())
-		fmt.Printf("  %8s %14s %16s %10s\n", "loss", "tuning (pkts)", "latency (pkts)", "answer")
-		for _, rate := range rates {
-			ch, err := repro.NewChannel(srv, rate, 1000+int64(rate*1e4))
+		for i, rate := range rates {
+			d, err := repro.Deploy(g,
+				repro.WithMethod(m),
+				repro.WithParams(repro.Params{Regions: 16}),
+				repro.WithLoss(rate, 1000+int64(rate*1e4)),
+				repro.WithCache("germany/0.08/3"))
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := repro.Ask(ch, srv, g, s, t, 77)
+			if i == 0 {
+				fmt.Printf("%s (cycle %d packets)\n", m, d.Cycle().Len())
+				fmt.Printf("  %8s %14s %16s %10s\n", "loss", "tuning (pkts)", "latency (pkts)", "answer")
+			}
+			sess, err := d.Session(ctx, repro.SessionOptions{TuneIn: 77})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sess.Query(ctx, s, t)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -47,6 +58,7 @@ func main() {
 			}
 			fmt.Printf("  %7.1f%% %14d %16d %10s\n",
 				rate*100, res.Metrics.TuningPackets, res.Metrics.LatencyPackets, answer)
+			d.Close()
 		}
 		fmt.Println()
 	}

@@ -3,10 +3,12 @@
 // interest flagged (fuel stations, say); a client asks "every station
 // within 15 minutes" (network range) and "the 3 nearest stations" (network
 // kNN) without any uplink, pruning the regions it listens to with the EB
-// index's inter-region distance bounds.
+// index's inter-region distance bounds. WithPOI folds this into the same
+// Deployment/Session pair as every other shape.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,27 +34,32 @@ func main() {
 	fmt.Printf("network: %d nodes, %d arcs, %d fuel stations on air\n",
 		g.NumNodes(), g.NumArcs(), nPOI)
 
-	srv, err := repro.NewSpatialServer(g, poi, repro.Params{Regions: 16})
+	d, err := repro.Deploy(g,
+		repro.WithPOI(poi),
+		repro.WithParams(repro.Params{Regions: 16}),
+		repro.WithLoss(0.01, 3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ch, err := srv.NewChannel(0.01, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("broadcast cycle: %d packets\n\n", srv.Cycle().Len())
+	defer d.Close()
+	fmt.Printf("broadcast cycle: %d packets\n\n", d.Cycle().Len())
 
+	ctx := context.Background()
 	from := repro.NodeID(g.NumNodes() / 2)
 
 	// "Which stations can I reach within this travel budget?"
 	radius := 1500.0
-	within, m, err := srv.RangeOnAir(ch, g, from, radius, 42)
+	sess, err := d.Session(ctx, repro.SessionOptions{TuneIn: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	within, m, err := sess.Range(ctx, from, radius)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("range query from node %d, radius %.0f:\n", from, radius)
 	fmt.Printf("  %d stations; tuned %d of %d packets\n",
-		len(within), m.TuningPackets, srv.Cycle().Len())
+		len(within), m.TuningPackets, d.Cycle().Len())
 	for i, r := range within {
 		if i == 5 {
 			fmt.Printf("  ... and %d more\n", len(within)-5)
@@ -62,7 +69,11 @@ func main() {
 	}
 
 	// "Where are the 3 nearest stations?"
-	nearest, m2, err := srv.KNNOnAir(ch, g, from, 3, 99)
+	sess2, err := d.Session(ctx, repro.SessionOptions{TuneIn: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nearest, m2, err := sess2.KNN(ctx, from, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,11 @@
-// Quickstart: build a road network, put the NR air index on a simulated
+// Quickstart: build a road network, deploy the NR air index on a simulated
 // broadcast channel, and answer one shortest-path query entirely on the
 // client, exactly as a mobile device would — tune in, follow the index,
 // sleep between the needed regions, and search locally.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,24 +21,28 @@ func main() {
 	}
 	fmt.Printf("network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
 
-	// Server side: partition with a kd-tree, pre-compute border-pair
-	// shortest paths, assemble the broadcast cycle with per-region local
-	// indexes (the paper's Next Region method).
-	srv, err := repro.NewServer(repro.NR, g, repro.Params{Regions: 16})
+	// One Deployment composes the server side: partition with a kd-tree,
+	// pre-compute border-pair shortest paths, assemble the broadcast cycle
+	// with per-region local indexes (the paper's Next Region method), and
+	// repeat it forever on a lossless offline channel.
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.NR),
+		repro.WithParams(repro.Params{Regions: 16}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("broadcast cycle: %d packets of 128 bytes\n", srv.Cycle().Len())
+	defer d.Close()
+	fmt.Printf("broadcast cycle: %d packets of 128 bytes\n", d.Cycle().Len())
 
-	// The channel repeats the cycle forever; clients tune in whenever a
-	// query is posed.
-	ch, err := repro.NewChannel(srv, 0 /* no loss */, 7)
+	// A Session is one device; it tunes in wherever the query is posed.
+	ctx := context.Background()
+	sess, err := d.Session(ctx, repro.SessionOptions{TuneIn: 1234})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	s, t := repro.NodeID(3), repro.NodeID(g.NumNodes()-3)
-	res, err := repro.Ask(ch, srv, g, s, t, 1234 /* tune-in position */)
+	res, err := sess.Query(ctx, s, t)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,62 @@
+package broadcast
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// spinFeed is a feed whose packets are always lost: a client listening on
+// it for recovery would spin forever, which is exactly the uncancellable
+// loop Bind exists to break.
+type spinFeed struct{}
+
+func (spinFeed) Len() int { return 8 }
+func (spinFeed) At(abs int) (packet.Packet, bool) {
+	return packet.Packet{Kind: packet.KindData}, false
+}
+
+func TestBindCancelAbortsListenLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tuner := NewFeedTuner(spinFeed{}, 0)
+	tuner.Bind(ctx)
+	cancel()
+
+	run := func() (err error) {
+		defer RecoverCancel(&err)
+		for { // a scheme client's recovery loop, reduced to its shape
+			tuner.Listen()
+		}
+	}
+	if err := run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled listen loop returned %v, want context.Canceled", err)
+	}
+	if tuner.Tuning() == 0 || tuner.Tuning() > 2*ctxStride {
+		t.Errorf("tuning %d packets before abort, want within one poll stride (%d)", tuner.Tuning(), ctxStride)
+	}
+}
+
+func TestBindNilIsInert(t *testing.T) {
+	tuner := NewFeedTuner(spinFeed{}, 0)
+	tuner.Bind(context.Background())
+	tuner.Bind(nil)
+	for i := 0; i < 4*ctxStride; i++ {
+		tuner.Listen() // must not poll (and must not panic) with no context
+	}
+	if got := tuner.Tuning(); got != 4*ctxStride {
+		t.Errorf("tuning %d, want %d", got, 4*ctxStride)
+	}
+}
+
+func TestRecoverCancelPropagatesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "unrelated" {
+			t.Fatalf("recovered %v, want the unrelated panic to propagate", r)
+		}
+	}()
+	var err error
+	defer RecoverCancel(&err)
+	panic("unrelated")
+}

@@ -1,6 +1,7 @@
 package broadcast
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/packet"
@@ -47,7 +48,22 @@ type Tuner struct {
 	// change within a window marks it mixed too.
 	verLen   int
 	verDrift bool
+
+	// Cancellation (Bind): scheme clients drive the tuner in tight
+	// listen loops with no error path of their own, so on a lossy channel
+	// a query spins until recovery succeeds no matter what the caller
+	// wants. A bound context is polled every ctxStride listens and aborts
+	// the loop via a typed panic that RecoverCancel converts back into
+	// ctx.Err() at the query entry point. ctx == nil (the default) is one
+	// predictable branch on the hot path and zero allocations.
+	ctx      context.Context
+	ctxCount int
 }
+
+// ctxStride is how many Listens pass between context polls: cheap enough
+// to keep Listen's hot path unmeasurable, tight enough that even a paced
+// 384 Kbps channel notices cancellation within ~0.2s of air time.
+const ctxStride = 64
 
 // NewTuner returns a tuner that tunes in at absolute position start: the
 // moment the query is posed.
@@ -76,6 +92,46 @@ func NewFeedTuner(f Feed, start int) *Tuner {
 		t.refresh = rf
 	}
 	return t
+}
+
+// Bind attaches a context to the tuner: Listen polls it periodically and,
+// once it is cancelled, aborts the listen loop by panicking with a private
+// sentinel. The query entry point that bound the context recovers it with
+// RecoverCancel and returns ctx.Err() like any other error — scheme
+// clients in between need no error plumbing of their own. Binding nil
+// removes the context.
+func (t *Tuner) Bind(ctx context.Context) {
+	t.ctx = ctx
+	t.ctxCount = 0
+}
+
+// cancelAbort is the panic payload a cancelled bound context raises.
+type cancelAbort struct{ err error }
+
+// RecoverCancel converts a context-cancellation abort raised by a bound
+// Tuner into an ordinary error: deferred around a client.Query call, it
+// stores the context's error in *errp and swallows the panic. Any other
+// panic propagates unchanged.
+func RecoverCancel(errp *error) {
+	switch r := recover(); c := r.(type) {
+	case nil:
+	case cancelAbort:
+		*errp = c.err
+	default:
+		panic(r)
+	}
+}
+
+// checkCtx polls the bound context every ctxStride listens.
+func (t *Tuner) checkCtx() {
+	t.ctxCount++
+	if t.ctxCount < ctxStride {
+		return
+	}
+	t.ctxCount = 0
+	if err := t.ctx.Err(); err != nil {
+		panic(cancelAbort{err})
+	}
 }
 
 // FeedStale reports whether the underlying feed's cached cycle structure
@@ -122,6 +178,9 @@ func (t *Tuner) CyclePos() int {
 // boolean reports whether the packet arrived intact; a lost packet still
 // counts toward tuning time.
 func (t *Tuner) Listen() (packet.Packet, bool) {
+	if t.ctx != nil {
+		t.checkCtx()
+	}
 	p, ok := t.feed.At(t.pos)
 	t.last = t.pos
 	t.pos++

@@ -1,0 +1,488 @@
+// Package deploy is the orchestration layer behind the repro facade's
+// unified Deployment/Session API. Four PRs of growth left the public
+// surface combinatorial — one constructor and one run function per
+// (scenario × transport) cell: NewChannel/NewStation/NewMultiStation/
+// NewUpdateManager paired with Ask/RunFleet/RunFleetMulti/RunFleetChurn,
+// and the spatial server a bespoke island. This package collapses the
+// matrix into two nouns:
+//
+//   - A Deployment is built once from a graph via functional options
+//     (method, channels, live station, loss, updates, POI) and internally
+//     composes server build, the shared servercache, channel/station/
+//     multichannel/update-manager wiring.
+//   - A Session is a client handle with one uniform query path — Query,
+//     plus Range/KNN when POI-enabled — that transparently picks the
+//     offline tuner, live subscription, hopping radio, or version-window
+//     re-entry for the deployment's shape and always returns the same
+//     Result and Metrics.
+//
+// Fleet and churn load runs become Deployment.RunFleet, dispatching on the
+// deployment's shape. The old facade free functions survive as deprecated
+// wrappers pinned bit-identical to this path by the facade equivalence
+// suite, so nothing in the paper reproduction moves.
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/multichannel"
+	"repro/internal/scheme"
+	"repro/internal/servercache"
+	"repro/internal/station"
+	"repro/internal/update"
+	"repro/internal/workload"
+)
+
+// UpdateConfig turns a deployment dynamic (WithUpdates): the broadcast
+// carries versioned cycles and RunFleet churns the network with a
+// synthetic traffic feed while the fleet answers. Zero values select the
+// churn defaults of internal/fleet (4 batches of 25 updates, 10ms apart,
+// mixed mode, fleet seed + 1).
+type UpdateConfig struct {
+	// Rebuild overrides how the scheme server is rebuilt over a mutated
+	// network; nil derives the native rebuilder from the server's type
+	// (EB, NR and DJ rebuild natively).
+	Rebuild func(*graph.Graph) (scheme.Server, error)
+	// Batches, BatchSize, Interval, Mode and Seed parameterize the
+	// synthetic weight-update feed a RunFleet on this deployment applies.
+	Batches   int
+	BatchSize int
+	Interval  time.Duration
+	Mode      update.Mode
+	Seed      int64
+}
+
+// Option is one functional configuration choice passed to Deploy.
+type Option func(*config)
+
+// config collects the options before validation.
+type config struct {
+	method    Method
+	methodSet bool
+	params    Params
+	channels  int
+	live      bool
+	stCfg     station.Config
+	loss      float64
+	lossSeed  int64
+	upd       *UpdateConfig
+	poi       []bool
+	cacheNet  string
+
+	// prebuilt parts (the deprecated wrappers route through these).
+	srv scheme.Server
+	ch  *broadcast.Channel
+}
+
+// WithMethod picks the air-index scheme (default NR).
+func WithMethod(m Method) Option { return func(c *config) { c.method = m; c.methodSet = true } }
+
+// WithParams tunes the scheme server's build parameters.
+func WithParams(p Params) Option { return func(c *config) { c.params = p } }
+
+// WithChannels shards the broadcast cycle across k parallel channels
+// (regions in contiguous kd order, an on-air directory on every channel);
+// clients hop. k == 1 (the default) is the plain single channel.
+func WithChannels(k int) Option { return func(c *config) { c.channels = k } }
+
+// WithLive puts the deployment on the air: a live broadcast station (one
+// per channel, on a shared clock when sharded) streams the cycle to
+// concurrently subscribed sessions. Without it the deployment replays the
+// cycle offline, the paper's simulation model.
+func WithLive(cfg station.Config) Option { return func(c *config) { c.live = true; c.stCfg = cfg } }
+
+// WithLoss sets the deterministic Bernoulli packet-loss rate in [0,1) and
+// the seed of the loss pattern: the offline air's pattern, and the default
+// pattern seed of live subscriptions.
+func WithLoss(rate float64, seed int64) Option {
+	return func(c *config) { c.loss = rate; c.lossSeed = seed }
+}
+
+// WithUpdates makes the broadcast dynamic: a versioned update manager owns
+// the cycle, RunFleet churns arc weights per cfg while the fleet answers,
+// and sessions transparently re-enter queries that straddle a cycle swap.
+// Requires WithLive on a single channel.
+func WithUpdates(cfg UpdateConfig) Option { return func(c *config) { c.upd = &cfg } }
+
+// WithPOI flags points of interest per node and equips sessions with
+// on-air spatial queries (Range, KNN) in network distance. The deployment
+// uses EB, whose inter-region distance bounds drive the spatial pruning.
+func WithPOI(poi []bool) Option { return func(c *config) { c.poi = poi } }
+
+// WithCache keys the server build in the shared servercache under the
+// given canonical network name (e.g. "germany/0.05/42"): deployments,
+// tests and fuzzers naming the same (network, method, params) share one
+// immutable build instead of repeating the pre-computation.
+func WithCache(network string) Option { return func(c *config) { c.cacheNet = network } }
+
+// withServer injects an already-built server: the deprecated facade
+// wrappers route existing components through the Deployment path with it.
+func withServer(srv scheme.Server) Option { return func(c *config) { c.srv = srv } }
+
+// withChannel injects an existing offline channel (same purpose).
+func withChannel(ch *broadcast.Channel) Option { return func(c *config) { c.ch = ch } }
+
+// Deployment is a built broadcast deployment: the graph, the scheme
+// server, and the transport for its shape — offline channel or K-channel
+// air, live station or station group, optionally versioned by an update
+// manager. Build one with Deploy, obtain client handles with Session, and
+// load-test with RunFleet. A Deployment is safe for concurrent sessions.
+type Deployment struct {
+	g      *graph.Graph
+	method Method
+	params Params
+	srv    scheme.Server
+	eb     *core.EB // non-nil when POI-enabled (spatial sessions)
+	poi    []bool
+
+	channels int
+	loss     float64
+	lossSeed int64
+	upd      *UpdateConfig
+
+	// Exactly one transport family is wired, by shape:
+	ch   *broadcast.Channel    // offline, K == 1
+	air  *multichannel.Air     // offline, K > 1
+	plan *multichannel.Plan    // K > 1 (offline and live)
+	st   *station.Station      // live, K == 1
+	mst  *multichannel.Station // live, K > 1
+	mgr  *update.Manager       // dynamic (WithUpdates)
+
+	live  bool
+	stCfg station.Config
+}
+
+// Deploy builds a deployment of g from the options: the scheme server
+// (through the shared servercache when WithCache names the network), the
+// channel plan when sharded, the update manager when dynamic, and the
+// offline air or the live station wiring. A live deployment goes on the
+// air on Start (or lazily on first Session/RunFleet); Close takes it off.
+func Deploy(g *graph.Graph, opts ...Option) (*Deployment, error) {
+	var c config
+	c.method = NR
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.channels == 0 {
+		c.channels = 1
+	}
+	if c.channels < 1 {
+		return nil, fmt.Errorf("repro: %d channels; want >= 1", c.channels)
+	}
+	if c.loss < 0 || c.loss >= 1 {
+		return nil, fmt.Errorf("repro: loss rate %v outside [0,1)", c.loss)
+	}
+	if c.poi != nil {
+		if c.methodSet && c.method != EB {
+			return nil, fmt.Errorf("repro: spatial queries (WithPOI) run on EB, not %s", c.method)
+		}
+		c.method = EB
+		if len(c.poi) != g.NumNodes() {
+			return nil, fmt.Errorf("repro: POI flags for %d nodes on a %d-node network", len(c.poi), g.NumNodes())
+		}
+	}
+	if c.upd != nil {
+		if !c.live {
+			return nil, fmt.Errorf("repro: WithUpdates needs a live deployment (WithLive): versions swap on the air")
+		}
+		if c.channels > 1 {
+			return nil, fmt.Errorf("repro: WithUpdates currently drives the single-channel station; drop WithChannels")
+		}
+		if c.poi != nil {
+			return nil, fmt.Errorf("repro: WithUpdates and WithPOI cannot combine yet (rebuilds drop the POI flags)")
+		}
+	}
+
+	d := &Deployment{
+		g: g, method: c.method, params: c.params, poi: c.poi,
+		channels: c.channels, loss: c.loss, lossSeed: c.lossSeed,
+		upd: c.upd, live: c.live, stCfg: c.stCfg,
+	}
+	if err := d.buildServer(&c); err != nil {
+		return nil, err
+	}
+	if eb, ok := d.srv.(*core.EB); ok && c.poi != nil {
+		d.eb = eb
+	}
+	cycle := d.srv.Cycle()
+	if c.upd != nil {
+		mgr, err := update.NewManager(g, d.srv, update.Config{Rebuild: c.upd.Rebuild})
+		if err != nil {
+			return nil, err
+		}
+		d.mgr = mgr
+		cycle = mgr.Cycle() // version 0: the server's own cycle, bit-identical
+	}
+
+	switch {
+	case c.channels > 1:
+		plan, err := multichannel.Build(cycle, c.channels, multichannel.PlanOptions{})
+		if err != nil {
+			return nil, err
+		}
+		d.plan = plan
+		if c.live {
+			mst, err := multichannel.NewStation(plan, c.stCfg)
+			if err != nil {
+				return nil, err
+			}
+			d.mst = mst
+		} else {
+			air, err := multichannel.NewAir(plan, c.loss, c.lossSeed)
+			if err != nil {
+				return nil, err
+			}
+			d.air = air
+		}
+	case c.live:
+		st, err := station.New(cycle, c.stCfg)
+		if err != nil {
+			return nil, err
+		}
+		d.st = st
+	default:
+		if d.ch == nil {
+			ch, err := broadcast.NewChannel(cycle, c.loss, c.lossSeed)
+			if err != nil {
+				return nil, err
+			}
+			d.ch = ch
+		}
+	}
+	return d, nil
+}
+
+// buildServer resolves the scheme server: injected, cached, or built.
+func (d *Deployment) buildServer(c *config) error {
+	if c.srv != nil {
+		d.srv = c.srv
+		d.ch = c.ch
+		return nil
+	}
+	build := func() (scheme.Server, error) {
+		if c.poi != nil {
+			opts := c.params.CoreOptions()
+			opts.POI = c.poi
+			return core.NewEB(d.g, opts)
+		}
+		return NewServer(c.method, d.g, c.params)
+	}
+	if c.cacheNet == "" {
+		srv, err := build()
+		d.srv = srv
+		return err
+	}
+	key := servercache.Key{
+		Network: c.cacheNet,
+		Scheme:  string(c.method),
+		Params:  c.params.sig() + poiSig(c.poi),
+	}
+	srv, err := servercache.Get(key, build)
+	d.srv = srv
+	return err
+}
+
+// poiSig folds the POI flags into a cache key component (FNV-1a over the
+// bits); two deployments caching under one network name but different POI
+// sets must not share a build.
+func poiSig(poi []bool) string {
+	if poi == nil {
+		return ""
+	}
+	h := uint64(1469598103934665603)
+	for _, b := range poi {
+		bit := uint64(0)
+		if b {
+			bit = 1
+		}
+		h = (h ^ bit) * 1099511628211
+	}
+	return fmt.Sprintf(" poi=%016x", h)
+}
+
+// FromServer wraps an already-built server and offline channel in an
+// offline Deployment over g: the path the deprecated facade wrappers
+// (Ask, SpatialServer) route through, so old and new calls share one
+// implementation. The channel's loss pattern is whatever ch was built
+// with.
+func FromServer(g *graph.Graph, srv scheme.Server, ch *broadcast.Channel) (*Deployment, error) {
+	d, err := Deploy(g, withServer(srv), withChannel(ch))
+	if err != nil {
+		return nil, err
+	}
+	if eb, ok := srv.(*core.EB); ok {
+		d.eb = eb
+	}
+	return d, nil
+}
+
+// Graph returns the road network the deployment was built from. On a
+// dynamic deployment this is the version-0 network; the manager's graph
+// advances with applied updates.
+func (d *Deployment) Graph() *graph.Graph { return d.g }
+
+// Server returns the built scheme server.
+func (d *Deployment) Server() scheme.Server { return d.srv }
+
+// Cycle returns the broadcast cycle on the air (version 0 on a dynamic
+// deployment that has not churned yet).
+func (d *Deployment) Cycle() *broadcast.Cycle {
+	if d.mgr != nil {
+		return d.mgr.Cycle()
+	}
+	return d.srv.Cycle()
+}
+
+// Channels returns the parallel channel count (1 = single channel).
+func (d *Deployment) Channels() int { return d.channels }
+
+// Live reports whether the deployment broadcasts via live stations.
+func (d *Deployment) Live() bool { return d.live }
+
+// Manager returns the versioned-cycle update manager of a dynamic
+// deployment, or nil on a static one.
+func (d *Deployment) Manager() *update.Manager { return d.mgr }
+
+// Station returns the live single-channel station (nil unless the
+// deployment is live with one channel).
+func (d *Deployment) Station() *station.Station { return d.st }
+
+// MultiStation returns the live K-channel station (nil unless the
+// deployment is live and sharded).
+func (d *Deployment) MultiStation() *multichannel.Station { return d.mst }
+
+// Len returns the logical cycle length in packets, whatever the shape.
+func (d *Deployment) Len() int {
+	switch {
+	case d.mst != nil:
+		return d.mst.Len()
+	case d.st != nil:
+		return d.st.Len()
+	case d.air != nil:
+		return d.plan.LogicalLen()
+	default:
+		return d.ch.Len()
+	}
+}
+
+// Rate returns the bit rate per-query energy is costed at.
+func (d *Deployment) Rate() int {
+	switch {
+	case d.mst != nil:
+		return d.mst.Rate()
+	case d.st != nil:
+		return d.st.Rate()
+	default:
+		return d.stCfg.BitsPerSecond // offline: cost at the configured (or reference) rate
+	}
+}
+
+// Start puts a live deployment on the air; offline deployments need no
+// start. ctx bounds the station's air time: cancelling it (or calling
+// Close) takes the broadcast down. Start is idempotent while the station
+// is on the air, and a deployment whose context was cancelled can be
+// Started again — the stations support restart, so the deployment does
+// too. Session and RunFleet call it lazily with their own context when
+// the caller did not.
+func (d *Deployment) Start(ctx context.Context) error {
+	var err error
+	switch {
+	case d.mst != nil:
+		err = d.mst.Start(ctx)
+	case d.st != nil:
+		err = d.st.Start(ctx)
+	}
+	if errors.Is(err, station.ErrStarted) {
+		return nil
+	}
+	return err
+}
+
+// Close takes a live deployment off the air (subscribed sessions observe
+// the feed closing) and is a no-op offline. Safe to call more than once,
+// and a closed deployment may be Started again.
+func (d *Deployment) Close() {
+	switch {
+	case d.mst != nil:
+		d.mst.Stop()
+	case d.st != nil:
+		d.st.Stop()
+	}
+}
+
+// RunReport is the outcome of Deployment.RunFleet: the fleet aggregate,
+// plus the churn accounting when the deployment is dynamic.
+type RunReport struct {
+	fleet.Result
+	// Churn carries the staleness accounting of a dynamic run (swaps,
+	// stale queries, re-entries, clean vs stale latency); nil on a static
+	// broadcast. Its embedded Result equals the outer one.
+	Churn *fleet.ChurnResult
+}
+
+// RunFleet load-tests a live deployment with opts.Clients concurrent
+// clients answering a generated, server-verified workload, dispatching on
+// the deployment's shape: plain fleet on one channel, channel-hopping
+// fleet across a sharded broadcast, churn fleet (with the synthetic
+// update feed of WithUpdates) on a dynamic one.
+func (d *Deployment) RunFleet(ctx context.Context, opts fleet.Options) (RunReport, error) {
+	if !d.live {
+		return RunReport{}, fmt.Errorf("repro: RunFleet needs a live deployment (WithLive)")
+	}
+	if err := d.Start(ctx); err != nil {
+		return RunReport{}, err
+	}
+	w := WorkloadFor(d.g, opts, d.Len())
+	switch {
+	case d.mgr != nil:
+		cres, err := fleet.RunChurn(ctx, d.st, d.mgr, w, fleet.ChurnOptions{
+			Fleet:      opts,
+			Batches:    d.upd.Batches,
+			BatchSize:  d.upd.BatchSize,
+			Interval:   d.upd.Interval,
+			Mode:       d.upd.Mode,
+			UpdateSeed: d.upd.Seed,
+		})
+		if err != nil {
+			return RunReport{}, err
+		}
+		return RunReport{Result: cres.Result, Churn: &cres}, nil
+	case d.mst != nil:
+		res, err := fleet.RunMulti(ctx, d.mst, d.srv, w, opts)
+		return RunReport{Result: res}, err
+	default:
+		res, err := fleet.Run(ctx, d.st, d.srv, w, opts)
+		return RunReport{Result: res}, err
+	}
+}
+
+// WorkloadFor generates the verified query pool a fleet run answers.
+// Reference distances cost one Dijkstra each, so with PoolSize unset the
+// distinct pool is capped at fleet.DefaultPoolSize (the paper's 400-query
+// workload) and entries are reused round-robin for larger query counts —
+// logged when the cap engages, and reported in Result.Pool. Both the
+// Deployment path and the deprecated facade wrappers build their pools
+// here, which is what keeps them bit-identical.
+func WorkloadFor(g *graph.Graph, opts fleet.Options, cycleLen int) *workload.Workload {
+	n := opts.Queries
+	if n <= 0 {
+		n = fleet.DefaultPoolSize
+	}
+	pool := opts.PoolSize
+	if pool <= 0 {
+		pool = min(n, fleet.DefaultPoolSize)
+		if n > fleet.DefaultPoolSize {
+			log.Printf("repro: fleet workload pool capped at %d distinct queries for a %d-query run (one reference Dijkstra each); set FleetOptions.PoolSize to widen it",
+				fleet.DefaultPoolSize, n)
+		}
+	}
+	return workload.Generate(g, pool, cycleLen, opts.Seed)
+}

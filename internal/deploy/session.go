@@ -1,0 +1,208 @@
+package deploy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/multichannel"
+	"repro/internal/scheme"
+	"repro/internal/update"
+)
+
+// SessionOptions tune one client handle.
+type SessionOptions struct {
+	// TuneIn is where an offline session enters the broadcast: the
+	// absolute packet position on a single channel, the global clock tick
+	// on a sharded one. Live sessions tune in at whatever the station is
+	// transmitting when each query is posed, so TuneIn is ignored there.
+	TuneIn int
+	// Seed derives the session's private loss pattern on live
+	// subscriptions (default: the deployment's WithLoss seed). Offline,
+	// the air's pattern is the deployment's — every listener hears the
+	// same channel, the paper's model.
+	Seed int64
+	// Channel is the channel a sharded session's radio starts on.
+	Channel int
+	// Cold makes a sharded session's radio bootstrap the channel
+	// directory from the air (charged to tuning and latency) instead of
+	// holding a cached copy.
+	Cold bool
+}
+
+// Session is one client's handle on a deployment: a simulated mobile
+// device that keeps its scheme client (and its position, offline) across
+// queries. Query — and Range/KNN on a POI-enabled deployment — is the one
+// query path for every deployment shape: under it the session picks the
+// offline tuner, the live subscription, the channel-hopping radio, or the
+// version-window re-entry loop the shape needs, and always returns the
+// same Result and Metrics. A Session is not safe for concurrent use; open
+// one per goroutine (Sessions of one Deployment share the air safely).
+type Session struct {
+	d      *Deployment
+	opts   SessionOptions
+	client scheme.Client
+	cursor int // next offline tune-in: packet position (K=1) or global tick (K>1)
+	rng    *rand.Rand
+	reent  int
+}
+
+// Session returns a client handle. On a live deployment that was not
+// explicitly started, the first session (lazily) puts it on the air with
+// ctx bounding the broadcast's lifetime.
+func (d *Deployment) Session(ctx context.Context, opts SessionOptions) (*Session, error) {
+	if d.live {
+		if err := d.Start(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Channel < 0 || opts.Channel >= d.channels {
+		return nil, fmt.Errorf("repro: session start channel %d outside [0,%d)", opts.Channel, d.channels)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = d.lossSeed
+	}
+	return &Session{
+		d:      d,
+		opts:   opts,
+		client: d.srv.NewClient(),
+		cursor: opts.TuneIn,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// attach opens the shape-appropriate feed, positions a tuner on it, and
+// binds ctx so a cancelled context aborts even a lossy listen loop. The
+// returned finish func releases the feed and, offline, advances the
+// session's cursor to where the query left the air.
+func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) {
+	d := s.d
+	var t *broadcast.Tuner
+	finish := func() {}
+	switch {
+	case d.ch != nil: // offline, single channel
+		t = broadcast.NewTuner(d.ch, s.cursor)
+		tt := t
+		finish = func() { s.cursor = tt.Pos() }
+	case d.air != nil: // offline, sharded
+		rx, err := d.air.Rx(s.cursor, multichannel.RxOptions{Channel: s.opts.Channel, Cold: s.opts.Cold})
+		if err != nil {
+			return nil, nil, err
+		}
+		t = broadcast.NewFeedTuner(rx, rx.StartPos())
+		finish = func() { s.cursor = rx.Clock(); rx.Close() }
+	case d.mst != nil: // live, sharded
+		rx, err := d.mst.Subscribe(d.loss, s.rng.Int63(), multichannel.RxOptions{Channel: s.opts.Channel, Cold: s.opts.Cold})
+		if err != nil {
+			return nil, nil, err
+		}
+		t = broadcast.NewFeedTuner(rx, rx.StartPos())
+		finish = rx.Close
+	case d.st != nil: // live, single channel
+		sub, err := d.st.Subscribe(d.loss, s.rng.Int63())
+		if err != nil {
+			return nil, nil, err
+		}
+		t = broadcast.NewFeedTuner(sub, sub.Start())
+		finish = sub.Close
+	default:
+		return nil, nil, fmt.Errorf("repro: deployment has no transport")
+	}
+	if ctx != nil {
+		t.Bind(ctx)
+	}
+	return t, finish, nil
+}
+
+// Query answers one shortest-path query from src to dst on the air. It
+// honors ctx even where the underlying listen loop would spin (a lossy
+// channel mid-recovery), and on a dynamic deployment it transparently
+// re-enters whenever the attempt straddled a cycle swap — on the same
+// feed when the tuner's version window catches the swap, on a fresh one
+// when the feed's cached structure went stale. Tuning and latency in the
+// returned metrics accumulate across re-entries: the true end-to-end cost.
+func (s *Session) Query(ctx context.Context, src, dst graph.NodeID) (scheme.Result, error) {
+	q := scheme.QueryFor(s.d.g, src, dst)
+	const maxFreshFeeds = 4
+	for attempt := 0; ; attempt++ {
+		res, err := s.queryOnce(ctx, q)
+		if errors.Is(err, update.ErrStaleFeed) && attempt < maxFreshFeeds {
+			s.reent++
+			continue
+		}
+		return res, err
+	}
+}
+
+// queryOnce runs the client once on a freshly attached feed, converting a
+// context abort into an error and counting swap re-entries. The feed is
+// released (and the offline cursor advanced) on every exit path, panics
+// included — a live subscription must not outlive its query attempt.
+func (s *Session) queryOnce(ctx context.Context, q scheme.Query) (res scheme.Result, err error) {
+	t, finish, err := s.attach(ctx)
+	if err != nil {
+		return res, err
+	}
+	defer finish()
+	defer broadcast.RecoverCancel(&err)
+	if s.d.mgr != nil {
+		var attempts int
+		res, attempts, err = update.Query(s.client, t, q)
+		s.reent += attempts - 1
+		return res, err
+	}
+	return s.client.Query(t, q)
+}
+
+// Reentries returns how many query attempts this session has discarded to
+// cycle swaps (always zero on a static deployment): the per-session view
+// of the churn accounting RunFleet aggregates.
+func (s *Session) Reentries() int { return s.reent }
+
+// Range returns every point of interest within network distance radius of
+// node from, sorted by distance — the on-air spatial path of a
+// POI-enabled deployment (WithPOI).
+func (s *Session) Range(ctx context.Context, from graph.NodeID, radius float64) (out []core.POIResult, m metrics.Query, err error) {
+	sc, err := s.spatial()
+	if err != nil {
+		return nil, m, err
+	}
+	t, finish, err := s.attach(ctx)
+	if err != nil {
+		return nil, m, err
+	}
+	defer finish()
+	defer broadcast.RecoverCancel(&err)
+	return sc.RangeOnAir(t, scheme.QueryFor(s.d.g, from, from), radius)
+}
+
+// KNN returns the k points of interest nearest to node from in network
+// distance.
+func (s *Session) KNN(ctx context.Context, from graph.NodeID, k int) (out []core.POIResult, m metrics.Query, err error) {
+	sc, err := s.spatial()
+	if err != nil {
+		return nil, m, err
+	}
+	t, finish, err := s.attach(ctx)
+	if err != nil {
+		return nil, m, err
+	}
+	defer finish()
+	defer broadcast.RecoverCancel(&err)
+	return sc.KNNOnAir(t, scheme.QueryFor(s.d.g, from, from), k)
+}
+
+// spatial returns a fresh spatial client (they are cheap and carry no
+// cross-query state, like the scheme clients' contract).
+func (s *Session) spatial() (*core.SpatialClient, error) {
+	if s.d.eb == nil {
+		return nil, fmt.Errorf("repro: deployment has no points of interest (WithPOI) — spatial queries need an EB cycle carrying POI flags")
+	}
+	return s.d.eb.NewSpatialClient(), nil
+}

@@ -249,6 +249,7 @@ func RunChurn(ctx context.Context, st *station.Station, mgr *update.Manager, w *
 	res := ChurnResult{Result: agg.Summarize()}
 	res.Method = mgr.Server().Name()
 	res.Clients = clients
+	res.Pool = len(w.Queries)
 	res.Elapsed = elapsed
 	if elapsed > 0 {
 		res.QPS = float64(res.Agg.N) / elapsed.Seconds()

@@ -28,6 +28,12 @@ import (
 	"repro/internal/workload"
 )
 
+// DefaultPoolSize is the distinct-query pool a run draws from when
+// Options.PoolSize is zero: the paper's 400-query workload size. Reference
+// answers cost one Dijkstra each, so the default bounds server-side setup
+// time; runs asking for more queries reuse pool entries round-robin.
+const DefaultPoolSize = 400
+
 // Options tunes a fleet run. The zero value means 8 clients answering the
 // whole workload once, lossless, costed at the station's rate.
 type Options struct {
@@ -37,6 +43,14 @@ type Options struct {
 	// entries are reused round-robin when it exceeds the workload size.
 	// Default: one pass over the workload.
 	Queries int
+	// PoolSize is the number of distinct workload queries the run draws
+	// from. Each distinct query costs one reference Dijkstra server-side,
+	// so the default caps the pool at DefaultPoolSize (the paper's 400-query
+	// workload) and reuses entries round-robin for larger Queries counts;
+	// when that cap engages, the workload builder logs it and the Result
+	// reports the effective pool in Result.Pool. Set PoolSize explicitly to
+	// widen (or shrink) the distinct pool.
+	PoolSize int
 	// Duration optionally stops issuing new queries after this wall-clock
 	// time; in-flight queries finish. 0 means no time limit.
 	Duration time.Duration
@@ -68,6 +82,7 @@ type Result struct {
 	Method  string
 	Clients int
 	Queries int // queries issued (Errors counts the subset that failed)
+	Pool    int // distinct workload queries the run drew from
 	Errors  int // failed, wrong-distance, or never-subscribed queries
 	Elapsed time.Duration
 	QPS     float64 // correctly answered queries per wall-clock second
@@ -312,6 +327,7 @@ func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workloa
 	res := agg.Summarize()
 	res.Method = srv.Name()
 	res.Clients = clients
+	res.Pool = len(w.Queries)
 	res.Elapsed = elapsed
 	if elapsed > 0 {
 		// Throughput counts correct answers only, so a degraded run (loss,

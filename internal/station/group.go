@@ -60,7 +60,7 @@ func (g *Group) Start(ctx context.Context) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.running {
-		return fmt.Errorf("station: group already started")
+		return fmt.Errorf("group %w", ErrStarted)
 	}
 	for i, st := range g.stations {
 		st.mu.Lock()
@@ -71,7 +71,7 @@ func (g *Group) Start(ctx context.Context) error {
 				prev.running = false
 				prev.mu.Unlock()
 			}
-			return fmt.Errorf("station: group member already started")
+			return fmt.Errorf("group member %w", ErrStarted)
 		}
 		st.running = true
 		st.mu.Unlock()

@@ -23,6 +23,7 @@ package station
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -183,15 +184,20 @@ func (s *Station) Pos() int {
 	return s.pos
 }
 
+// ErrStarted reports that a Start found the station (or group) already on
+// the air. Callers wanting idempotent start semantics match it with
+// errors.Is and carry on; anything else from Start is a real failure.
+var ErrStarted = errors.New("station: already started")
+
 // Start puts the station on the air. Transmission stops when ctx is
 // cancelled or Stop is called; either way every open subscription's channel
 // is closed (its feed then degrades to deterministic replay, so in-flight
-// queries still terminate).
+// queries still terminate). A stopped station may be Started again.
 func (s *Station) Start(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.running {
-		return fmt.Errorf("station: already started")
+		return ErrStarted
 	}
 	ctx, s.cancel = context.WithCancel(ctx)
 	s.done = make(chan struct{})

@@ -1,0 +1,152 @@
+// Command apisnapshot prints the exported API surface of a Go package
+// directory as a sorted, one-declaration-per-line listing: every exported
+// func, method, type, const and var, rendered without bodies or comments.
+//
+// The committed api.txt at the repository root is this tool's output for
+// the facade package; CI regenerates it and fails on any diff, so growing
+// (or shrinking) the public surface is a reviewed, deliberate act — the
+// drift that motivated the PR-5 API collapse cannot re-accumulate
+// silently.
+//
+// Usage:
+//
+//	go run ./internal/tools/apisnapshot [package-dir] > api.txt
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	lines, err := surface(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisnapshot:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// surface lists the exported declarations of the package in dir, one per
+// line, sorted.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return dedupe(lines), nil
+}
+
+// declLines renders one top-level declaration's exported parts.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		clean := *d
+		clean.Body = nil
+		clean.Doc = nil
+		return []string{render(fset, &clean)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				clean := *s
+				clean.Doc, clean.Comment = nil, nil
+				out = append(out, "type "+render(fset, &clean))
+			case *ast.ValueSpec:
+				clean := *s
+				clean.Doc, clean.Comment = nil, nil
+				clean.Names = nil
+				for _, n := range s.Names {
+					if n.IsExported() {
+						clean.Names = append(clean.Names, n)
+					}
+				}
+				if len(clean.Names) == 0 {
+					continue
+				}
+				out = append(out, d.Tok.String()+" "+render(fset, &clean))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions have no receiver and always pass).
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// render prints a node on one line, comments stripped by the callers and
+// interior whitespace collapsed.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// dedupe removes adjacent duplicates from a sorted list (grouped const
+// blocks can repeat a rendered spec).
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, l := range sorted {
+		if i == 0 || l != sorted[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -2,41 +2,49 @@
 // Indexes" (Kellaris & Mouratidis, PVLDB 3(1), 2010): shortest-path query
 // processing in road networks under the wireless broadcast model.
 //
-// A Server pre-computes an air index for a road network and assembles a
-// broadcast cycle; a Channel repeats that cycle (optionally with packet
-// loss); a Client tunes in at an arbitrary moment and answers shortest-path
-// queries locally, accounting the paper's performance factors (tuning time,
-// access latency, peak memory, CPU time, energy). Beyond the paper's
-// single-client replay, a Station streams the cycle live to any number of
-// concurrent subscribers, and RunFleet load-tests it with a pool of
-// concurrent clients (see cmd/airserve).
+// A server pre-computes an air index for a road network and assembles a
+// broadcast cycle; clients tune in at an arbitrary moment and answer
+// shortest-path queries locally, accounting the paper's performance
+// factors (tuning time, access latency, peak memory, CPU time, energy).
 //
-// Quickstart:
+// The public API is two nouns. A Deployment is built once from a graph via
+// functional options and composes everything server-side — scheme build,
+// channel sharding, live stations, dynamic updates, points of interest:
 //
 //	g, _ := repro.GeneratePreset("germany", 0.1, 42)
-//	srv, _ := repro.NewServer(repro.NR, g, repro.Params{})
-//	ch, _ := repro.NewChannel(srv, 0 /* loss */, 1 /* seed */)
-//	res, _ := repro.Ask(ch, srv, g, 17, 4242, 0 /* tune-in */)
+//	d, _ := repro.Deploy(g, repro.WithMethod(repro.NR))
+//	defer d.Close()
+//
+// A Session is one client's handle with one query path for every
+// deployment shape — offline replay, live subscription, channel-hopping
+// radio, or version-window re-entry on a churning broadcast:
+//
+//	s, _ := d.Session(ctx, repro.SessionOptions{TuneIn: 1234})
+//	res, _ := s.Query(ctx, 17, 4242)
 //	fmt.Println(res.Dist, res.Metrics.TuningPackets)
+//
+// Live deployments (WithLive) additionally load-test with
+// Deployment.RunFleet, which dispatches plain, channel-hopping, or churn
+// fleets on the deployment's shape. The pre-PR-5 free functions
+// (NewServer/NewChannel/Ask, NewStation/RunFleet, NewMultiStation/
+// RunFleetMulti, NewUpdateManager/RunFleetChurn, SpatialServer) remain as
+// deprecated wrappers, pinned bit-identical to the Deployment/Session path
+// by the facade equivalence suite.
 //
 // The paper's two contributions are the EB (Elliptic Boundary) and NR
 // (Next Region) methods; DJ, AF, LD, SPQ and HiTi are the adapted
 // competitors of its Section 3.2. See DESIGN.md for the system inventory
-// and EXPERIMENTS.md for the reproduced evaluation.
+// (§9 for this API and the migration table) and EXPERIMENTS.md for the
+// reproduced evaluation.
 package repro
 
 import (
 	"context"
-	"fmt"
 	"io"
 
-	"repro/internal/baseline/arcflag"
-	"repro/internal/baseline/djair"
-	"repro/internal/baseline/hiti"
-	"repro/internal/baseline/landmark"
-	"repro/internal/baseline/spq"
 	"repro/internal/broadcast"
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -47,29 +55,51 @@ import (
 	"repro/internal/spath"
 	"repro/internal/station"
 	"repro/internal/update"
-	"repro/internal/workload"
 )
 
 // Method names an air-index scheme.
-type Method string
+type Method = deploy.Method
 
 // The seven methods of the paper's evaluation.
 const (
-	EB   Method = "EB"   // Elliptic Boundary (Section 4, this paper's contribution)
-	NR   Method = "NR"   // Next Region (Section 5, this paper's contribution)
-	DJ   Method = "DJ"   // broadcast adaptation of Dijkstra's algorithm
-	AF   Method = "AF"   // broadcast adaptation of ArcFlag
-	LD   Method = "LD"   // broadcast adaptation of Landmark (ALT)
-	SPQ  Method = "SPQ"  // broadcast adaptation of the shortest-path quadtree
-	HiTi Method = "HiTi" // broadcast adaptation of HiTi
+	EB   = deploy.EB   // Elliptic Boundary (Section 4, this paper's contribution)
+	NR   = deploy.NR   // Next Region (Section 5, this paper's contribution)
+	DJ   = deploy.DJ   // broadcast adaptation of Dijkstra's algorithm
+	AF   = deploy.AF   // broadcast adaptation of ArcFlag
+	LD   = deploy.LD   // broadcast adaptation of Landmark (ALT)
+	SPQ  = deploy.SPQ  // broadcast adaptation of the shortest-path quadtree
+	HiTi = deploy.HiTi // broadcast adaptation of HiTi
 )
 
 // Methods lists all implemented methods in the paper's presentation order.
-var Methods = []Method{DJ, NR, EB, LD, AF, SPQ, HiTi}
+var Methods = deploy.Methods
+
+// Params tunes a method's server. Zero values select the paper's defaults.
+type Params = deploy.Params
 
 // Re-exported core types. The root package is a facade: the full
-// implementation lives in internal packages, one per subsystem.
+// implementation lives in internal packages, one per subsystem, and the
+// Deployment/Session pair (internal/deploy) orchestrates them.
 type (
+	// Deployment is a built broadcast deployment — graph, scheme server,
+	// and the transport for its shape (offline channel, K-channel air,
+	// live station(s), versioned update manager). Build one with Deploy.
+	Deployment = deploy.Deployment
+	// Session is one client's handle on a Deployment: the uniform query
+	// path (Query, and Range/KNN when POI-enabled) over every shape.
+	Session = deploy.Session
+	// SessionOptions tune a client handle (tune-in position, loss-pattern
+	// seed, start channel).
+	SessionOptions = deploy.SessionOptions
+	// DeployOption is one functional configuration choice passed to Deploy.
+	DeployOption = deploy.Option
+	// UpdateConfig configures a dynamic deployment (WithUpdates): the
+	// rebuild hook and the synthetic churn feed RunFleet applies.
+	UpdateConfig = deploy.UpdateConfig
+	// RunReport is Deployment.RunFleet's outcome: the fleet aggregate plus
+	// churn accounting when the deployment is dynamic.
+	RunReport = deploy.RunReport
+
 	// Graph is an immutable directed weighted road network.
 	Graph = graph.Graph
 	// NodeID identifies a node.
@@ -96,12 +126,12 @@ type (
 	// subscribers.
 	Station = station.Station
 	// StationConfig tunes a station's clock (virtual or paced to a bit
-	// rate) and per-subscriber buffering.
+	// rate) and per-subscriber buffering; WithLive takes one.
 	StationConfig = station.Config
 	// Subscription is one listener's live view of a station's air; it is a
 	// Feed, so NewFeedTuner(sub, sub.Start()) runs any client on it.
 	Subscription = station.Sub
-	// FleetOptions tunes a concurrent load run.
+	// FleetOptions tunes a concurrent load run (Deployment.RunFleet).
 	FleetOptions = fleet.Options
 	// FleetResult aggregates a load run: means, p50/p95/p99 tails and
 	// queries/sec throughput.
@@ -144,7 +174,7 @@ type (
 	UpdateMode = update.Mode
 )
 
-// Weight-change profiles for ChurnOptions.Mode.
+// Weight-change profiles for UpdateConfig.Mode and ChurnOptions.Mode.
 const (
 	UpdateMixed    = update.ModeMixed
 	UpdateIncrease = update.ModeIncrease
@@ -152,166 +182,60 @@ const (
 	UpdateNoop     = update.ModeNoop
 )
 
-// Params tunes a method's server. Zero values select the paper's defaults.
-type Params struct {
-	// Regions is the kd-tree partition count for EB, NR (paper: 32) and AF
-	// (paper: 16); power of two.
-	Regions int
-	// Landmarks is LD's anchor count (paper: 4).
-	Landmarks int
-	// HiTiDepth is HiTi's hierarchy depth (leaf grid 2^d x 2^d; default 3).
-	HiTiDepth int
-	// Segments toggles EB/NR's cross-border/local data segmentation
-	// (Section 4.1). Defaults to on.
-	DisableSegments bool
-	// MemoryBound enables EB/NR's client-side super-edge pre-computation
-	// (Section 6.1).
-	MemoryBound bool
-}
+// --- The Deployment/Session API (PR 5): one constructor, one query path. ---
 
-func (p Params) coreOptions() core.Options {
-	regions := p.Regions
-	if regions == 0 {
-		regions = 32
-	}
-	return core.Options{
-		Regions:     regions,
-		Segments:    !p.DisableSegments,
-		SquareCells: true,
-		MemoryBound: p.MemoryBound,
-	}
-}
+// Deploy builds a Deployment of g from functional options: the scheme
+// server (WithMethod/WithParams, through the shared build cache when
+// WithCache names the network), sharding (WithChannels), the live
+// station(s) (WithLive), deterministic packet loss (WithLoss), dynamic
+// updates (WithUpdates) and on-air spatial queries (WithPOI). A live
+// deployment goes on the air on Start (or lazily on first Session or
+// RunFleet); Close takes it off.
+func Deploy(g *Graph, opts ...DeployOption) (*Deployment, error) { return deploy.Deploy(g, opts...) }
+
+// WithMethod picks the air-index scheme (default NR).
+func WithMethod(m Method) DeployOption { return deploy.WithMethod(m) }
+
+// WithParams tunes the scheme server's build parameters.
+func WithParams(p Params) DeployOption { return deploy.WithParams(p) }
+
+// WithChannels shards the broadcast cycle across k parallel channels
+// (regions in contiguous kd order, an on-air directory on every channel);
+// session radios hop. k == 1 (the default) is the plain single channel,
+// bit-for-bit the unsharded broadcast.
+func WithChannels(k int) DeployOption { return deploy.WithChannels(k) }
+
+// WithLive puts the deployment on the air: a live broadcast station (one
+// per channel, on a shared clock when sharded) streams the cycle to
+// concurrently subscribed sessions, and RunFleet load-tests it. Without it
+// the deployment replays the cycle offline — the paper's model.
+func WithLive(cfg StationConfig) DeployOption { return deploy.WithLive(cfg) }
+
+// WithLoss sets the deterministic Bernoulli packet-loss rate in [0,1) and
+// the loss-pattern seed: the offline air's pattern, and the default
+// pattern seed of live subscriptions.
+func WithLoss(rate float64, seed int64) DeployOption { return deploy.WithLoss(rate, seed) }
+
+// WithUpdates makes the broadcast dynamic: a versioned update manager owns
+// the cycle, RunFleet churns arc weights per cfg while the fleet answers,
+// and sessions transparently re-enter queries that straddle a cycle swap.
+// Requires WithLive on a single channel.
+func WithUpdates(cfg UpdateConfig) DeployOption { return deploy.WithUpdates(cfg) }
+
+// WithPOI flags points of interest per node and equips sessions with
+// on-air spatial queries (Range, KNN) in network distance over an EB
+// cycle — the paper's Section 8 future work.
+func WithPOI(poi []bool) DeployOption { return deploy.WithPOI(poi) }
+
+// WithCache keys the server build in the shared immutable build cache
+// under the given canonical network name (e.g. "germany/0.05/42"):
+// deployments naming the same (network, method, params) share one build.
+func WithCache(network string) DeployOption { return deploy.WithCache(network) }
+
+// --- Server-side building blocks (shared by both API generations). ---
 
 // NewServer builds the named method's server for g.
-func NewServer(m Method, g *Graph, p Params) (Server, error) {
-	switch m {
-	case EB:
-		return core.NewEB(g, p.coreOptions())
-	case NR:
-		return core.NewNR(g, p.coreOptions())
-	case DJ:
-		return djair.New(g), nil
-	case AF:
-		regions := p.Regions
-		if regions == 0 {
-			regions = 16
-		}
-		return arcflag.New(g, arcflag.Options{Regions: regions})
-	case LD:
-		return landmark.New(g, landmark.Options{Landmarks: p.Landmarks})
-	case SPQ:
-		return spq.New(g)
-	case HiTi:
-		return hiti.New(g, hiti.Options{Depth: p.HiTiDepth})
-	default:
-		return nil, fmt.Errorf("repro: unknown method %q", m)
-	}
-}
-
-// NewChannel wraps a server's cycle in a broadcast channel with the given
-// packet-loss rate in [0, 1) and seed.
-func NewChannel(srv Server, lossRate float64, seed int64) (*Channel, error) {
-	return broadcast.NewChannel(srv.Cycle(), lossRate, seed)
-}
-
-// NewTuner tunes into ch at the given absolute packet position — the moment
-// the query is posed.
-func NewTuner(ch *Channel, at int) *Tuner { return broadcast.NewTuner(ch, at) }
-
-// NewFeedTuner tunes into any Feed — typically a live station Subscription
-// at its Start position.
-func NewFeedTuner(f Feed, at int) *Tuner { return broadcast.NewFeedTuner(f, at) }
-
-// NewStation puts srv's cycle behind a live broadcast station. Call
-// Start(ctx) to go on the air, Subscribe for each tuned-in client, and Stop
-// (or cancel the context) to shut down.
-func NewStation(srv Server, cfg StationConfig) (*Station, error) {
-	return station.New(srv.Cycle(), cfg)
-}
-
-// RunFleet load-tests a live station with opts.Clients concurrent clients
-// of srv answering a generated query workload over g (reference answers are
-// pre-computed server-side for verification). The station must already be
-// on the air. See cmd/airserve for the CLI front end.
-func RunFleet(ctx context.Context, st *Station, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
-	return fleet.Run(ctx, st, srv, fleetWorkload(g, opts, st.Len()), opts)
-}
-
-// fleetWorkload generates the verified query pool a fleet run answers.
-// Reference distances cost one Dijkstra each, so the distinct pool is
-// capped at the paper's 400-query workload size and entries are reused
-// round-robin for larger query counts.
-func fleetWorkload(g *Graph, opts FleetOptions, cycleLen int) *workload.Workload {
-	n := opts.Queries
-	if n <= 0 {
-		n = 400 // the paper's workload size
-	}
-	return workload.Generate(g, min(n, 400), cycleLen, opts.Seed)
-}
-
-// NewUpdateManager returns a versioned-cycle manager over srv (which must
-// have been built for g). Apply weight-update batches to produce new cycle
-// versions and hand each Build.Cycle to Station.Swap (or MultiStation.Swap
-// after re-planning); with no updates applied the manager serves srv's own
-// static cycle bit-identically. EB, NR and DJ rebuild natively.
-func NewUpdateManager(g *Graph, srv Server) (*UpdateManager, error) {
-	return update.NewManager(g, srv, update.Config{})
-}
-
-// RunFleetChurn load-tests a live station while mgr's network churns: a
-// background updater applies opts.Batches weight batches and swaps the
-// station to each new cycle version, and opts.Fleet.Clients concurrent
-// clients keep answering queries throughout, re-entering whenever a swap
-// catches them mid-query. Every answer is verified against the Dijkstra
-// reference of the network version it was computed on. The station must
-// already be on the air broadcasting mgr's current cycle.
-func RunFleetChurn(ctx context.Context, st *Station, mgr *UpdateManager, g *Graph, opts ChurnOptions) (ChurnResult, error) {
-	return fleet.RunChurn(ctx, st, mgr, fleetWorkload(g, opts.Fleet, st.Len()), opts)
-}
-
-// NewMultiStation shards srv's cycle across `channels` parallel broadcast
-// channels (regions in contiguous kd order, global index copies round-robin,
-// a directory segment on every channel) and puts one station shard per
-// channel on a shared global clock. channels == 1 degrades to the identity
-// plan: bit-for-bit the single Station substrate.
-func NewMultiStation(srv Server, channels int, cfg StationConfig) (*MultiStation, error) {
-	plan, err := multichannel.Build(srv.Cycle(), channels, multichannel.PlanOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return multichannel.NewStation(plan, cfg)
-}
-
-// RunFleetMulti is RunFleet against a multi-channel station: the result
-// additionally carries per-channel packet counts, touched-query tails and
-// QPS, plus the mean channel-hop count.
-func RunFleetMulti(ctx context.Context, mst *MultiStation, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
-	return fleet.RunMulti(ctx, mst, srv, fleetWorkload(g, opts, mst.Len()), opts)
-}
-
-// RegionCentroids returns per-region centroids for a server built on a
-// region partitioning (EB/NR), or nil for methods without regions: the
-// input multichannel's Hilbert assignment mode needs.
-func RegionCentroids(srv Server, g *Graph) [][2]float64 {
-	type regioned interface{ Regions() *precompute.Regions }
-	r, ok := srv.(regioned)
-	if !ok {
-		return nil
-	}
-	regs := r.Regions()
-	return multichannel.Centroids(g, regs.Assign, regs.N)
-}
-
-// QueryFor builds a Query for two nodes of g (the client knows the node IDs
-// and their coordinates).
-func QueryFor(g *Graph, s, t NodeID) Query { return scheme.QueryFor(g, s, t) }
-
-// Ask runs one query end to end: tune in at position `at`, process with a
-// fresh client of srv, return the result.
-func Ask(ch *Channel, srv Server, g *Graph, s, t NodeID, at int) (Result, error) {
-	tuner := broadcast.NewTuner(ch, at)
-	return srv.NewClient().Query(tuner, QueryFor(g, s, t))
-}
+func NewServer(m Method, g *Graph, p Params) (Server, error) { return deploy.NewServer(m, g, p) }
 
 // GeneratePreset builds a synthetic stand-in for one of the paper's five
 // road networks ("milan", "germany", "argentina", "india", "sanfrancisco"),
@@ -349,6 +273,23 @@ func ShortestPath(g *Graph, s, t NodeID) (float64, []NodeID, int) {
 	return spath.PointToPoint(g, s, t)
 }
 
+// QueryFor builds a Query for two nodes of g (the client knows the node IDs
+// and their coordinates).
+func QueryFor(g *Graph, s, t NodeID) Query { return scheme.QueryFor(g, s, t) }
+
+// RegionCentroids returns per-region centroids for a server built on a
+// region partitioning (EB/NR), or nil for methods without regions: the
+// input multichannel's Hilbert assignment mode needs.
+func RegionCentroids(srv Server, g *Graph) [][2]float64 {
+	type regioned interface{ Regions() *precompute.Regions }
+	r, ok := srv.(regioned)
+	if !ok {
+		return nil
+	}
+	regs := r.Regions()
+	return multichannel.Centroids(g, regs.Assign, regs.N)
+}
+
 // EnergyJoules estimates a query's client-side energy at the given channel
 // bit rate using the paper's WaveLAN/ARM power model (Section 3.1).
 func EnergyJoules(m Metrics, bitsPerSecond int) float64 {
@@ -365,6 +306,126 @@ const (
 	Rate384Kbps = metrics.RateSlow
 )
 
+// --- Deprecated pre-PR-5 facade: one constructor + one run function per
+// (scenario × transport) cell. Every wrapper below stays functional and is
+// pinned bit-identical to its Deployment/Session counterpart by the
+// equivalence suite (equivalence_test.go); new code should Deploy. ---
+
+// NewChannel wraps a server's cycle in a broadcast channel with the given
+// packet-loss rate in [0, 1) and seed.
+//
+// Deprecated: build a Deployment with Deploy(g, WithLoss(rate, seed))
+// instead; the channel is composed internally.
+func NewChannel(srv Server, lossRate float64, seed int64) (*Channel, error) {
+	return broadcast.NewChannel(srv.Cycle(), lossRate, seed)
+}
+
+// NewTuner tunes into ch at the given absolute packet position — the moment
+// the query is posed.
+//
+// Deprecated: Deployment.Session positions its own tuner
+// (SessionOptions.TuneIn). NewTuner remains for custom feeds.
+func NewTuner(ch *Channel, at int) *Tuner { return broadcast.NewTuner(ch, at) }
+
+// NewFeedTuner tunes into any Feed — typically a live station Subscription
+// at its Start position.
+//
+// Deprecated: Deployment.Session subscribes and positions its own tuner.
+// NewFeedTuner remains for custom feeds.
+func NewFeedTuner(f Feed, at int) *Tuner { return broadcast.NewFeedTuner(f, at) }
+
+// Ask runs one query end to end: tune in at position `at`, process with a
+// fresh client of srv, return the result.
+//
+// Deprecated: use Deploy + Session.Query. Ask routes through that exact
+// path (the equivalence suite pins it bit-identical).
+func Ask(ch *Channel, srv Server, g *Graph, s, t NodeID, at int) (Result, error) {
+	d, err := deploy.FromServer(g, srv, ch)
+	if err != nil {
+		return Result{}, err
+	}
+	sess, err := d.Session(context.Background(), SessionOptions{TuneIn: at})
+	if err != nil {
+		return Result{}, err
+	}
+	return sess.Query(context.Background(), s, t)
+}
+
+// NewStation puts srv's cycle behind a live broadcast station. Call
+// Start(ctx) to go on the air, Subscribe for each tuned-in client, and Stop
+// (or cancel the context) to shut down.
+//
+// Deprecated: use Deploy(g, WithLive(cfg)); the Deployment owns the
+// station's lifecycle (Start/Close) and Session subscribes to it.
+func NewStation(srv Server, cfg StationConfig) (*Station, error) {
+	return station.New(srv.Cycle(), cfg)
+}
+
+// RunFleet load-tests a live station with opts.Clients concurrent clients
+// of srv answering a generated query workload over g (reference answers are
+// pre-computed server-side for verification). The station must already be
+// on the air. See cmd/airserve for the CLI front end.
+//
+// Deprecated: use Deploy(g, WithLive(cfg)) + Deployment.RunFleet, which
+// runs the identical fleet engine on the identical workload pool.
+func RunFleet(ctx context.Context, st *Station, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
+	return fleet.Run(ctx, st, srv, deploy.WorkloadFor(g, opts, st.Len()), opts)
+}
+
+// NewUpdateManager returns a versioned-cycle manager over srv (which must
+// have been built for g). Apply weight-update batches to produce new cycle
+// versions and hand each Build.Cycle to Station.Swap (or MultiStation.Swap
+// after re-planning); with no updates applied the manager serves srv's own
+// static cycle bit-identically. EB, NR and DJ rebuild natively.
+//
+// Deprecated: use Deploy(g, WithLive(cfg), WithUpdates(ucfg)); the
+// Deployment wires the manager to its station and Deployment.Manager
+// exposes it for explicit Apply/Swap control.
+func NewUpdateManager(g *Graph, srv Server) (*UpdateManager, error) {
+	return update.NewManager(g, srv, update.Config{})
+}
+
+// RunFleetChurn load-tests a live station while mgr's network churns: a
+// background updater applies opts.Batches weight batches and swaps the
+// station to each new cycle version, and opts.Fleet.Clients concurrent
+// clients keep answering queries throughout, re-entering whenever a swap
+// catches them mid-query. Every answer is verified against the Dijkstra
+// reference of the network version it was computed on. The station must
+// already be on the air broadcasting mgr's current cycle.
+//
+// Deprecated: use Deploy(g, WithLive(cfg), WithUpdates(ucfg)) +
+// Deployment.RunFleet; the churn feed parameters move into UpdateConfig
+// and the report's Churn field carries the staleness accounting.
+func RunFleetChurn(ctx context.Context, st *Station, mgr *UpdateManager, g *Graph, opts ChurnOptions) (ChurnResult, error) {
+	return fleet.RunChurn(ctx, st, mgr, deploy.WorkloadFor(g, opts.Fleet, st.Len()), opts)
+}
+
+// NewMultiStation shards srv's cycle across `channels` parallel broadcast
+// channels (regions in contiguous kd order, global index copies round-robin,
+// a directory segment on every channel) and puts one station shard per
+// channel on a shared global clock. channels == 1 degrades to the identity
+// plan: bit-for-bit the single Station substrate.
+//
+// Deprecated: use Deploy(g, WithChannels(k), WithLive(cfg)).
+func NewMultiStation(srv Server, channels int, cfg StationConfig) (*MultiStation, error) {
+	plan, err := multichannel.Build(srv.Cycle(), channels, multichannel.PlanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return multichannel.NewStation(plan, cfg)
+}
+
+// RunFleetMulti is RunFleet against a multi-channel station: the result
+// additionally carries per-channel packet counts, touched-query tails and
+// QPS, plus the mean channel-hop count.
+//
+// Deprecated: use Deploy(g, WithChannels(k), WithLive(cfg)) +
+// Deployment.RunFleet, which dispatches the identical channel-hopping
+// fleet on the deployment's shape.
+func RunFleetMulti(ctx context.Context, mst *MultiStation, srv Server, g *Graph, opts FleetOptions) (FleetResult, error) {
+	return fleet.RunMulti(ctx, mst, srv, deploy.WorkloadFor(g, opts, mst.Len()), opts)
+}
+
 // --- On-air spatial queries over the road network (the paper's Section 8
 // future work: "range and nearest neighbor retrieval"). ---
 
@@ -373,14 +434,19 @@ type POIResult = core.POIResult
 
 // SpatialServer is an EB server whose cycle carries POI-flagged nodes and
 // answers on-air range and kNN queries in network distance.
+//
+// Deprecated: use Deploy(g, WithPOI(poi)) + Session.Range / Session.KNN;
+// the spatial island folds into the uniform query path.
 type SpatialServer struct {
 	eb *core.EB
 }
 
 // NewSpatialServer builds an EB-based spatial broadcast for g; poi flags
 // the points of interest per node.
+//
+// Deprecated: use Deploy(g, WithPOI(poi)).
 func NewSpatialServer(g *Graph, poi []bool, p Params) (*SpatialServer, error) {
-	opts := p.coreOptions()
+	opts := p.CoreOptions()
 	opts.POI = poi
 	eb, err := core.NewEB(g, opts)
 	if err != nil {
@@ -397,15 +463,37 @@ func (s *SpatialServer) NewChannel(lossRate float64, seed int64) (*Channel, erro
 	return broadcast.NewChannel(s.eb.Cycle(), lossRate, seed)
 }
 
+// session opens a one-shot Session over the spatial cycle on ch — the
+// wrappers below route through the exact Deployment/Session path. g is
+// the caller's graph, exactly as the pre-PR-5 implementations resolved
+// query coordinates from it.
+func (s *SpatialServer) session(ch *Channel, g *Graph, at int) (*Session, error) {
+	d, err := deploy.FromServer(g, s.eb, ch)
+	if err != nil {
+		return nil, err
+	}
+	return d.Session(context.Background(), SessionOptions{TuneIn: at})
+}
+
 // RangeOnAir returns every POI within network distance radius of node from,
 // sorted by distance, tuning in at position `at`.
+//
+// Deprecated: use Deploy(g, WithPOI(poi)) + Session.Range.
 func (s *SpatialServer) RangeOnAir(ch *Channel, g *Graph, from NodeID, radius float64, at int) ([]POIResult, Metrics, error) {
-	t := broadcast.NewTuner(ch, at)
-	return s.eb.NewSpatialClient().RangeOnAir(t, scheme.QueryFor(g, from, from), radius)
+	sess, err := s.session(ch, g, at)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return sess.Range(context.Background(), from, radius)
 }
 
 // KNNOnAir returns the k POIs nearest to node from in network distance.
+//
+// Deprecated: use Deploy(g, WithPOI(poi)) + Session.KNN.
 func (s *SpatialServer) KNNOnAir(ch *Channel, g *Graph, from NodeID, k int, at int) ([]POIResult, Metrics, error) {
-	t := broadcast.NewTuner(ch, at)
-	return s.eb.NewSpatialClient().KNNOnAir(t, scheme.QueryFor(g, from, from), k)
+	sess, err := s.session(ch, g, at)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return sess.KNN(context.Background(), from, k)
 }

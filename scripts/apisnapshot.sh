@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate the committed public-API surface listing. Run from the repo
+# root after an intentional facade change:
+#
+#   ./scripts/apisnapshot.sh > api.txt
+#
+# CI regenerates the listing and diffs it against api.txt, so any change
+# to the exported surface must land together with its refreshed snapshot.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./internal/tools/apisnapshot .

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro"
+)
+
+// adminServer is airserve's operational surface: an HTTP listener serving
+// the Prometheus metrics exposition, pprof, a health probe, and a JSON
+// status snapshot of the deployment on the air.
+type adminServer struct {
+	srv  *http.Server
+	lis  net.Listener
+	done chan struct{} // closed when Serve returns
+}
+
+// startAdmin binds addr (":6060", "localhost:0", ...) and serves:
+//
+//	/metrics        Prometheus text exposition of every registered series
+//	/healthz        200 "ok" while the listener is up
+//	/statusz        JSON snapshot: deployment shape, version, subscribers
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// The deployment is read live on every /statusz hit, so a scrape during a
+// churn run sees versions and subscriber counts move.
+func startAdmin(addr string, d *repro.Deployment) (*adminServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", repro.MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Deployment repro.DeployStatus  `json:"deployment"`
+			Metrics    []repro.MetricPoint `json:"metrics"`
+		}{d.Status(), repro.Observe()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &adminServer{
+		srv:  &http.Server{Handler: mux},
+		lis:  lis,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		if err := a.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			log.Printf("airserve: admin listener: %v", err)
+		}
+	}()
+	return a, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (a *adminServer) Addr() string { return a.lis.Addr().String() }
+
+// Shutdown drains the listener (in-flight scrapes finish, up to the grace
+// period) and logs the final counter totals, so a SIGINT'd run still leaves
+// its broadcast/drop accounting in the log.
+func (a *adminServer) Shutdown(grace time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := a.srv.Shutdown(ctx); err != nil {
+		a.srv.Close()
+	}
+	<-a.done
+	logFinalTotals()
+}
+
+// logFinalTotals writes the headline counters to the log: the numbers an
+// operator wants after the process is gone and /metrics with it.
+func logFinalTotals() {
+	byName := map[string]float64{}
+	for _, p := range repro.Observe() {
+		if p.Labels == "" {
+			byName[p.Name] = p.Value
+		}
+	}
+	log.Printf("airserve: final totals: packets=%0.f dropped=%0.f queries=%0.f errors=%0.f stale=%0.f lost=%0.f",
+		byName["air_station_packets_total"], byName["air_station_dropped_packets_total"],
+		byName["air_fleet_queries_total"], byName["air_fleet_errors_total"],
+		byName["air_fleet_stale_queries_total"], byName["air_fleet_lost_packets_total"])
+}

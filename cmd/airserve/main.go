@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -47,11 +49,20 @@ type config struct {
 	// cycle version. 0 = static broadcast (the default).
 	updates     int
 	updateEvery time.Duration
+
+	// admin binds the HTTP admin listener (/metrics, /statusz, /healthz,
+	// /debug/pprof/*) on the given address; "" disables it. linger keeps
+	// the station on the air (and the admin listener serving) after the
+	// fleet completes, until SIGINT/SIGTERM.
+	admin  string
+	linger bool
 }
 
 // run builds the deployment for the requested shape, puts it on the air,
-// and drives the fleet. Split from main so the smoke test can call it.
-func run(cfg config, out io.Writer) (repro.RunReport, error) {
+// and drives the fleet. Split from main so the smoke and soak tests can
+// call it; ctx cancellation (SIGINT/SIGTERM in main) stops the fleet, the
+// station and the -linger wait alike.
+func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error) {
 	var zero repro.RunReport
 	g, err := repro.GeneratePreset(cfg.preset, cfg.scale, cfg.seed)
 	if err != nil {
@@ -80,6 +91,15 @@ func run(cfg config, out io.Writer) (repro.RunReport, error) {
 	}
 	defer d.Close()
 
+	if cfg.admin != "" {
+		admin, err := startAdmin(cfg.admin, d)
+		if err != nil {
+			return zero, err
+		}
+		defer admin.Shutdown(5 * time.Second)
+		fmt.Fprintf(out, "admin    http://%s  (/metrics /statusz /healthz /debug/pprof/)\n", admin.Addr())
+	}
+
 	clock := "virtual clock (max speed)"
 	if cfg.rate > 0 {
 		clock = fmt.Sprintf("paced to %.3g Mbps", float64(cfg.rate)/1e6)
@@ -94,7 +114,7 @@ func run(cfg config, out io.Writer) (repro.RunReport, error) {
 	}
 	fmt.Fprintln(out)
 
-	rep, err := d.RunFleet(context.Background(), repro.FleetOptions{
+	rep, err := d.RunFleet(ctx, repro.FleetOptions{
 		Clients:  cfg.clients,
 		Queries:  cfg.queries,
 		PoolSize: cfg.pool,
@@ -116,6 +136,10 @@ func run(cfg config, out io.Writer) (repro.RunReport, error) {
 			fmt.Fprintf(out, "latency  clean p50 %.0f pkts, stale p50 %.0f pkts (staleness penalty %+.0f%%)\n",
 				churn.CleanLatency.P50, churn.StaleLatency.P50, 100*(churn.MeanStaleLatency/churn.MeanCleanLatency-1))
 		}
+	}
+	if cfg.linger {
+		fmt.Fprintln(out, "\nlinger   station staying on the air; Ctrl-C (SIGINT/SIGTERM) to shut down")
+		<-ctx.Done()
 	}
 	return rep, nil
 }
@@ -139,6 +163,10 @@ func report(w io.Writer, r repro.FleetResult) {
 	row("tuning time (packets)", r.Agg.MeanTuning(), r.Tuning, "%.0f")
 	row("access latency (pkts)", r.Agg.MeanLatency(), r.Latency, "%.0f")
 	row("energy (joules)", r.MeanEnergy, r.Energy, "%.4f")
+	if r.LostPackets > 0 || r.MissedPackets > 0 {
+		fmt.Fprintf(w, "\nair loss    %d corrupted receptions (%d simulator loss, %d backpressure drops)\n",
+			r.LostPackets, r.LostPackets-r.MissedPackets, r.MissedPackets)
+	}
 	if len(r.Channels) > 0 {
 		fmt.Fprintf(w, "\nmean channel hops per query: %.1f\n", r.MeanHops)
 		fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %10s\n",
@@ -168,9 +196,14 @@ func main() {
 	flag.IntVar(&cfg.channels, "channels", 1, "parallel broadcast channels (cycle sharded by region; clients hop)")
 	flag.IntVar(&cfg.updates, "updates", 0, "weight-update batches applied during the run (0 = static broadcast)")
 	flag.DurationVar(&cfg.updateEvery, "update-every", 50*time.Millisecond, "pause between update batches (with -updates)")
+	flag.StringVar(&cfg.admin, "admin", "", "HTTP admin listener address (/metrics /statusz /healthz /debug/pprof/); empty = disabled")
+	flag.BoolVar(&cfg.linger, "linger", false, "stay on the air after the fleet completes, until SIGINT/SIGTERM")
 	flag.Parse()
 
-	if _, err := run(cfg, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if _, err := run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "airserve: %v\n", err)
 		os.Exit(1)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -11,7 +12,7 @@ import (
 // and checks the report carries throughput and tail metrics.
 func TestSmokeFleetRun(t *testing.T) {
 	var out bytes.Buffer
-	res, err := run(config{
+	res, err := run(context.Background(), config{
 		method:  "NR",
 		preset:  "germany",
 		scale:   0.02,
@@ -42,7 +43,7 @@ func TestSmokeFleetRun(t *testing.T) {
 // checks every answer verifies and the per-channel table renders.
 func TestSmokeMultiChannel(t *testing.T) {
 	var out bytes.Buffer
-	res, err := run(config{
+	res, err := run(context.Background(), config{
 		method:   "NR",
 		preset:   "germany",
 		scale:    0.02,
@@ -81,7 +82,7 @@ func TestSmokeMultiChannel(t *testing.T) {
 // it was computed on, and the churn summary renders.
 func TestSmokeChurn(t *testing.T) {
 	var out bytes.Buffer
-	res, err := run(config{
+	res, err := run(context.Background(), config{
 		method:      "NR",
 		preset:      "germany",
 		scale:       0.02,
@@ -104,7 +105,7 @@ func TestSmokeChurn(t *testing.T) {
 		}
 	}
 	// -updates is single-channel only for now.
-	if _, err := run(config{
+	if _, err := run(context.Background(), config{
 		method: "NR", preset: "germany", scale: 0.02, clients: 2, queries: 4,
 		channels: 2, updates: 1, updateEvery: time.Millisecond,
 	}, &out); err == nil {
@@ -115,7 +116,7 @@ func TestSmokeChurn(t *testing.T) {
 // TestSmokeUnknownMethod checks flag validation surfaces as an error.
 func TestSmokeUnknownMethod(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run(config{method: "XX", preset: "germany", scale: 0.02, clients: 1, queries: 1}, &out); err == nil {
+	if _, err := run(context.Background(), config{method: "XX", preset: "germany", scale: 0.02, clients: 1, queries: 1}, &out); err == nil {
 		t.Fatal("unknown method did not error")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -23,6 +24,13 @@ type Tuner struct {
 	// corrupted: the radio was receiving either way.
 	tuning int
 	last   int // absolute position of the last packet listened to
+	// lost counts listened-to packets that arrived corrupted — simulator
+	// loss and live backpressure drops alike (the air does not say which).
+	lost int
+
+	// trace, when set, records this query's span events (flight recorder);
+	// nil (the default) costs one branch per event site and no allocation.
+	trace *obs.Trace
 
 	// Multi-channel accounting (nil/zero on plain feeds): latency runs on
 	// the feed's global clock, not on logical positions.
@@ -188,6 +196,10 @@ func (t *Tuner) Listen() (packet.Packet, bool) {
 	if t.clocked != nil {
 		t.lastTick = t.clocked.Clock()
 	}
+	if !ok {
+		t.lost++
+		t.trace.Record(obs.EvRetry, int64(t.last), 0)
+	}
 	if ok {
 		// Only intact packets widen the version window: a lost packet
 		// carries no trustworthy header.
@@ -263,6 +275,21 @@ func (t *Tuner) NextOccurrence(cyclePos int) int {
 	}
 	return t.pos + delta
 }
+
+// Lost returns how many listened-to packets arrived corrupted so far:
+// injected simulator loss plus live backpressure drops, exactly as the
+// client's retry loops experienced them.
+func (t *Tuner) Lost() int { return t.lost }
+
+// SetTrace attaches a flight recorder to the tuner and records the tune-in
+// event. A nil trace detaches (event sites degrade to one branch).
+func (t *Tuner) SetTrace(tr *obs.Trace) {
+	t.trace = tr
+	tr.Record(obs.EvTuneIn, int64(t.start), 0)
+}
+
+// Trace returns the attached flight recorder (nil when tracing is off).
+func (t *Tuner) Trace() *obs.Trace { return t.trace }
 
 // Tuning returns the packets listened to so far, including any the feed
 // itself received on the client's behalf (a hopping radio's directory

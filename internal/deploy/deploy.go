@@ -34,6 +34,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/multichannel"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/servercache"
 	"repro/internal/station"
@@ -416,6 +417,48 @@ func (d *Deployment) Close() {
 	case d.st != nil:
 		d.st.Stop()
 	}
+}
+
+// Observe snapshots the process-wide observability registry: the same
+// series a live airserve admin listener exports on /metrics, so an offline
+// run, an airbench invocation and the daemon report identical counters.
+func (d *Deployment) Observe() []obs.Point { return obs.Snapshot() }
+
+// Status is an operational snapshot of one deployment — what airserve's
+// /statusz renders per deployment.
+type Status struct {
+	Method      string `json:"method"`
+	Channels    int    `json:"channels"`
+	Live        bool   `json:"live"`
+	Dynamic     bool   `json:"dynamic"`
+	CycleLen    int    `json:"cycle_len"`
+	Version     uint32 `json:"version"`
+	Subscribers int    `json:"subscribers"`
+	Rate        int    `json:"rate_bps"`
+}
+
+// Status returns the deployment's operational snapshot: shape, the cycle
+// version on the air, and the live subscriber count (zero offline).
+func (d *Deployment) Status() Status {
+	s := Status{
+		Method:   string(d.method),
+		Channels: d.channels,
+		Live:     d.live,
+		Dynamic:  d.mgr != nil,
+		CycleLen: d.Len(),
+		Rate:     d.Rate(),
+	}
+	switch {
+	case d.mst != nil:
+		s.Version = d.mst.Version()
+		s.Subscribers = d.mst.Subscribers()
+	case d.st != nil:
+		s.Version = d.st.Version()
+		s.Subscribers = d.st.Subscribers()
+	default:
+		s.Version = d.Cycle().Version
+	}
+	return s
 }
 
 // RunReport is the outcome of Deployment.RunFleet: the fleet aggregate,

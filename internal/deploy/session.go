@@ -11,8 +11,19 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/multichannel"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/update"
+)
+
+// Session-level instruments (DESIGN.md §10).
+var (
+	obsSessions = obs.GetCounter("air_deploy_sessions_total",
+		"client sessions opened on deployments")
+	obsSessionQueries = obs.GetCounter("air_deploy_queries_total",
+		"queries answered through session handles")
+	obsSessionInflight = obs.GetGauge("air_deploy_inflight_queries",
+		"session queries currently in flight")
 )
 
 // SessionOptions tune one client handle.
@@ -33,6 +44,11 @@ type SessionOptions struct {
 	// directory from the air (charged to tuning and latency) instead of
 	// holding a cached copy.
 	Cold bool
+	// Trace, when set, attaches a flight recorder to the session: every
+	// query records its span events (tune-in, hops, directory reads,
+	// retries, re-entries) on it. Metrics are unchanged; a sampled session
+	// with a trace and one without report identical Results.
+	Trace *obs.Trace
 }
 
 // Session is one client's handle on a deployment: a simulated mobile
@@ -68,6 +84,7 @@ func (d *Deployment) Session(ctx context.Context, opts SessionOptions) (*Session
 	if seed == 0 {
 		seed = d.lossSeed
 	}
+	obsSessions.Inc()
 	return &Session{
 		d:      d,
 		opts:   opts,
@@ -95,6 +112,7 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 		if err != nil {
 			return nil, nil, err
 		}
+		rx.SetTrace(s.opts.Trace)
 		t = broadcast.NewFeedTuner(rx, rx.StartPos())
 		finish = func() { s.cursor = rx.Clock(); rx.Close() }
 	case d.mst != nil: // live, sharded
@@ -102,6 +120,7 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 		if err != nil {
 			return nil, nil, err
 		}
+		rx.SetTrace(s.opts.Trace)
 		t = broadcast.NewFeedTuner(rx, rx.StartPos())
 		finish = rx.Close
 	case d.st != nil: // live, single channel
@@ -114,6 +133,7 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 	default:
 		return nil, nil, fmt.Errorf("repro: deployment has no transport")
 	}
+	t.SetTrace(s.opts.Trace) // nil-safe: detached recorder is one branch
 	if ctx != nil {
 		t.Bind(ctx)
 	}
@@ -129,11 +149,15 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 // returned metrics accumulate across re-entries: the true end-to-end cost.
 func (s *Session) Query(ctx context.Context, src, dst graph.NodeID) (scheme.Result, error) {
 	q := scheme.QueryFor(s.d.g, src, dst)
+	obsSessionQueries.Inc()
+	obsSessionInflight.Inc()
+	defer obsSessionInflight.Dec()
 	const maxFreshFeeds = 4
 	for attempt := 0; ; attempt++ {
 		res, err := s.queryOnce(ctx, q)
 		if errors.Is(err, update.ErrStaleFeed) && attempt < maxFreshFeeds {
 			s.reent++
+			s.opts.Trace.Record(obs.EvReentry, 0, int64(attempt+1))
 			continue
 		}
 		return res, err

@@ -10,12 +10,22 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/precompute"
 	"repro/internal/scheme"
 	"repro/internal/spath"
 	"repro/internal/station"
 	"repro/internal/update"
 	"repro/internal/workload"
+)
+
+// Staleness instruments (DESIGN.md §10): the churn-specific counters.
+// stale/queries is the stale-query ratio EXPERIMENTS.md reads during churn.
+var (
+	obsStaleQueries = obs.GetCounter("air_fleet_stale_queries_total",
+		"answered queries that straddled a cycle swap and re-entered")
+	obsReentries = obs.GetCounter("air_fleet_reentries_total",
+		"query attempts discarded because the version window mixed")
 )
 
 // ChurnOptions tunes an update-churn run: a fleet answering queries while a
@@ -237,7 +247,12 @@ func RunChurn(ctx context.Context, st *station.Station, mgr *update.Manager, w *
 			client := mgr.Server().NewClient()
 			rng := rand.New(rand.NewSource(opts.Fleet.Seed + int64(id)*7919))
 			for qi := range work {
+				obsQueries.Inc()
+				obsInflight.Inc()
+				qStart := time.Now()
 				runOneChurn(st, client, id, qi, w.Queries[qi], opts.Fleet.Loss, rng.Int63(), agg, churn, refs)
+				obsQuerySecs.Observe(time.Since(qStart).Seconds())
+				obsInflight.Dec()
 			}
 		}(c)
 	}
@@ -282,6 +297,7 @@ func runOneChurn(st *station.Station, client scheme.Client, worker, qi int, q wo
 	}
 	defer sub.Close()
 	tuner := broadcast.NewFeedTuner(sub, sub.Start())
+	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(sub.Missed())) }()
 	res, attempts, err := update.Query(client, tuner, q.Query)
 	if err != nil {
 		agg.AddError(worker)
@@ -313,4 +329,8 @@ func runOneChurn(st *station.Station, client scheme.Client, worker, qi int, q wo
 		churn.cleanLatency.Add(float64(res.Metrics.LatencyPackets))
 	}
 	churn.mu.Unlock()
+	if attempts > 1 {
+		obsStaleQueries.Inc()
+		obsReentries.Add(int64(attempts - 1))
+	}
 }

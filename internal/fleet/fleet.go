@@ -23,9 +23,28 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/metrics"
 	"repro/internal/multichannel"
+	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/station"
 	"repro/internal/workload"
+)
+
+// Package-level instruments (DESIGN.md §10). Wall-clock only: the paper's
+// deterministic factors (tuning, latency, energy) stay in metrics.Agg.
+var (
+	obsQueries = obs.GetCounter("air_fleet_queries_total",
+		"queries issued by fleet workers")
+	obsErrors = obs.GetCounter("air_fleet_errors_total",
+		"fleet queries that failed, answered wrong, or never subscribed")
+	obsInflight = obs.GetGauge("air_fleet_inflight_sessions",
+		"fleet queries currently in flight")
+	obsQuerySecs = obs.GetHistogram("air_fleet_query_seconds",
+		"wall time per fleet query",
+		obs.ExpBuckets(0.0001, 4, 10))
+	obsLost = obs.GetCounter("air_fleet_lost_packets_total",
+		"corrupted receptions observed by fleet tuners (simulator loss + backpressure)")
+	obsMissed = obs.GetCounter("air_fleet_missed_packets_total",
+		"backpressure-dropped packets on fleet subscriptions (subset of lost)")
 )
 
 // DefaultPoolSize is the distinct-query pool a run draws from when
@@ -105,6 +124,14 @@ type Result struct {
 	// channel retunes per answered query.
 	Channels []ChannelStats
 	MeanHops float64
+
+	// LostPackets counts receptions that arrived corrupted across every
+	// query's tuner — injected simulator loss plus live backpressure drops.
+	// MissedPackets is the backpressure subset (a paced station dropped the
+	// packet because the subscriber's buffer was full), so
+	// LostPackets - MissedPackets is pure simulator loss.
+	LostPackets   int64
+	MissedPackets int64
 }
 
 // shard is one lock striped slice of the aggregator. Workers hash to
@@ -119,6 +146,8 @@ type shard struct {
 	energy  metrics.Series
 	queries int
 	errors  int
+	lost    int64
+	missed  int64
 
 	// Multi-channel accounting (sized on first AddMulti).
 	chanPkts   []int64
@@ -190,6 +219,24 @@ func (a *Aggregator) AddError(worker int) {
 	defer s.mu.Unlock()
 	s.queries++
 	s.errors++
+	obsErrors.Inc()
+}
+
+// AddAir folds one query's air-level loss accounting: lost is every
+// corrupted reception its tuner saw, missed the backpressure-dropped subset
+// its subscription reported. Recorded for answered and failed queries alike
+// — the packets were dropped either way.
+func (a *Aggregator) AddAir(worker int, lost, missed int64) {
+	if lost == 0 && missed == 0 {
+		return
+	}
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	s.lost += lost
+	s.missed += missed
+	s.mu.Unlock()
+	obsLost.Add(lost)
+	obsMissed.Add(missed)
 }
 
 // Summarize merges every shard into one Result (leaving run-level fields
@@ -215,6 +262,8 @@ func (a *Aggregator) Summarize() Result {
 		s := &a.shards[i]
 		r.Queries += s.queries
 		r.Errors += s.errors
+		r.LostPackets += s.lost
+		r.MissedPackets += s.missed
 		r.Agg.Merge(s.agg)
 		tuning.Merge(&s.tuning)
 		latency.Merge(&s.latency)
@@ -317,7 +366,12 @@ func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workloa
 			client := srv.NewClient()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
 			for q := range work {
+				obsQueries.Inc()
+				obsInflight.Inc()
+				qStart := time.Now()
 				one(client, id, q, rng.Int63(), agg)
+				obsQuerySecs.Observe(time.Since(qStart).Seconds())
+				obsInflight.Dec()
 			}
 		}(c)
 	}
@@ -350,6 +404,7 @@ func runOne(st *station.Station, client scheme.Client, worker int, q workload.Qu
 	}
 	defer sub.Close()
 	tuner := broadcast.NewFeedTuner(sub, sub.Start())
+	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(sub.Missed())) }()
 	res, err := client.Query(tuner, q.Query)
 	if err != nil {
 		agg.AddError(worker)
@@ -371,6 +426,7 @@ func runOneMulti(mst *multichannel.Station, client scheme.Client, worker int, q 
 	}
 	defer rx.Close()
 	tuner := broadcast.NewFeedTuner(rx, rx.StartPos())
+	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(rx.Missed())) }()
 	res, err := client.Query(tuner, q.Query)
 	if err != nil {
 		agg.AddError(worker)

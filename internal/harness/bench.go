@@ -141,6 +141,7 @@ func BenchFleetQPS(b *testing.B) {
 	}
 	defer mst.Stop()
 	qps := 0.0
+	var lost, missed int64
 	for i := 0; i < b.N; i++ {
 		res, err := fleet.RunMulti(context.Background(), mst, srv, w, fleet.Options{
 			Clients: 32, Queries: 64, Loss: 0.02, Seed: 2010,
@@ -152,8 +153,14 @@ func BenchFleetQPS(b *testing.B) {
 			b.Fatalf("%d fleet errors", res.Errors)
 		}
 		qps = res.QPS
+		lost, missed = res.LostPackets, res.MissedPackets
 	}
 	b.ReportMetric(qps, "queries/sec")
+	// Simulator loss vs backpressure loss, distinguishable per run:
+	// lost counts every corrupted reception, missed the station-dropped
+	// subset, so lost-missed is pure simulator loss.
+	b.ReportMetric(float64(lost), "lost-packets/run")
+	b.ReportMetric(float64(missed), "missed-packets/run")
 }
 
 // LatencyVsKRow is one cell of the latency-versus-channels sweep.

@@ -2,8 +2,21 @@ package multichannel
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
+)
+
+// Package-level instruments (DESIGN.md §10). The channel label is bounded
+// by the deployment's shard count K — a small closed set fixed at build.
+var (
+	obsHops = obs.GetCounter("air_channel_hops_total",
+		"channel retunes across all hopping radios")
+	obsDirReads = obs.GetCounter("air_dir_bootstraps_total",
+		"cold directory bootstraps completed")
+	obsDirPackets = obs.GetCounter("air_dir_bootstrap_packets_total",
+		"packets spent scanning for and assembling channel directories")
 )
 
 // Source is the physical layer under an Rx: K channels advancing on one
@@ -55,7 +68,14 @@ type Rx struct {
 	perChannel []int
 	hops       int
 	overhead   int
+
+	// trace, when set, records this radio's span events (flight recorder).
+	trace *obs.Trace
 }
+
+// SetTrace attaches a flight recorder; hops and directory bootstraps record
+// span events on it. Nil detaches.
+func (r *Rx) SetTrace(tr *obs.Trace) { r.trace = tr }
 
 // NewRx returns a radio over src tuned to startChannel at global tick
 // startTick. A nil dir selects a cold bootstrap on first use.
@@ -145,6 +165,9 @@ func (r *Rx) ensureDir() {
 	}
 	r.dir = d
 	r.startPos = startPos(d, r.cur, r.tick)
+	obsDirReads.Inc()
+	obsDirPackets.Add(int64(r.overhead))
+	r.trace.Record(obs.EvDirRead, int64(r.tick), int64(r.overhead))
 }
 
 // StartPos returns the logical position the radio starts at: the content on
@@ -170,6 +193,8 @@ func (r *Rx) At(abs int) (packet.Packet, bool) {
 		r.src.Hop(r.cur, c, t)
 		r.cur = c
 		r.hops++
+		obsHops.Inc()
+		r.trace.Record(obs.EvHop, int64(abs), int64(c))
 	}
 	p, ok := r.src.Receive(c, t)
 	r.perChannel[c]++
@@ -255,8 +280,29 @@ func (r *Rx) PerChannel() []int {
 	return out
 }
 
-// Close releases the radio's source (live subscriptions).
-func (r *Rx) Close() { r.src.Close() }
+// Missed returns how many packets a live source dropped on this radio's
+// subscriptions under backpressure (zero on replay sources).
+func (r *Rx) Missed() int {
+	if m, ok := r.src.(interface{ Missed() int }); ok {
+		return m.Missed()
+	}
+	return 0
+}
+
+// Close releases the radio's source (live subscriptions) and flushes its
+// per-channel airtime into the shared counters. Flushing here — not per
+// packet — keeps At() free of labeled-counter lookups; the channel label is
+// the shard index, bounded by the deployment's K.
+func (r *Rx) Close() {
+	for c, n := range r.perChannel {
+		if n > 0 {
+			obs.GetCounter("air_channel_packets_total",
+				"packets received per shard channel (bootstrap included)",
+				"channel", strconv.Itoa(c)).Add(int64(n))
+		}
+	}
+	r.src.Close()
+}
 
 // mod returns a in [0, m).
 func mod(a, m int) int {

@@ -151,6 +151,11 @@ func (m *Station) Swap(p2 *Plan) (<-chan int, error) {
 // K-channel broadcast spends K times the spectrum).
 func (m *Station) Rate() int { return m.stations[0].Rate() }
 
+// Subscribers returns the number of radios currently subscribed. Every Rx
+// holds one subscription on every shard, so shard 0's count is the radio
+// count.
+func (m *Station) Subscribers() int { return m.stations[0].Subscribers() }
+
 // Start puts every shard on the air under one context.
 func (m *Station) Start(ctx context.Context) error {
 	if m.group != nil {
@@ -234,6 +239,18 @@ func (s *liveSource) Hop(from, to, tick int) {
 // subscription so the station can batch delivery into its buffer.
 func (s *liveSource) Prefetch(channel, fromTick, n int) {
 	s.subs[channel].Prefetch(fromTick, n)
+}
+
+// Missed sums backpressure drops across the radio's shard subscriptions
+// (paced clock only; zero on a virtual clock).
+func (s *liveSource) Missed() int {
+	n := 0
+	for _, sub := range s.subs {
+		if sub != nil {
+			n += sub.Missed()
+		}
+	}
+	return n
 }
 
 func (s *liveSource) Close() {

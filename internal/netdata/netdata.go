@@ -11,9 +11,15 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/spath"
 )
+
+// obsPatchedArcs counts delta-protocol arc patches applied to client-side
+// partial networks (DESIGN.md §10).
+var obsPatchedArcs = obs.GetCounter("air_client_patched_arcs_total",
+	"arcs patched into client partial networks by the versioned-cycle delta protocol")
 
 // maxArcsPerRecord keeps a node record within packet.MaxRecord:
 // header (id u32 + x f32 + y f32 + flags u8 + count u8) is 14 bytes, each
@@ -122,6 +128,10 @@ func DecodeNode(data []byte) (NodeRecord, bool) {
 type Collector struct {
 	Net *spath.SubNetwork
 	Mem *metrics.Mem
+
+	// Trace, when set, records delta patch applications on the owning
+	// query's flight recorder (obs.EvPatchApply). Nil costs one branch.
+	Trace *obs.Trace
 
 	border []bool // indexed by node ID, grown alongside Net
 	poi    []bool
@@ -256,6 +266,10 @@ func (c *Collector) PatchArc(from, to graph.NodeID, w float64) bool {
 			arcs[i].Weight = w
 			patched = true
 		}
+	}
+	if patched {
+		obsPatchedArcs.Inc()
+		c.Trace.Record(obs.EvPatchApply, 0, 1)
 	}
 	return patched
 }

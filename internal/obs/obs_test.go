@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and
+// checks the total is exact (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestGaugeConcurrent checks paired Add(+1)/Add(-1) from many goroutines
+// nets to zero.
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "test gauge")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestHistogramConcurrent checks count, sum and bucket totals are exact
+// under concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test histogram", []float64{1, 10, 100})
+	const workers, per = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 200)) // spans all buckets incl. +Inf
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	wantSum := 0.0
+	for i := 0; i < per; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= workers
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+	var bucketTotal int64
+	for i := range h.counts {
+		bucketTotal += h.counts[i].Load()
+	}
+	if bucketTotal != workers*per {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+// TestRegistrationIdempotent checks the same (name, labels) returns the
+// same instrument, and different labels return different ones.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "channel", "0")
+	b := r.Counter("x_total", "x", "channel", "0")
+	c := r.Counter("x_total", "x", "channel", "1")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	h1 := r.Histogram("hh", "h", []float64{1, 2})
+	h2 := r.Histogram("hh", "h", []float64{5, 6, 7}) // bounds of first registration win
+	if h1 != h2 {
+		t.Fatal("histogram re-registration returned a distinct instrument")
+	}
+	if len(h2.bounds) != 2 {
+		t.Fatalf("re-registration replaced bounds: %v", h2.bounds)
+	}
+}
+
+// TestKindMismatchPanics pins that re-registering a name as another kind
+// is a loud programming error, not silent aliasing.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "m")
+}
+
+// TestExpositionGolden pins the exact Prometheus text rendering: families
+// sorted by name, HELP/TYPE once per family, labeled series sorted within
+// it, histograms with cumulative buckets, +Inf, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Counter("aa_packets_total", "per-channel packets", "channel", "1").Add(3)
+	r.Counter("aa_packets_total", "per-channel packets", "channel", "0").Add(2)
+	r.Gauge("mm_subscribers", "current subscribers").Set(5)
+	h := r.Histogram("mm_depth", "buffer depth", []float64{1, 4})
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_packets_total per-channel packets
+# TYPE aa_packets_total counter
+aa_packets_total{channel="0"} 2
+aa_packets_total{channel="1"} 3
+# HELP mm_depth buffer depth
+# TYPE mm_depth histogram
+mm_depth_bucket{le="1"} 1
+mm_depth_bucket{le="4"} 3
+mm_depth_bucket{le="+Inf"} 4
+mm_depth_sum 106
+mm_depth_count 4
+# HELP mm_subscribers current subscribers
+# TYPE mm_subscribers gauge
+mm_subscribers 5
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshot checks the programmatic view agrees with the instruments.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(11)
+	r.Gauge("g", "g").Set(-2)
+	h := r.Histogram("h", "h", []float64{10})
+	h.Observe(4)
+	h.Observe(8)
+	pts := r.Snapshot()
+	byName := map[string]Point{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	if p := byName["c_total"]; p.Value != 11 || p.Kind != "counter" {
+		t.Fatalf("counter point %+v", p)
+	}
+	if p := byName["g"]; p.Value != -2 || p.Kind != "gauge" {
+		t.Fatalf("gauge point %+v", p)
+	}
+	if p := byName["h"]; p.Value != 12 || p.Count != 2 || p.Kind != "histogram" {
+		t.Fatalf("histogram point %+v", p)
+	}
+}
+
+// TestInstrumentsZeroAlloc pins that the hot-path operations of every
+// instrument — and the trace recorder, enabled or disabled — allocate
+// nothing. The broadcast decode path runs these per packet; the repo's
+// AllocsPerRun=0 regression suite depends on this staying exact.
+func TestInstrumentsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", ExpBuckets(1, 4, 6))
+	tr := NewTrace(64)
+	var nilTr *Trace
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Add(3)
+		h.Observe(17)
+		tr.Record(EvRetry, 12345, 0)
+		nilTr.Record(EvRetry, 12345, 0)
+	}); n != 0 {
+		t.Fatalf("instrument hot path allocates %v per run, want 0", n)
+	}
+}
+
+// TestTraceRing checks ring-wrap retention, Seq monotonicity and
+// nil-safety of the flight recorder.
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(EvHop, int64(i), int64(i%3))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Pos != int64(6+i) {
+			t.Fatalf("event %d = %+v, want seq/pos %d", i, e, wantSeq)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("Reset did not clear the trace")
+	}
+
+	var nilTr *Trace
+	nilTr.Record(EvTuneIn, 0, 0) // must not panic
+	if nilTr.Len() != 0 || nilTr.Events() != nil {
+		t.Fatal("nil trace is not inert")
+	}
+	empty := NewTrace(0)
+	empty.Record(EvTuneIn, 1, 1)
+	if empty.Len() != 0 {
+		t.Fatal("zero-capacity trace recorded")
+	}
+}
+
+// TestEventKindStrings keeps the rendered schema names stable (they appear
+// in DESIGN.md §10 and in statusz output).
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvTuneIn: "tune-in", EvDirRead: "dir-read", EvHop: "hop",
+		EvRetry: "retry", EvReentry: "reentry", EvPatchApply: "patch-apply",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -16,7 +16,29 @@
 // single build (singleflight via sync.Once) instead of duplicating it.
 package servercache
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Package-level instruments (DESIGN.md §10).
+var (
+	obsHits = obs.GetCounter("air_servercache_hits_total",
+		"Gets served from an existing entry")
+	obsMisses = obs.GetCounter("air_servercache_misses_total",
+		"Gets that created the entry (build ran once)")
+	obsEntries = obs.GetGauge("air_servercache_entries",
+		"entries currently cached")
+	obsBytes = obs.GetCounter("air_servercache_cycle_bytes_total",
+		"on-air bytes of cached cycles (best effort: builds whose value exposes a cycle)")
+	obsBuildSecs = obs.GetHistogram("air_servercache_build_seconds",
+		"wall time of cache-miss builds",
+		obs.ExpBuckets(0.001, 4, 8))
+)
 
 // Key identifies one built artifact. The string fields are canonical so
 // callers control exactly what "the same build" means.
@@ -50,10 +72,21 @@ var cache sync.Map // Key -> *entry
 // across all concurrent callers. A build error is cached too: the same key
 // deterministically produces the same error, so there is no point retrying.
 func Get[T any](key Key, build func() (T, error)) (T, error) {
-	e, _ := cache.LoadOrStore(key, &entry{})
+	e, loaded := cache.LoadOrStore(key, &entry{})
 	ent := e.(*entry)
+	if loaded {
+		obsHits.Inc()
+	} else {
+		obsMisses.Inc()
+		obsEntries.Inc()
+	}
 	ent.once.Do(func() {
+		started := time.Now()
 		ent.val, ent.err = build()
+		obsBuildSecs.Observe(time.Since(started).Seconds())
+		if ent.err == nil {
+			obsBytes.Add(cycleBytes(ent.val))
+		}
 	})
 	if ent.err != nil {
 		var zero T
@@ -69,7 +102,25 @@ func Len() int {
 	return n
 }
 
+// cycleBytes estimates the on-air footprint of a built value: cached
+// servers and cached cycles both expose one. Anything else (graphs, border
+// tables) reports zero — the metric tracks air bytes, not heap bytes.
+func cycleBytes(val any) int64 {
+	var c *broadcast.Cycle
+	switch v := val.(type) {
+	case *broadcast.Cycle:
+		c = v
+	case interface{ Cycle() *broadcast.Cycle }:
+		c = v.Cycle()
+	}
+	if c == nil {
+		return 0
+	}
+	return int64(c.Len()) * metrics.PacketBits / 8
+}
+
 // Flush drops every cached entry. Only tests need it.
 func Flush() {
 	cache.Range(func(k, _ any) bool { cache.Delete(k); return true })
+	obsEntries.Set(0)
 }

@@ -25,13 +25,32 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/broadcast"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
+)
+
+// Package-level instruments (DESIGN.md §10). Shared across all stations in
+// the process: one airserve daemon is one scrape target, and labels on a
+// per-station basis would be unbounded under churn tests.
+var (
+	obsPackets = obs.GetCounter("air_station_packets_total",
+		"packets transmitted (one per tick per station)")
+	obsDropped = obs.GetCounter("air_station_dropped_packets_total",
+		"packets dropped by a paced station because a subscriber buffer was full (backpressure)")
+	obsSubscribers = obs.GetGauge("air_station_subscribers",
+		"currently open subscriptions across all stations")
+	obsSwaps = obs.GetCounter("air_station_swaps_total",
+		"cycle swaps that reached the air")
+	obsBufDepth = obs.GetHistogram("air_station_sub_buffer_depth",
+		"sampled per-subscriber buffer occupancy in packets (every 256th delivery)",
+		obs.ExpBuckets(1, 4, 7))
 )
 
 // Config tunes a station. The zero value is a virtual-clock station with
@@ -240,6 +259,7 @@ func (s *Station) forceSwap(c *broadcast.Cycle) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cur.Store(newEpoch(c, s.pos, s.cur.Load(), s.minNeededLocked()))
+	obsSwaps.Inc()
 	return s.pos
 }
 
@@ -350,13 +370,22 @@ func (s *Station) step(ctx context.Context) int {
 		s.pending = nil
 		s.swapped <- pos // cap 1, one pending swap: never blocks
 		close(s.swapped)
+		obsSwaps.Inc()
 	}
 	subs := s.subList
 	s.mu.Unlock()
+	obsPackets.Inc()
 	for _, sub := range subs {
 		s.deliver(ctx, sub, pos, ep)
 	}
 	return len(subs)
+}
+
+// Subscribers returns the number of currently open subscriptions.
+func (s *Station) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subList)
 }
 
 // updateSubList rebuilds the copy-on-write subscriber snapshot; the caller
@@ -411,11 +440,22 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int, ep *epoch) {
 	} else {
 		t.Pkt = packet.Packet{Kind: p.Kind}
 	}
+	if pos&0xff == 0 {
+		obsBufDepth.Observe(float64(len(sub.ch)))
+	}
 	if s.cfg.BitsPerSecond > 0 {
 		select {
 		case sub.ch <- t:
 		default:
-			sub.missed.Add(1)
+			// Backpressure on a paced clock: real time does not wait, the
+			// packet is gone. Count it (the subscriber's feed reports it
+			// lost) and announce the first overrun per subscriber — a
+			// persistent one means the buffer or the client is undersized.
+			obsDropped.Inc()
+			if sub.missed.Add(1) == 1 {
+				log.Printf("station: subscriber buffer full at pos %d (depth %d); dropping (backpressure)",
+					pos, cap(sub.ch))
+			}
 		}
 		return
 	}
@@ -443,6 +483,7 @@ func (s *Station) closeSubs() {
 	for sub := range s.subs {
 		subs = append(subs, sub)
 		delete(s.subs, sub)
+		obsSubscribers.Dec()
 	}
 	s.updateSubList()
 	if s.pending != nil {
@@ -509,6 +550,7 @@ func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, err
 	sub.want.Store(int64(sub.start))
 	s.subs[sub] = struct{}{}
 	s.updateSubList()
+	obsSubscribers.Inc()
 	return sub, nil
 }
 
@@ -667,7 +709,12 @@ func (s *Sub) Close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		s.st.mu.Lock()
-		delete(s.st.subs, s)
+		// The gauge decrements only when the map entry is still ours:
+		// closeSubs may already have drained it on station shutdown.
+		if _, ok := s.st.subs[s]; ok {
+			delete(s.st.subs, s)
+			obsSubscribers.Dec()
+		}
 		s.st.updateSubList()
 		s.st.mu.Unlock()
 	})

@@ -34,14 +34,30 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/baseline/djair"
 	"repro/internal/broadcast"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/scheme"
 	"repro/internal/servercache"
+)
+
+// Package-level instruments (DESIGN.md §10).
+var (
+	obsRebuilds = obs.GetCounter("air_update_rebuilds_total",
+		"cycle rebuilds committed (Apply calls that produced a new version)")
+	obsRebuildSecs = obs.GetHistogram("air_update_rebuild_seconds",
+		"wall time of one Apply (rebuild + delta encode + trailer)",
+		obs.ExpBuckets(0.001, 4, 8))
+	obsDeltaArcs = obs.GetHistogram("air_update_delta_arcs",
+		"arcs patched per committed delta",
+		obs.ExpBuckets(1, 4, 8))
+	obsVersion = obs.GetGauge("air_update_version",
+		"cycle version most recently committed by any manager")
 )
 
 // Config tunes a Manager.
@@ -149,6 +165,7 @@ func (m *Manager) Delta() []packet.Packet {
 // cycle re-stamps and carries an empty patch — useful for forcing clients
 // through the swap path, and the identity the no-op fuzz corpus pins.
 func (m *Manager) Apply(ups []graph.WeightUpdate) (*Build, error) {
+	started := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(ups) > packet.MaxDeltaArcs {
@@ -180,6 +197,10 @@ func (m *Manager) Apply(ups []graph.WeightUpdate) (*Build, error) {
 	}
 	cyc.SetVersion(v2)
 	m.g, m.srv, m.version, m.cycle, m.delta, m.sig = g2, srv2, v2, cyc, delta, sig2
+	obsRebuilds.Inc()
+	obsRebuildSecs.Observe(time.Since(started).Seconds())
+	obsDeltaArcs.Observe(float64(len(ups)))
+	obsVersion.Set(int64(v2))
 	return &Build{
 		Version: v2,
 		Graph:   g2,

@@ -41,6 +41,7 @@ package repro
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/multichannel"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/precompute"
 	"repro/internal/scheme"
 	"repro/internal/spath"
@@ -172,6 +174,20 @@ type (
 	// UpdateMode picks the weight-change profile of the synthetic traffic
 	// feed (mixed, increase, decrease, no-op).
 	UpdateMode = update.Mode
+
+	// MetricPoint is one observability series' instantaneous value —
+	// what Deployment.Observe and airserve's /statusz snapshot.
+	MetricPoint = obs.Point
+	// QueryTrace is a per-query flight recorder: a fixed-capacity ring of
+	// span events (tune-in, directory read, channel hop, retry, version
+	// re-entry, patch apply) a session records when SessionOptions.Trace
+	// is set. Build one with NewQueryTrace.
+	QueryTrace = obs.Trace
+	// TraceEvent is one recorded span event of a QueryTrace.
+	TraceEvent = obs.Event
+	// DeployStatus is a deployment's operational snapshot (shape, cycle
+	// version on the air, live subscriber count) — one /statusz entry.
+	DeployStatus = deploy.Status
 )
 
 // Weight-change profiles for UpdateConfig.Mode and ChurnOptions.Mode.
@@ -231,6 +247,30 @@ func WithPOI(poi []bool) DeployOption { return deploy.WithPOI(poi) }
 // under the given canonical network name (e.g. "germany/0.05/42"):
 // deployments naming the same (network, method, params) share one build.
 func WithCache(network string) DeployOption { return deploy.WithCache(network) }
+
+// --- Observability (DESIGN.md §10): the process-wide metrics registry and
+// per-query flight recorder. One registry serves every deployment in the
+// process — airserve's admin listener exports it on /metrics, offline runs
+// read the same series via Observe. ---
+
+// Observe snapshots every registered observability series: station
+// broadcast and drop counters, cache traffic, fleet progress, update
+// rebuilds. Identical to what a live airserve -admin exports on /metrics.
+func Observe() []MetricPoint { return obs.Snapshot() }
+
+// WriteMetrics renders the observability registry in the Prometheus text
+// exposition format (version 0.0.4).
+func WriteMetrics(w io.Writer) error { return obs.WriteProm(w) }
+
+// MetricsHandler returns the /metrics HTTP handler a daemon mounts on its
+// admin listener (cmd/airserve does with -admin).
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// NewQueryTrace returns a flight recorder keeping the last capacity span
+// events; hand it to a session via SessionOptions.Trace and read it back
+// with Events after the query. Recording is allocation-free and does not
+// change any query metric.
+func NewQueryTrace(capacity int) *QueryTrace { return obs.NewTrace(capacity) }
 
 // --- Server-side building blocks (shared by both API generations). ---
 

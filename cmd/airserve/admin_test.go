@@ -297,6 +297,12 @@ func TestSoak(t *testing.T) {
 	if rep.Queries == 0 || rep.Errors > 0 {
 		t.Errorf("soak fleet: %d queries, %d errors", rep.Queries, rep.Errors)
 	}
+	// The report derives simulator loss as lost - missed, which is only
+	// sound because Missed counts the listened-for subset of drops.
+	if rep.MissedPackets > rep.LostPackets {
+		t.Errorf("missed %d > lost %d: backpressure accounting is not a subset of tuner loss",
+			rep.MissedPackets, rep.LostPackets)
+	}
 	if n := scrapes.Load(); n == 0 {
 		t.Error("background scraper never completed a scrape")
 	}

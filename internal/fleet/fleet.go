@@ -44,7 +44,7 @@ var (
 	obsLost = obs.GetCounter("air_fleet_lost_packets_total",
 		"corrupted receptions observed by fleet tuners (simulator loss + backpressure)")
 	obsMissed = obs.GetCounter("air_fleet_missed_packets_total",
-		"backpressure-dropped packets on fleet subscriptions (subset of lost)")
+		"backpressure drops served to fleet tuners as corrupted receptions (subset of lost)")
 )
 
 // DefaultPoolSize is the distinct-query pool a run draws from when
@@ -127,8 +127,10 @@ type Result struct {
 
 	// LostPackets counts receptions that arrived corrupted across every
 	// query's tuner — injected simulator loss plus live backpressure drops.
-	// MissedPackets is the backpressure subset (a paced station dropped the
-	// packet because the subscriber's buffer was full), so
+	// MissedPackets is the backpressure subset: packets a paced station
+	// dropped (subscriber buffer full) that the tuner then listened for and
+	// received as corrupted. Drops the tuner slept over are not counted, so
+	// MissedPackets <= LostPackets always holds and
 	// LostPackets - MissedPackets is pure simulator loss.
 	LostPackets   int64
 	MissedPackets int64

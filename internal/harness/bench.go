@@ -157,8 +157,9 @@ func BenchFleetQPS(b *testing.B) {
 	}
 	b.ReportMetric(qps, "queries/sec")
 	// Simulator loss vs backpressure loss, distinguishable per run:
-	// lost counts every corrupted reception, missed the station-dropped
-	// subset, so lost-missed is pure simulator loss.
+	// lost counts every corrupted reception, missed the subset caused by
+	// backpressure drops the tuner listened for, so lost-missed is pure
+	// simulator loss.
 	b.ReportMetric(float64(lost), "lost-packets/run")
 	b.ReportMetric(float64(missed), "missed-packets/run")
 }

@@ -241,8 +241,9 @@ func (s *liveSource) Prefetch(channel, fromTick, n int) {
 	s.subs[channel].Prefetch(fromTick, n)
 }
 
-// Missed sums backpressure drops across the radio's shard subscriptions
-// (paced clock only; zero on a virtual clock).
+// Missed sums the backpressure drops the radio's shard subscriptions
+// served to it as corrupted receptions (paced clock only; zero on a
+// virtual clock) — a subset of the tuner's lost count.
 func (s *liveSource) Missed() int {
 	n := 0
 	for _, sub := range s.subs {

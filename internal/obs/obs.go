@@ -192,7 +192,13 @@ func renderLabels(pairs []string) string {
 	return out
 }
 
-func (r *Registry) register(name, help string, kind Kind, labels []string) *metric {
+// register returns the metric for (name, labels), creating it — instrument
+// included — under r.mu. Creating the instrument inside the lock is what
+// makes registration idempotent under concurrency: two goroutines racing on
+// the first registration of a series get the same instrument (not two, one
+// of which would silently swallow increments), and Snapshot/WriteProm can
+// never observe a metric in r.list whose instrument pointer is still nil.
+func (r *Registry) register(name, help string, kind Kind, bounds []float64, labels []string) *metric {
 	ls := renderLabels(labels)
 	key := name + "\x00" + ls
 	r.mu.Lock()
@@ -204,6 +210,14 @@ func (r *Registry) register(name, help string, kind Kind, labels []string) *metr
 		return m
 	}
 	m := &metric{name: name, help: help, kind: kind, labels: ls}
+	switch kind {
+	case KindCounter:
+		m.ctr = &Counter{}
+	case KindGauge:
+		m.gauge = &Gauge{}
+	case KindHistogram:
+		m.hist = newHistogram(bounds)
+	}
 	r.by[key] = m
 	r.list = append(r.list, m)
 	return m
@@ -212,31 +226,19 @@ func (r *Registry) register(name, help string, kind Kind, labels []string) *metr
 // Counter registers (or returns the existing) counter under name with the
 // given label pairs ("k", "v", ...).
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	m := r.register(name, help, KindCounter, labels)
-	if m.ctr == nil {
-		m.ctr = &Counter{}
-	}
-	return m.ctr
+	return r.register(name, help, KindCounter, nil, labels).ctr
 }
 
 // Gauge registers (or returns the existing) gauge.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	m := r.register(name, help, KindGauge, labels)
-	if m.gauge == nil {
-		m.gauge = &Gauge{}
-	}
-	return m.gauge
+	return r.register(name, help, KindGauge, nil, labels).gauge
 }
 
 // Histogram registers (or returns the existing) histogram with the given
 // upper bounds (+Inf implied). Bounds of an already-registered histogram
 // are kept; the new ones are ignored.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
-	m := r.register(name, help, KindHistogram, labels)
-	if m.hist == nil {
-		m.hist = newHistogram(bounds)
-	}
-	return m.hist
+	return r.register(name, help, KindHistogram, bounds, labels).hist
 }
 
 // Point is one series' instantaneous value: the programmatic counterpart
@@ -325,14 +327,19 @@ func writeSeries(w io.Writer, name, labels string, v float64) error {
 
 func writeHistogram(w io.Writer, m *metric) error {
 	h := m.hist
+	// Observe bumps the bucket before the total (counts[i].Add, then
+	// count.Add), so a concurrent scrape could see a finite bucket ahead of
+	// _count. Reading the total first and clamping each cumulative bucket to
+	// it keeps a single exposition internally monotonic: every finite le
+	// bucket <= +Inf == _count.
+	total := h.Count()
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if err := writeSeries(w, m.name+"_bucket", joinLabels(m.labels, `le="`+formatValue(b)+`"`), float64(cum)); err != nil {
+		if err := writeSeries(w, m.name+"_bucket", joinLabels(m.labels, `le="`+formatValue(b)+`"`), float64(min(cum, total))); err != nil {
 			return err
 		}
 	}
-	total := h.Count()
 	if err := writeSeries(w, m.name+"_bucket", joinLabels(m.labels, `le="+Inf"`), float64(total)); err != nil {
 		return err
 	}

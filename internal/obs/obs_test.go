@@ -112,6 +112,53 @@ func TestRegistrationIdempotent(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstRegistration races many goroutines on the FIRST
+// registration of the same series — the pattern Rx.Close() hits when
+// parallel fleet workers flush per-channel counters — while a scraper
+// renders the registry. Every goroutine must get the same instrument (no
+// increment may be lost to a privately allocated duplicate) and the
+// scraper must never observe a metric without its instrument. Run under
+// -race in CI.
+func TestConcurrentFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers, series = 16, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < series; s++ {
+				r.Counter("race_total", "first-registration race", "channel", string(rune('0'+s))).Inc()
+				r.Gauge("race_gauge", "gauge race", "channel", string(rune('0'+s))).Inc()
+				r.Histogram("race_hist", "hist race", []float64{1, 10}, "channel", string(rune('0'+s))).Observe(float64(w))
+			}
+		}(w)
+	}
+	// Concurrent scrapes: must never panic on a nil instrument.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WriteProm(&sb); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				return
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	for s := 0; s < series; s++ {
+		lbl := string(rune('0' + s))
+		if got := r.Counter("race_total", "first-registration race", "channel", lbl).Value(); got != workers {
+			t.Errorf("series %d: counter = %d, want %d (increments lost to a duplicate instrument)", s, got, workers)
+		}
+		if got := r.Histogram("race_hist", "hist race", []float64{1, 10}, "channel", lbl).Count(); got != workers {
+			t.Errorf("series %d: histogram count = %d, want %d", s, got, workers)
+		}
+	}
+}
+
 // TestKindMismatchPanics pins that re-registering a name as another kind
 // is a loud programming error, not silent aliasing.
 func TestKindMismatchPanics(t *testing.T) {

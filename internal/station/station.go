@@ -448,11 +448,15 @@ func (s *Station) deliver(ctx context.Context, sub *Sub, pos int, ep *epoch) {
 		case sub.ch <- t:
 		default:
 			// Backpressure on a paced clock: real time does not wait, the
-			// packet is gone. Count it (the subscriber's feed reports it
-			// lost) and announce the first overrun per subscriber — a
-			// persistent one means the buffer or the client is undersized.
+			// packet is gone. Count the drop event and announce the first
+			// overrun per subscriber — a persistent one means the buffer or
+			// the client is undersized. Sub.missed is NOT bumped here: the
+			// tuner may sleep over this position and never ask for it, and
+			// Missed() promises the listened-for subset (missedAt), so the
+			// drop only becomes a miss if the feed has to serve it as a
+			// corrupted reception.
 			obsDropped.Inc()
-			if sub.missed.Add(1) == 1 {
+			if sub.overruns.Add(1) == 1 {
 				log.Printf("station: subscriber buffer full at pos %d (depth %d); dropping (backpressure)",
 					pos, cap(sub.ch))
 			}
@@ -572,8 +576,15 @@ type Sub struct {
 
 	// want is the lowest absolute position the listener still needs; the
 	// station skips delivery below it, modelling a sleeping radio.
-	want   atomic.Int64
-	missed atomic.Int64
+	want atomic.Int64
+	// overruns counts station-side drop events (paced clock, buffer full)
+	// whether or not the listener ever asks for the dropped position; it
+	// gates the once-per-subscriber backpressure log line. missed counts the
+	// listened-for subset: positions missedAt had to serve as corrupted
+	// receptions, so Missed() is by construction a subset of the tuner's
+	// Lost() count.
+	overruns atomic.Int64
+	missed   atomic.Int64
 	// limit is the end (exclusive) of a declared contiguous listen window:
 	// an exact subscription's clock hold relaxes to it, letting the station
 	// buffer a whole span ahead instead of handing the clock back and forth
@@ -599,8 +610,11 @@ func (s *Sub) Start() int { return s.start }
 // so their cyclic arithmetic follows the air.
 func (s *Sub) Len() int { return s.st.cur.Load().cycle.Len() }
 
-// Missed returns how many packets the station dropped because this
-// subscriber's buffer was full (paced clock only).
+// Missed returns how many backpressure-dropped packets (paced clock,
+// buffer full) this subscription actually served to its listener as
+// corrupted receptions. Dropped positions the tuner slept over are not
+// counted, so Missed is always a subset of what the listener's tuner
+// reports as Lost — subtracting the two isolates injected simulator loss.
 func (s *Sub) Missed() int { return int(s.missed.Load()) }
 
 // At blocks until the transmission at absolute position abs has crossed the
@@ -644,10 +658,13 @@ func (s *Sub) At(abs int) (packet.Packet, bool) {
 }
 
 // missedAt serves a packet the subscriber was tuned in for but never got
-// buffered (already counted by the station when it dropped it): on the air
-// it is indistinguishable from a corrupted packet. The epoch chain keeps
-// the kind correct even when the miss straddles a cycle swap.
+// buffered (the station dropped it under backpressure): on the air it is
+// indistinguishable from a corrupted packet, and it is counted as a miss
+// here — not at the drop — so Missed() tallies exactly the drops the
+// listener experienced as losses. The epoch chain keeps the kind correct
+// even when the miss straddles a cycle swap.
 func (s *Sub) missedAt(abs int) (packet.Packet, bool) {
+	s.missed.Add(1)
 	ep := s.st.cur.Load().find(abs)
 	return packet.Packet{Kind: ep.cycle.Packets[abs%ep.cycle.Len()].Kind}, false
 }

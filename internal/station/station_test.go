@@ -300,6 +300,66 @@ func TestPacedClockRate(t *testing.T) {
 	}
 }
 
+// TestMissedSubsetOfLost pins the drop-accounting invariant the fleet
+// report subtracts on: Sub.Missed() counts exactly the backpressure drops
+// the listener experienced as corrupted receptions, never drops it slept
+// over. On a lossless paced subscription every corrupted reception IS a
+// backpressure miss, so missed must equal the listener's lost count — and
+// in particular can never exceed it, even though the station also drops
+// packets inside stretches the listener skips without listening.
+func TestMissedSubsetOfLost(t *testing.T) {
+	cycle := testCycle(64)
+	// ~125 µs per packet, a 2-packet buffer: any listener pause overruns it.
+	st := startStation(t, cycle, Config{BitsPerSecond: 8_192_000, Buffer: 2})
+	sub, err := st.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	lost := 0
+	pos := sub.Start()
+	listen := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, ok := sub.At(pos); !ok {
+				lost++
+			}
+			pos++
+		}
+	}
+	// Phase 1: pause (the station overruns the 2-packet buffer and drops),
+	// then keep listening consecutively — the dropped positions are asked
+	// for, served as corrupted receptions, and so count in both lost and
+	// Missed(). Pacing depends on the scheduler, so retry until at least
+	// one miss lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Missed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		listen(32)
+	}
+	if sub.Missed() == 0 {
+		t.Fatal("no backpressure miss after 5s of buffer overruns; invariant not exercised")
+	}
+	// Phase 2: pause again, but skip clear past the dropped stretch before
+	// listening — the radio was asleep, those drops never reach it, and
+	// they must not surface in Missed() (that is what would push missed
+	// past lost).
+	for round := 0; round < 5; round++ {
+		time.Sleep(2 * time.Millisecond)
+		pos += 2 * cycle.Len()
+		listen(8)
+	}
+	missed := sub.Missed()
+	if missed > lost {
+		t.Fatalf("Missed() = %d exceeds listener-observed lost %d (missed must be a subset of lost)", missed, lost)
+	}
+	if missed != lost {
+		t.Fatalf("lossless subscription: Missed() = %d, listener lost %d (every corrupted reception is a backpressure miss)", missed, lost)
+	}
+	if missed == 0 {
+		t.Fatal("scenario produced no backpressure misses; invariant not exercised")
+	}
+}
+
 // TestManyConcurrentSubscribers runs 120 concurrent lossy listeners on one
 // station under the race detector, each checking its private air against an
 // offline channel with the same seed.

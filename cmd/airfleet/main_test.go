@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// serveWire puts a small live NR deployment on a loopback UDP socket and
+// returns its address; cleanup closes broadcaster and deployment.
+func serveWire(t *testing.T, scale float64, seed int64) string {
+	t.Helper()
+	g, err := repro.GeneratePreset("germany", scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.Deploy(g,
+		repro.WithMethod(repro.NR),
+		repro.WithLive(repro.StationConfig{}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	b, err := d.ServeWire(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b.Addr().String()
+}
+
+// TestWorkerRun drives one in-process worker fleet over the wire and checks
+// the report renders.
+func TestWorkerRun(t *testing.T) {
+	addr := serveWire(t, 0.02, 7)
+	var out bytes.Buffer
+	res, err := run(context.Background(), config{
+		connect: addr,
+		method:  "NR", preset: "germany", scale: 0.02, seed: 7,
+		clients: 6, queries: 24, loss: 0.02,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if res.Queries != 24 || res.Errors != 0 {
+		t.Fatalf("worker fleet: %d queries, %d errors\n%s", res.Queries, res.Errors, out.String())
+	}
+	for _, want := range []string{"udp://", "throughput", "tuning time", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestWorkerValidation pins the fail-fast paths: a missing -connect and a
+// mismatched build are errors, not hangs.
+func TestWorkerValidation(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(context.Background(), config{method: "NR", preset: "germany", scale: 0.02}, &out); err == nil {
+		t.Error("missing -connect did not error")
+	}
+	addr := serveWire(t, 0.02, 7)
+	// Different build seed -> different graph -> the probe must refuse.
+	if _, err := run(context.Background(), config{
+		connect: addr, method: "NR", preset: "germany", scale: 0.02, seed: 8,
+		clients: 2, queries: 4,
+	}, &out); err == nil {
+		t.Error("mismatched build seed deployed against the broadcaster")
+	}
+}
+
+// TestControllerFanout is the full multi-process path: the real airfleet
+// binary re-executing itself as two workers against one broadcaster, the
+// controller merging their JSON results. Skipped under -short (it builds
+// the binary).
+func TestControllerFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the airfleet binary")
+	}
+	exe := filepath.Join(t.TempDir(), "airfleet")
+	if out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building airfleet: %v\n%s", err, out)
+	}
+	addr := serveWire(t, 0.02, 7)
+	cmd := exec.Command(exe,
+		"-connect", addr, "-workers", "2",
+		"-method", "NR", "-preset", "germany", "-scale", "0.02", "-seed", "7",
+		"-clients", "4", "-queries", "16", "-loss", "0.02",
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("airfleet -workers 2: %v\n%s", err, out)
+	}
+	s := string(out)
+	// 2 workers x 4 clients, 16 queries each -> 8 clients, 32 queries merged.
+	for _, want := range []string{"fanout   2 worker processes", "8 clients, 32 queries", "throughput"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("controller output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "errors)") {
+		t.Errorf("merged run reports errors:\n%s", s)
+	}
+}

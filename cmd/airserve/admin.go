@@ -77,15 +77,19 @@ func (a *adminServer) Addr() string { return a.lis.Addr().String() }
 
 // Shutdown drains the listener (in-flight scrapes finish, up to the grace
 // period) and logs the final counter totals, so a SIGINT'd run still leaves
-// its broadcast/drop accounting in the log.
-func (a *adminServer) Shutdown(grace time.Duration) {
+// its broadcast/drop accounting in the log. A non-nil error means the drain
+// timed out and open connections were cut.
+func (a *adminServer) Shutdown(grace time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
-	if err := a.srv.Shutdown(ctx); err != nil {
+	err := a.srv.Shutdown(ctx)
+	if err != nil {
 		a.srv.Close()
+		err = fmt.Errorf("admin drain timed out after %v, connections cut: %w", grace, err)
 	}
 	<-a.done
 	logFinalTotals()
+	return err
 }
 
 // logFinalTotals writes the headline counters to the log: the numbers an

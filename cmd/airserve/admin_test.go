@@ -176,7 +176,9 @@ func TestAdminShutdownNoLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 	scrape(t, "http://"+admin.Addr()+"/healthz")
-	admin.Shutdown(2 * time.Second)
+	if err := admin.Shutdown(2 * time.Second); err != nil {
+		t.Errorf("clean shutdown returned %v", err)
+	}
 
 	if _, err := http.Get("http://" + admin.Addr() + "/healthz"); err == nil {
 		t.Error("admin listener still accepting after Shutdown")

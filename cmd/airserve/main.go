@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,10 +52,13 @@ type config struct {
 	updateEvery time.Duration
 
 	// admin binds the HTTP admin listener (/metrics, /statusz, /healthz,
-	// /debug/pprof/*) on the given address; "" disables it. linger keeps
-	// the station on the air (and the admin listener serving) after the
-	// fleet completes, until SIGINT/SIGTERM.
+	// /debug/pprof/*) on the given address; "" disables it. listen puts
+	// the broadcast itself on a UDP socket (internal/wire) so remote
+	// sessions (repro.WithRemote, airfleet -connect) can tune in; ""
+	// keeps it in-process. linger keeps the station on the air (and both
+	// listeners serving) after the fleet completes, until SIGINT/SIGTERM.
 	admin  string
+	listen string
 	linger bool
 }
 
@@ -96,8 +100,21 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 		if err != nil {
 			return zero, err
 		}
-		defer admin.Shutdown(5 * time.Second)
+		defer func() {
+			if err := admin.Shutdown(5 * time.Second); err != nil {
+				log.Printf("airserve: admin drain: %v", err)
+			}
+		}()
 		fmt.Fprintf(out, "admin    http://%s  (/metrics /statusz /healthz /debug/pprof/)\n", admin.Addr())
+	}
+
+	if cfg.listen != "" {
+		b, err := d.ServeWire(ctx, cfg.listen)
+		if err != nil {
+			return zero, err
+		}
+		defer b.Close()
+		fmt.Fprintf(out, "wire     udp://%s  (remote sessions: repro.WithRemote, airfleet -connect)\n", b.Addr())
 	}
 
 	clock := "virtual clock (max speed)"
@@ -113,6 +130,14 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 		fmt.Fprintf(out, ", %d update batches every %v", cfg.updates, cfg.updateEvery)
 	}
 	fmt.Fprintln(out)
+
+	if cfg.listen != "" && cfg.clients == 0 {
+		// Serve-only: no local fleet, the station stays on the air for
+		// remote tuners until the signal arrives.
+		fmt.Fprintln(out, "\nserve    no local fleet (-clients 0); Ctrl-C (SIGINT/SIGTERM) to shut down")
+		<-ctx.Done()
+		return zero, nil
+	}
 
 	rep, err := d.RunFleet(ctx, repro.FleetOptions{
 		Clients:  cfg.clients,
@@ -185,7 +210,7 @@ func main() {
 	flag.StringVar(&cfg.method, "method", "NR", "air-index method: DJ|NR|EB|LD|AF|SPQ|HiTi")
 	flag.StringVar(&cfg.preset, "preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
 	flag.Float64Var(&cfg.scale, "scale", 0.05, "network scale factor (1.0 = paper-sized)")
-	flag.IntVar(&cfg.clients, "clients", 100, "concurrent clients in the fleet")
+	flag.IntVar(&cfg.clients, "clients", 100, "concurrent clients in the fleet (0 with -listen = serve-only, no local fleet)")
 	flag.IntVar(&cfg.queries, "queries", 2000, "total queries across the fleet")
 	flag.IntVar(&cfg.pool, "pool", 0, "distinct workload queries (0 = cap at the paper's 400)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "optional wall-clock limit (e.g. 10s); 0 = run all queries")
@@ -197,11 +222,20 @@ func main() {
 	flag.IntVar(&cfg.updates, "updates", 0, "weight-update batches applied during the run (0 = static broadcast)")
 	flag.DurationVar(&cfg.updateEvery, "update-every", 50*time.Millisecond, "pause between update batches (with -updates)")
 	flag.StringVar(&cfg.admin, "admin", "", "HTTP admin listener address (/metrics /statusz /healthz /debug/pprof/); empty = disabled")
+	flag.StringVar(&cfg.listen, "listen", "", "UDP wire listener address (e.g. :7777) for remote sessions; empty = in-process only")
 	flag.BoolVar(&cfg.linger, "linger", false, "stay on the air after the fleet completes, until SIGINT/SIGTERM")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// The first signal cancels ctx and starts the graceful drain
+		// (fleet stop, station close, admin grace period). Unregistering
+		// the handler here restores the default disposition, so a second
+		// SIGINT/SIGTERM force-exits instead of hanging on the drain.
+		<-ctx.Done()
+		stop()
+	}()
 
 	if _, err := run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "airserve: %v\n", err)

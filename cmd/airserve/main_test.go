@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro"
 )
 
 // TestSmokeFleetRun runs a tiny end-to-end load test on the germany preset
@@ -110,6 +113,103 @@ func TestSmokeChurn(t *testing.T) {
 		channels: 2, updates: 1, updateEvery: time.Millisecond,
 	}, &out); err == nil {
 		t.Fatal("churn over -channels did not error")
+	}
+}
+
+// syncWriter is a bytes.Buffer safe to read while run writes to it from
+// another goroutine (the serve-only smoke test tails the output for the
+// bound wire address).
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncWriter) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSmokeListen runs airserve in serve-only mode (-listen, -clients 0)
+// and tunes a remote session to its UDP socket: the full
+// `airserve -listen` → repro.WithRemote path, end to end.
+func TestSmokeListen(t *testing.T) {
+	var out syncWriter
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := run(ctx, config{
+			method: "NR", preset: "germany", scale: 0.02, seed: 7,
+			listen: "127.0.0.1:0", clients: 0,
+		}, &out)
+		done <- err
+	}()
+
+	// Tail the output for the bound wire address.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "udp://"); i >= 0 {
+			addr = strings.Fields(s[i+len("udp://"):])[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		cancel()
+		<-done
+		t.Fatalf("no wire address in output:\n%s", out.String())
+	}
+
+	// A remote deployment of the same build tunes in over the socket.
+	g, err := repro.GeneratePreset("germany", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.Deploy(g, repro.WithMethod(repro.NR), repro.WithRemote(addr))
+	if err != nil {
+		t.Fatalf("remote deploy against airserve: %v", err)
+	}
+	sess, err := d.Session(ctx, repro.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		src := repro.NodeID((i*41 + 3) % g.NumNodes())
+		dst := repro.NodeID((i*67 + 29) % g.NumNodes())
+		if src == dst {
+			continue
+		}
+		res, err := sess.Query(ctx, src, dst)
+		if err != nil {
+			t.Fatalf("remote query %d: %v", i, err)
+		}
+		if res.Metrics.TuningPackets <= 0 || res.Metrics.LatencyPackets <= 0 {
+			t.Errorf("remote query %d metrics: %+v", i, res.Metrics)
+		}
+	}
+	d.Close()
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve-only run: %v\n%s", err, out.String())
+	}
+
+	// -listen refuses the shapes the wire cannot serve yet.
+	var buf bytes.Buffer
+	if _, err := run(context.Background(), config{
+		method: "NR", preset: "germany", scale: 0.02, clients: 2, queries: 4,
+		channels: 2, listen: "127.0.0.1:0",
+	}, &buf); err == nil {
+		t.Error("-listen over -channels did not error")
 	}
 }
 

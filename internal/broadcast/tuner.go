@@ -116,6 +116,17 @@ func (t *Tuner) Bind(ctx context.Context) {
 // cancelAbort is the panic payload a cancelled bound context raises.
 type cancelAbort struct{ err error }
 
+// AbortFeed aborts the listen loop in progress with err, using the same
+// typed-panic channel as a cancelled bound context: the query entry point's
+// RecoverCancel converts it into an ordinary error. A feed whose transport
+// is gone for good (a network receiver whose broadcaster stopped answering,
+// internal/wire) calls it from At — unlike the in-process feeds it cannot
+// degrade to deterministic replay, and returning endless corrupted
+// receptions would spin the client's recovery loops forever.
+func AbortFeed(err error) {
+	panic(cancelAbort{err})
+}
+
 // RecoverCancel converts a context-cancellation abort raised by a bound
 // Tuner into an ordinary error: deferred around a client.Query call, it
 // stores the context's error in *errp and swallows the panic. Any other

@@ -39,6 +39,7 @@ import (
 	"repro/internal/servercache"
 	"repro/internal/station"
 	"repro/internal/update"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -77,6 +78,7 @@ type config struct {
 	upd       *UpdateConfig
 	poi       []bool
 	cacheNet  string
+	remote    string
 
 	// prebuilt parts (the deprecated wrappers route through these).
 	srv scheme.Server
@@ -112,6 +114,17 @@ func WithLoss(rate float64, seed int64) Option {
 // and sessions transparently re-enter queries that straddle a cycle swap.
 // Requires WithLive on a single channel.
 func WithUpdates(cfg UpdateConfig) Option { return func(c *config) { c.upd = &cfg } }
+
+// WithRemote tunes the deployment's sessions to a remote wire broadcaster
+// (internal/wire) at addr (host:port) instead of a local transport: every
+// query dials a UDP subscription to the broadcast another process serves
+// with ServeWire (or airserve -listen), and Session.Query runs unchanged
+// over the socket. The scheme server is still built locally — the client
+// half needs it, and Deploy verifies at dial time that the remote cycle
+// matches the local build. WithLoss applies as receiver-side injected loss
+// on top of whatever the real wire loses. Excludes WithLive, WithUpdates
+// and WithChannels (the wire carries one static channel).
+func WithRemote(addr string) Option { return func(c *config) { c.remote = addr } }
 
 // WithPOI flags points of interest per node and equips sessions with
 // on-air spatial queries (Range, KNN) in network distance. The deployment
@@ -157,6 +170,11 @@ type Deployment struct {
 	mst  *multichannel.Station // live, K > 1
 	mgr  *update.Manager       // dynamic (WithUpdates)
 
+	// Remote transport (WithRemote): sessions dial this wire broadcaster
+	// per query; remoteRate is the rate it welcomed the probe at.
+	remote     string
+	remoteRate int
+
 	live  bool
 	stCfg station.Config
 }
@@ -201,11 +219,22 @@ func Deploy(g *graph.Graph, opts ...Option) (*Deployment, error) {
 			return nil, fmt.Errorf("repro: WithUpdates and WithPOI cannot combine yet (rebuilds drop the POI flags)")
 		}
 	}
+	if c.remote != "" {
+		if c.live {
+			return nil, fmt.Errorf("repro: WithRemote tunes to another process's station; drop WithLive")
+		}
+		if c.upd != nil {
+			return nil, fmt.Errorf("repro: WithRemote cannot follow cycle swaps yet; drop WithUpdates")
+		}
+		if c.channels > 1 {
+			return nil, fmt.Errorf("repro: the wire carries one channel; drop WithChannels")
+		}
+	}
 
 	d := &Deployment{
 		g: g, method: c.method, params: c.params, poi: c.poi,
 		channels: c.channels, loss: c.loss, lossSeed: c.lossSeed,
-		upd: c.upd, live: c.live, stCfg: c.stCfg,
+		upd: c.upd, live: c.live, stCfg: c.stCfg, remote: c.remote,
 	}
 	if err := d.buildServer(&c); err != nil {
 		return nil, err
@@ -249,6 +278,21 @@ func Deploy(g *graph.Graph, opts ...Option) (*Deployment, error) {
 			return nil, err
 		}
 		d.st = st
+	case c.remote != "":
+		// Probe the broadcaster once: fail fast when nobody is listening,
+		// and catch a build mismatch (different graph or parameters) before
+		// any session queries against the wrong cycle.
+		probe, err := wire.Dial(c.remote, wire.ReceiverOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("repro: remote broadcast: %w", err)
+		}
+		remoteLen, remoteVer := probe.Len(), probe.Version()
+		d.remoteRate = probe.Rate()
+		probe.Close()
+		if remoteLen != cycle.Len() || remoteVer != cycle.Version {
+			return nil, fmt.Errorf("repro: remote cycle is %d packets v%d, local %s build has %d v%d — different graph or build?",
+				remoteLen, remoteVer, d.srv.Name(), cycle.Len(), cycle.Version)
+		}
 	default:
 		if d.ch == nil {
 			ch, err := broadcast.NewChannel(cycle, c.loss, c.lossSeed)
@@ -369,6 +413,9 @@ func (d *Deployment) Len() int {
 		return d.st.Len()
 	case d.air != nil:
 		return d.plan.LogicalLen()
+	case d.remote != "":
+		// Verified equal to the remote cycle at Deploy time.
+		return d.srv.Cycle().Len()
 	default:
 		return d.ch.Len()
 	}
@@ -381,6 +428,8 @@ func (d *Deployment) Rate() int {
 		return d.mst.Rate()
 	case d.st != nil:
 		return d.st.Rate()
+	case d.remote != "":
+		return d.remoteRate // the rate the broadcaster welcomed us at
 	default:
 		return d.stCfg.BitsPerSecond // offline: cost at the configured (or reference) rate
 	}
@@ -435,6 +484,9 @@ type Status struct {
 	Version     uint32 `json:"version"`
 	Subscribers int    `json:"subscribers"`
 	Rate        int    `json:"rate_bps"`
+	// Remote is the wire broadcaster address sessions dial (WithRemote),
+	// empty for local transports.
+	Remote string `json:"remote,omitempty"`
 }
 
 // Status returns the deployment's operational snapshot: shape, the cycle
@@ -447,6 +499,7 @@ func (d *Deployment) Status() Status {
 		Dynamic:  d.mgr != nil,
 		CycleLen: d.Len(),
 		Rate:     d.Rate(),
+		Remote:   d.remote,
 	}
 	switch {
 	case d.mst != nil:
@@ -477,14 +530,17 @@ type RunReport struct {
 // fleet across a sharded broadcast, churn fleet (with the synthetic
 // update feed of WithUpdates) on a dynamic one.
 func (d *Deployment) RunFleet(ctx context.Context, opts fleet.Options) (RunReport, error) {
-	if !d.live {
-		return RunReport{}, fmt.Errorf("repro: RunFleet needs a live deployment (WithLive)")
+	if !d.live && d.remote == "" {
+		return RunReport{}, fmt.Errorf("repro: RunFleet needs a live deployment (WithLive) or a remote one (WithRemote)")
 	}
 	if err := d.Start(ctx); err != nil {
 		return RunReport{}, err
 	}
 	w := WorkloadFor(d.g, opts, d.Len())
 	switch {
+	case d.remote != "":
+		res, err := fleet.RunRemote(ctx, d.remote, d.srv, w, opts)
+		return RunReport{Result: res}, err
 	case d.mgr != nil:
 		cres, err := fleet.RunChurn(ctx, d.st, d.mgr, w, fleet.ChurnOptions{
 			Fleet:      opts,
@@ -505,6 +561,26 @@ func (d *Deployment) RunFleet(ctx context.Context, opts fleet.Options) (RunRepor
 		res, err := fleet.Run(ctx, d.st, d.srv, w, opts)
 		return RunReport{Result: res}, err
 	}
+}
+
+// ServeWire puts the deployment's live broadcast on a real UDP socket at
+// addr (e.g. ":9040", "127.0.0.1:0"): remote processes then deploy with
+// WithRemote against the returned broadcaster's address and their sessions
+// answer over the wire. Requires a live, static, single-channel deployment
+// (the wire carries one cycle version on one channel). ctx bounds the
+// station's air time as in Start; the caller closes the broadcaster — or
+// just closes the deployment, whose stopping station ends every stream.
+func (d *Deployment) ServeWire(ctx context.Context, addr string) (*wire.Broadcaster, error) {
+	if !d.live || d.st == nil {
+		return nil, fmt.Errorf("repro: ServeWire needs a live single-channel deployment (WithLive)")
+	}
+	if d.mgr != nil {
+		return nil, fmt.Errorf("repro: ServeWire cannot serve a dynamic deployment yet (receivers do not follow swaps)")
+	}
+	if err := d.Start(ctx); err != nil {
+		return nil, err
+	}
+	return wire.NewBroadcaster(addr, d.st, wire.BroadcasterOptions{})
 }
 
 // WorkloadFor generates the verified query pool a fleet run answers.

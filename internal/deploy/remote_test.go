@@ -1,0 +1,143 @@
+package deploy_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/fleet"
+	"repro/internal/graph"
+	"repro/internal/station"
+)
+
+// serveRemote puts one live deployment of g on a loopback wire and returns
+// the broadcaster address.
+func serveRemote(t *testing.T, d *deploy.Deployment) string {
+	t.Helper()
+	b, err := d.ServeWire(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeWire: %v", err)
+	}
+	t.Cleanup(b.Close)
+	return b.Addr().String()
+}
+
+// TestRemoteSessionMatchesLive pins the remote shape end to end: a session
+// deployed WithRemote against a loopback ServeWire answers with correct
+// distances through the unchanged Session.Query path, and the deployment
+// reports the remote shape in its Status.
+func TestRemoteSessionMatchesLive(t *testing.T) {
+	g := testGraph(t, 300, 420, 9)
+	server, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithLive(station.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	addr := serveRemote(t, server)
+
+	d, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithRemote(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	st := d.Status()
+	if st.Remote != addr || st.Live || st.Channels != 1 {
+		t.Fatalf("remote status %+v", st)
+	}
+	if d.Rate() != server.Rate() {
+		t.Errorf("remote rate %d, want the broadcaster's %d", d.Rate(), server.Rate())
+	}
+
+	sess, err := d.Session(context.Background(), deploy.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s := graph.NodeID((i*37 + 5) % g.NumNodes())
+		to := graph.NodeID((i*53 + 19) % g.NumNodes())
+		if s == to {
+			continue
+		}
+		res, err := sess.Query(context.Background(), s, to)
+		if err != nil {
+			t.Fatalf("remote query %d: %v", i, err)
+		}
+		wantDist(t, g, s, to, res.Dist)
+		if res.Metrics.TuningPackets <= 0 || res.Metrics.LatencyPackets <= 0 {
+			t.Errorf("remote query %d metrics: %+v", i, res.Metrics)
+		}
+	}
+}
+
+// TestRemoteRunFleet drives Deployment.RunFleet over the wire shape.
+func TestRemoteRunFleet(t *testing.T) {
+	g := testGraph(t, 250, 350, 5)
+	server, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithLive(station.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	addr := serveRemote(t, server)
+
+	d, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithRemote(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rep, err := d.RunFleet(context.Background(), fleet.Options{Clients: 8, Queries: 32, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 32 || rep.Errors != 0 {
+		t.Fatalf("remote fleet: %d queries, %d errors", rep.Queries, rep.Errors)
+	}
+	if rep.Agg.N != 32 {
+		t.Fatalf("aggregate holds %d, want 32", rep.Agg.N)
+	}
+}
+
+// TestRemoteDeployValidation pins the fail-fast paths: invalid shape
+// combinations and a dead broadcaster are Deploy-time errors, and a
+// mismatched build is caught by the probe.
+func TestRemoteDeployValidation(t *testing.T) {
+	g := testGraph(t, 200, 280, 3)
+	if _, err := deploy.Deploy(g, deploy.WithRemote("127.0.0.1:1"), deploy.WithLive(station.Config{})); err == nil {
+		t.Error("WithRemote + WithLive deployed")
+	}
+	if _, err := deploy.Deploy(g, deploy.WithRemote("127.0.0.1:1"), deploy.WithChannels(2)); err == nil {
+		t.Error("WithRemote + WithChannels deployed")
+	}
+	// Nobody listening: Deploy fails fast (dial probe) instead of first
+	// query hanging. Port 9 (discard) answers nothing.
+	start := time.Now()
+	if _, err := deploy.Deploy(g, deploy.WithRemote("127.0.0.1:9")); err == nil {
+		t.Error("Deploy against a dead port succeeded")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Errorf("dead-port probe took %v", time.Since(start))
+	}
+
+	// Build mismatch: the broadcaster serves EB, the local build is NR with
+	// a different cycle; the probe must refuse.
+	server, err := deploy.Deploy(g, deploy.WithMethod(deploy.EB), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithLive(station.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	b, err := server.ServeWire(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}),
+		deploy.WithRemote(b.Addr().String())); err == nil {
+		t.Error("mismatched remote build deployed")
+	}
+}

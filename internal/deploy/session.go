@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/update"
+	"repro/internal/wire"
 )
 
 // Session-level instruments (DESIGN.md §10).
@@ -130,6 +131,13 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 		}
 		t = broadcast.NewFeedTuner(sub, sub.Start())
 		finish = sub.Close
+	case d.remote != "": // remote wire broadcaster
+		rx, err := wire.Dial(d.remote, wire.ReceiverOptions{Loss: d.loss, Seed: s.rng.Int63()})
+		if err != nil {
+			return nil, nil, err
+		}
+		t = broadcast.NewFeedTuner(rx, rx.Start())
+		finish = rx.Close
 	default:
 		return nil, nil, fmt.Errorf("repro: deployment has no transport")
 	}

@@ -245,7 +245,7 @@ func RunChurn(ctx context.Context, st *station.Station, mgr *update.Manager, w *
 		go func(id int) {
 			defer wg.Done()
 			client := mgr.Server().NewClient()
-			rng := rand.New(rand.NewSource(opts.Fleet.Seed + int64(id)*7919))
+			rng := rand.New(rand.NewSource(clientSeed(opts.Fleet.Seed, id)))
 			for qi := range work {
 				obsQueries.Inc()
 				obsInflight.Inc()

@@ -312,6 +312,19 @@ func RunMulti(ctx context.Context, mst *multichannel.Station, srv scheme.Server,
 		})
 }
 
+// clientSeed derives client id's private RNG seed from the run seed with a
+// splitmix64-style finalizer over both words. The obvious additive form
+// (seed + id*constant) aliases across runs — client 1 of run S draws the
+// same loss pattern as client 0 of run S+constant — so nearby run seeds
+// share device behavior instead of being independent; the mix makes every
+// (seed, id) pair land in an unrelated part of the sequence space.
+func clientSeed(seed int64, id int) int64 {
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // drive is the shared fleet engine: the work queue, the worker pool, and
 // the run-level summary.
 func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workload, opts Options,
@@ -366,7 +379,7 @@ func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workloa
 			// across its queries, like a phone keeps its app open) and its
 			// own deterministic loss seed.
 			client := srv.NewClient()
-			rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+			rng := rand.New(rand.NewSource(clientSeed(opts.Seed, id)))
 			for q := range work {
 				obsQueries.Inc()
 				obsInflight.Inc()

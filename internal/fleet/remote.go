@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// RunRemote drives w's queries through a fleet of opts.Clients concurrent
+// clients of srv, each query tuning in over the wire: a UDP subscription to
+// the broadcaster at addr (internal/wire) instead of an in-process station
+// feed. The server must be the same build the broadcaster is serving — the
+// receiver checks the cycle length at dial time and the distance check
+// against the workload reference catches any deeper mismatch.
+//
+// Loss accounting per query: the tuner's lost count (wire gaps + injected
+// loss) lands in Result.LostPackets and the wire-gap subset in
+// Result.MissedPackets, mirroring the in-process lost/missed split — so
+// LostPackets - MissedPackets is pure injected loss, exactly as for Run.
+func RunRemote(ctx context.Context, addr string, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
+	// Probe the broadcaster once up front: fail fast when nobody is
+	// listening, learn the rate to cost energy at, and catch a client/server
+	// build mismatch before spawning the whole fleet.
+	probe, err := wire.Dial(addr, wire.ReceiverOptions{})
+	if err != nil {
+		return Result{}, fmt.Errorf("fleet: remote broadcast: %w", err)
+	}
+	rate := probe.Rate()
+	cycleLen := probe.Len()
+	probe.Close()
+	if want := srv.Cycle().Len(); cycleLen != want {
+		return Result{}, fmt.Errorf("fleet: remote cycle is %d packets, local %s build has %d — different graph or build?",
+			cycleLen, srv.Name(), want)
+	}
+	return drive(ctx, rate, srv, w, opts,
+		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOneRemote(addr, client, worker, q, opts.Loss, seed, agg)
+		})
+}
+
+// runOneRemote answers one query over a fresh wire subscription, like a
+// device waking up, dialing in, asking, and tuning out.
+func runOneRemote(addr string, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
+	rx, err := wire.Dial(addr, wire.ReceiverOptions{Loss: loss, Seed: seed})
+	if err != nil {
+		agg.AddError(worker)
+		return
+	}
+	defer rx.Close()
+	tuner := broadcast.NewFeedTuner(rx, rx.Start())
+	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(rx.WireLost())) }()
+	res, err := queryWire(client, tuner, q.Query)
+	if err != nil {
+		// Broadcaster gone mid-query (bye or silence) or a scheme error:
+		// either way the query got no answer.
+		agg.AddError(worker)
+		return
+	}
+	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {
+		agg.AddError(worker)
+		return
+	}
+	agg.Add(worker, res.Metrics)
+}
+
+// queryWire runs one query over a wire-backed tuner, recovering the
+// dead-wire abort (broadcast.AbortFeed) into an ordinary error.
+func queryWire(client scheme.Client, tuner *broadcast.Tuner, q scheme.Query) (res scheme.Result, err error) {
+	defer broadcast.RecoverCancel(&err)
+	return client.Query(tuner, q)
+}
+
+// MergeResults folds the Results of N concurrently-run fleets — typically
+// one per OS process, all tuned to the same broadcaster — into one
+// controller-level Result.
+//
+// Counts, the deterministic Agg factors, and loss totals merge exactly.
+// Elapsed is the longest part (the parts ran in parallel) and QPS is
+// recomputed as total correct answers over that window, so a straggler
+// process lowers throughput honestly. The tail summaries (Tuning, Latency,
+// Energy) cannot be reconstructed from per-part quantiles; they are merged
+// as N-weighted means of the parts' quantiles — an approximation that is
+// exact when the parts are identically distributed (the usual case: same
+// workload, same loss) and clearly labeled here so nobody mistakes the
+// merged p99 for a true global percentile. MeanEnergy and MeanHops merge
+// exactly (they are means).
+//
+// Per-channel stats are merged positionally; parts disagreeing on Method,
+// Rate, or channel count are a caller bug and return an error.
+func MergeResults(parts []Result) (Result, error) {
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("fleet: no results to merge")
+	}
+	out := Result{Method: parts[0].Method, Rate: parts[0].Rate, Pool: parts[0].Pool}
+	var wTuning, wLatency, wEnergy weightedQuantiles
+	var sumEnergy, sumHops float64
+	for i, p := range parts {
+		if p.Method != out.Method {
+			return Result{}, fmt.Errorf("fleet: merging %s result into %s run", p.Method, out.Method)
+		}
+		if p.Rate != out.Rate {
+			return Result{}, fmt.Errorf("fleet: merging results costed at %d and %d bits/s", p.Rate, out.Rate)
+		}
+		if len(p.Channels) != len(parts[0].Channels) {
+			return Result{}, fmt.Errorf("fleet: merging %d-channel result into %d-channel run",
+				len(p.Channels), len(parts[0].Channels))
+		}
+		out.Clients += p.Clients
+		out.Queries += p.Queries
+		out.Errors += p.Errors
+		out.LostPackets += p.LostPackets
+		out.MissedPackets += p.MissedPackets
+		out.Pool = max(out.Pool, p.Pool)
+		out.Elapsed = maxDuration(out.Elapsed, p.Elapsed)
+		out.Agg.Merge(p.Agg)
+		n := p.Agg.N
+		wTuning.add(p.Tuning, n)
+		wLatency.add(p.Latency, n)
+		wEnergy.add(p.Energy, n)
+		sumEnergy += p.MeanEnergy * float64(n)
+		sumHops += p.MeanHops * float64(n)
+		for c, ch := range p.Channels {
+			if i == 0 {
+				out.Channels = append(out.Channels, ChannelStats{Channel: ch.Channel})
+			}
+			out.Channels[c].Packets += ch.Packets
+			out.Channels[c].Queries += ch.Queries
+		}
+	}
+	out.Tuning = wTuning.quantiles()
+	out.Latency = wLatency.quantiles()
+	out.Energy = wEnergy.quantiles()
+	if out.Agg.N > 0 {
+		out.MeanEnergy = sumEnergy / float64(out.Agg.N)
+		out.MeanHops = sumHops / float64(out.Agg.N)
+	}
+	if out.Elapsed > 0 {
+		out.QPS = float64(out.Agg.N) / out.Elapsed.Seconds()
+		for c := range out.Channels {
+			out.Channels[c].QPS = float64(out.Channels[c].Queries) / out.Elapsed.Seconds()
+		}
+	}
+	return out, nil
+}
+
+// weightedQuantiles accumulates an N-weighted mean of per-part quantile
+// summaries (see MergeResults for why this is an approximation).
+type weightedQuantiles struct {
+	p50, p95, p99 float64
+	n             int
+}
+
+func (w *weightedQuantiles) add(q metrics.Quantiles, n int) {
+	w.p50 += q.P50 * float64(n)
+	w.p95 += q.P95 * float64(n)
+	w.p99 += q.P99 * float64(n)
+	w.n += n
+}
+
+func (w *weightedQuantiles) quantiles() (q metrics.Quantiles) {
+	if w.n == 0 {
+		return q
+	}
+	q.P50 = w.p50 / float64(w.n)
+	q.P95 = w.p95 / float64(w.n)
+	q.P99 = w.p99 / float64(w.n)
+	return q
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

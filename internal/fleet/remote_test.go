@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/metrics"
+	"repro/internal/station"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// TestClientSeedDerivation is the regression test for the additive seed
+// bug: with seed + id*7919, client 1 of run S drew the same loss pattern
+// as client 0 of run S+7919, so sweeping nearby run seeds re-ran the same
+// devices. The mixed derivation must break that aliasing and stay
+// collision-free across a seed x id grid.
+func TestClientSeedDerivation(t *testing.T) {
+	if clientSeed(1, 1) == clientSeed(1+7919, 0) {
+		t.Fatal("clientSeed still aliases additively: (S,1) == (S+7919,0)")
+	}
+	seen := make(map[int64][2]int64)
+	for _, seed := range []int64{0, 1, 2, 17, 7919, -1, 1 << 40} {
+		for id := 0; id < 256; id++ {
+			s := clientSeed(seed, id)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("clientSeed collision: (%d,%d) and (%d,%d) -> %d",
+					seed, id, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{seed, int64(id)}
+		}
+	}
+}
+
+// TestRunRemote drives a whole fleet over UDP loopback: every query dials
+// the wire broadcaster, answers correctly, and the lost/missed split holds
+// (wire gaps in MissedPackets, wire gaps + injected loss in LostPackets).
+func TestRunRemote(t *testing.T) {
+	g := conformance.Network(t, 250, 350, 7)
+	srv := nrServer(t, g)
+	st := startStation(t, srv, station.Config{})
+	b, err := wire.NewBroadcaster("127.0.0.1:0", st, wire.BroadcasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	w := workload.Generate(g, 30, st.Len(), 4)
+
+	res, err := RunRemote(context.Background(), b.Addr().String(), srv, w, Options{
+		Clients: 12, Queries: 60, Loss: 0.03, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 60 || res.Errors != 0 {
+		t.Fatalf("remote fleet: %d queries, %d errors", res.Queries, res.Errors)
+	}
+	if res.Agg.N != 60 {
+		t.Fatalf("aggregate holds %d queries, want 60", res.Agg.N)
+	}
+	if res.Rate != st.Rate() {
+		t.Errorf("rate %d, want the broadcaster's %d", res.Rate, st.Rate())
+	}
+	// Loopback at a virtual clock loses nothing on the wire, so every lost
+	// packet is injected loss: MissedPackets (the wire-gap slot) stays 0
+	// while LostPackets reflects the 3% draw.
+	if res.MissedPackets != 0 {
+		t.Errorf("loopback run reports %d wire-lost packets", res.MissedPackets)
+	}
+	if res.LostPackets == 0 {
+		t.Errorf("3%% injected loss produced no lost packets over %d queries", res.Queries)
+	}
+	if res.Tuning.P50 <= 0 || res.Latency.P50 <= 0 {
+		t.Errorf("remote tails empty: tuning %+v latency %+v", res.Tuning, res.Latency)
+	}
+}
+
+// TestRunRemoteNobodyListening fails fast with an error, not a hang or 60
+// per-query timeouts.
+func TestRunRemoteNobodyListening(t *testing.T) {
+	g := conformance.Network(t, 200, 280, 3)
+	srv := nrServer(t, g)
+	w := workload.Generate(g, 4, srv.Cycle().Len(), 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunRemote(context.Background(), "127.0.0.1:9", srv, w, Options{Clients: 2, Queries: 4})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("RunRemote against a dead port succeeded")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRemote against a dead port hung")
+	}
+}
+
+// TestMergeResults checks the controller-side fold: exact fields merge
+// exactly, QPS is recomputed over the longest part, and mismatched parts
+// are refused.
+func TestMergeResults(t *testing.T) {
+	part := func(n int, elapsed time.Duration, p50 float64) Result {
+		var r Result
+		r.Method = "NR"
+		r.Rate = 2_000_000
+		r.Clients = 4
+		r.Queries = n
+		r.Pool = 30
+		r.Agg = metrics.Agg{N: n, SumTuning: 100 * n, SumLatency: 900 * n}
+		r.Elapsed = elapsed
+		r.QPS = float64(n) / elapsed.Seconds()
+		r.Tuning = metrics.Quantiles{P50: p50, P95: p50 * 2, P99: p50 * 3}
+		r.LostPackets = int64(n)
+		r.MissedPackets = int64(n / 2)
+		r.MeanEnergy = 0.5
+		return r
+	}
+	a := part(30, 2*time.Second, 100)
+	b := part(60, 3*time.Second, 130)
+	out, err := MergeResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Queries != 90 || out.Clients != 8 || out.Agg.N != 90 {
+		t.Fatalf("merged counts: %+v", out)
+	}
+	if out.LostPackets != 90 || out.MissedPackets != 45 {
+		t.Errorf("merged loss %d/%d", out.LostPackets, out.MissedPackets)
+	}
+	if out.Elapsed != 3*time.Second {
+		t.Errorf("merged elapsed %v, want the longest part", out.Elapsed)
+	}
+	if want := 90.0 / 3.0; out.QPS != want {
+		t.Errorf("merged QPS %v, want %v (total over longest window)", out.QPS, want)
+	}
+	// N-weighted quantile approximation: (30*100 + 60*130) / 90 = 120.
+	if out.Tuning.P50 != 120 {
+		t.Errorf("merged tuning p50 %v, want 120", out.Tuning.P50)
+	}
+	if out.MeanEnergy != 0.5 {
+		t.Errorf("merged mean energy %v", out.MeanEnergy)
+	}
+
+	bad := part(10, time.Second, 50)
+	bad.Method = "EB"
+	if _, err := MergeResults([]Result{a, bad}); err == nil {
+		t.Error("merging results of different methods succeeded")
+	}
+	bad = part(10, time.Second, 50)
+	bad.Rate = 1
+	if _, err := MergeResults([]Result{a, bad}); err == nil {
+		t.Error("merging results of different rates succeeded")
+	}
+	if _, err := MergeResults(nil); err == nil {
+		t.Error("merging nothing succeeded")
+	}
+}

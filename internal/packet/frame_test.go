@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testPacket() Packet {
+	var e Enc
+	e.U32(0xdeadbeef)
+	e.F32(3.25)
+	payload := AppendRecord(nil, TagNode, e.Bytes())
+	p := Packet{Kind: KindData, NextIndex: 17, Version: 3, Payload: make([]byte, PayloadSize)}
+	copy(p.Payload, payload)
+	return p
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	p := testPacket()
+	b := AppendFrame(nil, 123456789, 4321, p)
+	if len(b) != MaxFrameSize {
+		t.Fatalf("frame of %d bytes, want MaxFrameSize=%d", len(b), MaxFrameSize)
+	}
+	f, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pos != 123456789 || f.CycleLen != 4321 {
+		t.Fatalf("decoded pos=%d cycleLen=%d", f.Pos, f.CycleLen)
+	}
+	if f.Pkt.Kind != p.Kind || f.Pkt.NextIndex != p.NextIndex || f.Pkt.Version != p.Version {
+		t.Fatalf("decoded header %v, want %v", f.Pkt, p)
+	}
+	if !bytes.Equal(f.Pkt.Payload, p.Payload) {
+		t.Fatal("payload mismatch after round trip")
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	b := AppendFrame(nil, 7, 100, testPacket())
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeFrame(b[:cut]); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestFrameRejectsBitFlips(t *testing.T) {
+	b := AppendFrame(nil, 7, 100, testPacket())
+	for i := range b {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), b...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeFrame(mut); !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("bit flip at byte %d bit %d decoded without error", i, bit)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsTrailingGarbage(t *testing.T) {
+	b := AppendFrame(nil, 7, 100, testPacket())
+	if _, err := DecodeFrame(append(b, 0)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatal("trailing byte decoded without error")
+	}
+}
+
+func TestEnvelopeTypes(t *testing.T) {
+	b := AppendEnvelope(nil, 0x10, []byte("hello"))
+	ftype, body, err := OpenEnvelope(b)
+	if err != nil || ftype != 0x10 || string(body) != "hello" {
+		t.Fatalf("ftype=%d body=%q err=%v", ftype, body, err)
+	}
+	// A control frame is not a data frame.
+	if _, err := DecodeFrame(b); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatal("control frame decoded as data")
+	}
+}
+
+// FuzzFrame pins the frame decoder against hostile datagrams: it must never
+// panic, and any frame it accepts must re-encode to the exact input bytes
+// (so acceptance implies integrity). Seed corpus entries cover a valid
+// frame, truncations, and bit flips; crashers found by fuzzing are committed
+// under testdata/fuzz.
+func FuzzFrame(f *testing.F) {
+	valid := AppendFrame(nil, 424242, 997, testPacket())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:envelopeHeader])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	short := AppendEnvelope(nil, FrameData, []byte{1, 2, 3}) // data frame, body too short
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("frame error outside ErrCorruptFrame: %v", err)
+			}
+			return
+		}
+		re := AppendFrame(nil, fr.Pos, fr.CycleLen, fr.Pkt)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted frame does not round-trip: %x != %x", re, b)
+		}
+	})
+}

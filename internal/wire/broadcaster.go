@@ -1,0 +1,422 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/station"
+)
+
+// Package-level instruments (DESIGN.md §10).
+var (
+	obsSent = obs.GetCounter("air_wire_datagrams_sent_total",
+		"framed broadcast packets written to the socket")
+	obsHellos = obs.GetCounter("air_wire_hellos_total",
+		"handshakes accepted by wire broadcasters")
+	obsRemotes = obs.GetGauge("air_wire_remotes",
+		"remote receivers currently subscribed over the wire")
+	obsExpired = obs.GetCounter("air_wire_expired_remotes_total",
+		"remote receivers dropped for idling past the timeout")
+	obsRecv = obs.GetCounter("air_wire_datagrams_received_total",
+		"datagrams received by wire receivers")
+	obsCorrupt = obs.GetCounter("air_wire_corrupt_frames_total",
+		"received datagrams rejected by the frame integrity check")
+	obsGaps = obs.GetCounter("air_wire_gap_packets_total",
+		"positions a receiver served as lost because the wire skipped past them")
+)
+
+// BroadcasterOptions tune a wire broadcaster. The zero value is a
+// production transport: no corruption hook, 30s idle expiry.
+type BroadcasterOptions struct {
+	// IdleTimeout drops a remote that has sent no hello/want this long: a
+	// receiver that vanished without a bye must not hold its subscription
+	// (and, through backpressure, the station) forever. Default 30s.
+	IdleTimeout time.Duration
+	// Corrupt, when set, intercepts every outgoing data frame: tests use it
+	// to flip bits (the receiver must reject the frame by CRC and account
+	// the position as lost) or return nil to drop the datagram outright.
+	// The callback may mutate and return frame in place.
+	Corrupt func(pos uint64, frame []byte) []byte
+}
+
+// Broadcaster drains a live station onto a UDP socket: every remote
+// receiver that completes the hello/welcome handshake gets its own station
+// subscription and a pump goroutine streaming framed packets from its
+// subscribe position, paced by the receiver's want/limit credit. One
+// Broadcaster serves any number of remotes; the station's own clock (and
+// its lossless virtual-clock backpressure or paced-clock drop semantics)
+// stays the single source of air truth.
+type Broadcaster struct {
+	st   *station.Station
+	opts BroadcasterOptions
+	conn *net.UDPConn
+
+	cancel  context.CancelFunc
+	ctx     context.Context
+	wg      sync.WaitGroup
+	started time.Time
+
+	mu      sync.Mutex
+	remotes map[string]*remote
+	closed  bool
+}
+
+// remote is one receiver's server-side state.
+type remote struct {
+	addr *net.UDPAddr
+	sub  *station.Sub
+	// want is the lowest position the receiver still needs; limit the
+	// exclusive credit bound it granted. Both only ever advance.
+	want  atomic.Int64
+	limit atomic.Int64
+	// credit wakes a pump parked on exhausted credit.
+	credit chan struct{}
+	// lastSeen is the monotonic time (ns since broadcaster start) of the
+	// remote's last control frame; the janitor expires silent remotes.
+	lastSeen  atomic.Int64
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewBroadcaster binds addr (e.g. ":9040", "127.0.0.1:0") and starts
+// serving the station's broadcast to remote receivers. The station must be
+// on the air (remotes subscribe at hello time). Close releases the socket
+// and every remote subscription.
+func NewBroadcaster(addr string, st *station.Station, opts BroadcasterOptions) (*Broadcaster, error) {
+	if st == nil {
+		return nil, fmt.Errorf("wire: nil station")
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = 30 * time.Second
+	}
+	// Refuse up front a cycle whose kind schedule cannot be welcomed,
+	// rather than silently ignoring every hello later.
+	if _, err := welcomeFor(st, 0); err != nil {
+		return nil, err
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	// Control frames from a whole fleet of remotes funnel into this one
+	// socket; ask for room so a want burst is not dropped (best effort —
+	// a lost want is re-sent by the receiver's silence timeout anyway).
+	conn.SetReadBuffer(1 << 20)
+	b := &Broadcaster{
+		st:      st,
+		opts:    opts,
+		conn:    conn,
+		remotes: make(map[string]*remote),
+		started: time.Now(),
+	}
+	b.ctx, b.cancel = context.WithCancel(context.Background())
+	b.wg.Add(2)
+	go b.readLoop()
+	go b.janitor()
+	return b, nil
+}
+
+// welcomeFor assembles the handshake reply for a subscription starting at
+// start: the cycle geometry and the RLE kind schedule the receiver serves
+// wire losses from.
+func welcomeFor(st *station.Station, start int) ([]byte, error) {
+	cyc := st.Cycle()
+	kinds := make([]packet.Kind, cyc.Len())
+	for i := range kinds {
+		kinds[i] = cyc.Packets[i].Kind
+	}
+	return appendWelcome(nil, welcome{
+		Start:    uint64(start),
+		CycleLen: uint32(cyc.Len()),
+		Version:  cyc.Version,
+		Rate:     uint32(st.Rate()),
+		Kinds:    kinds,
+	})
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (b *Broadcaster) Addr() net.Addr { return b.conn.LocalAddr() }
+
+// Remotes returns the number of currently subscribed remote receivers.
+func (b *Broadcaster) Remotes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.remotes)
+}
+
+// Close stops serving: every remote gets a best-effort bye, every pump
+// exits and releases its station subscription, and the socket closes.
+// Safe to call more than once.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	remotes := make([]*remote, 0, len(b.remotes))
+	for _, r := range b.remotes {
+		remotes = append(remotes, r)
+	}
+	b.mu.Unlock()
+
+	bye := appendBye(nil)
+	for _, r := range remotes {
+		b.conn.WriteToUDP(bye, r.addr)
+		r.shut()
+	}
+	b.cancel()
+	// Closing the socket unblocks the read loop; pump writes after this
+	// point fail harmlessly (they check the error before counting).
+	b.conn.Close()
+	b.wg.Wait()
+}
+
+// readLoop is the control plane: one goroutine owns every inbound datagram
+// (hello, want, bye) and mutates remote credit; pumps only read it.
+func (b *Broadcaster) readLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, raddr, err := b.conn.ReadFromUDP(buf)
+		if err != nil {
+			if b.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient (e.g. ICMP-induced) read error
+		}
+		ftype, body, err := packet.OpenEnvelope(buf[:n])
+		if err != nil {
+			obsCorrupt.Inc()
+			continue
+		}
+		key := raddr.String()
+		switch ftype {
+		case frameHello:
+			window, err := parseHello(body)
+			if err != nil {
+				continue
+			}
+			b.hello(key, raddr, int64(window))
+		case frameWant:
+			pos, limit, err := parseWant(body)
+			if err != nil {
+				continue
+			}
+			b.mu.Lock()
+			r := b.remotes[key]
+			b.mu.Unlock()
+			if r != nil {
+				r.touch(b.started)
+				r.advance(int64(pos), int64(limit))
+			}
+		case frameBye:
+			b.mu.Lock()
+			r := b.remotes[key]
+			b.mu.Unlock()
+			if r != nil {
+				r.shut()
+			}
+		}
+	}
+}
+
+// hello subscribes a new remote (or re-welcomes a known one whose welcome
+// datagram was lost) and answers with the stream geometry.
+func (b *Broadcaster) hello(key string, raddr *net.UDPAddr, window int64) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if r := b.remotes[key]; r != nil {
+		b.mu.Unlock()
+		r.touch(b.started)
+		if w, err := welcomeFor(b.st, r.sub.Start()); err == nil {
+			b.conn.WriteToUDP(w, raddr)
+		}
+		return
+	}
+	b.mu.Unlock()
+
+	// Subscribe outside the lock (the station takes its own); a hello
+	// while the station is off the air gets no welcome — the receiver's
+	// dial retry reports it as nobody answering.
+	sub, err := b.st.Subscribe(0, 0)
+	if err != nil {
+		return
+	}
+	w, err := welcomeFor(b.st, sub.Start())
+	if err != nil {
+		sub.Close()
+		return
+	}
+	r := &remote{
+		addr:   raddr,
+		sub:    sub,
+		credit: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	r.want.Store(int64(sub.Start()))
+	r.limit.Store(int64(sub.Start()) + window)
+	r.touch(b.started)
+
+	b.mu.Lock()
+	if b.closed || b.remotes[key] != nil {
+		b.mu.Unlock()
+		sub.Close()
+		return
+	}
+	b.remotes[key] = r
+	b.mu.Unlock()
+	obsHellos.Inc()
+	obsRemotes.Inc()
+
+	// Welcome before the first data datagram: on an ordered path the
+	// receiver then always completes its handshake before the stream
+	// starts (a reordering network can still overtake it, in which case
+	// the overtaken positions surface as ordinary wire gaps).
+	b.conn.WriteToUDP(w, raddr)
+	b.wg.Add(1)
+	go b.pump(key, r)
+}
+
+// touch stamps the remote's liveness clock.
+func (r *remote) touch(epoch time.Time) { r.lastSeen.Store(int64(time.Since(epoch))) }
+
+// advance folds one credit update; positions only move forward.
+func (r *remote) advance(pos, limit int64) {
+	for {
+		w := r.want.Load()
+		if pos <= w || r.want.CompareAndSwap(w, pos) {
+			break
+		}
+	}
+	for {
+		l := r.limit.Load()
+		if limit <= l || r.limit.CompareAndSwap(l, limit) {
+			break
+		}
+	}
+	select {
+	case r.credit <- struct{}{}:
+	default:
+	}
+}
+
+// shut releases the remote; the pump notices via done and unsubscribes.
+func (r *remote) shut() { r.closeOnce.Do(func() { close(r.done) }) }
+
+// pump streams the remote's subscription onto the socket: one framed
+// datagram per position, sequential from the subscribe position, skipping
+// ahead when the receiver's want jumps (the remote radio slept) and
+// pausing whenever credit runs out.
+func (b *Broadcaster) pump(key string, r *remote) {
+	defer b.wg.Done()
+	defer b.forget(key, r)
+	defer r.sub.Close()
+
+	cycleLen := uint32(b.st.Len())
+	buf := make([]byte, 0, packet.MaxFrameSize)
+	pos := r.sub.Start()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-b.ctx.Done():
+			return
+		default:
+		}
+		// Credit gate: stream only positions the receiver asked for
+		// (want <= pos < limit). While the pump waits for credit the
+		// subscription stays live, exactly like an in-process subscriber
+		// between At calls: its buffer fills and the virtual clock's
+		// lossless backpressure holds the station, so the remote misses
+		// nothing (on a paced clock real time does not wait and the
+		// overrun surfaces as losses, like any slow radio). A remote that
+		// stops granting credit without a bye is expired by the janitor,
+		// which bounds how long it can hold the air.
+		for {
+			if w := r.want.Load(); int64(pos) < w {
+				pos = int(w)
+			}
+			if int64(pos) < r.limit.Load() {
+				break
+			}
+			select {
+			case <-r.credit:
+			case <-r.done:
+				return
+			case <-b.ctx.Done():
+				return
+			}
+		}
+		p, ok := r.sub.At(pos)
+		if ok {
+			frame := packet.AppendFrame(buf[:0], uint64(pos), cycleLen, p)
+			if b.opts.Corrupt != nil {
+				frame = b.opts.Corrupt(uint64(pos), frame)
+			}
+			if frame != nil {
+				if _, err := b.conn.WriteToUDP(frame, r.addr); err == nil {
+					obsSent.Inc()
+				}
+			}
+		}
+		// A position the subscription itself lost (paced-clock backpressure
+		// drop) is not sent: the receiver sees the wire skip past it and
+		// serves it as a lost reception, same as any dropped datagram.
+		pos++
+	}
+}
+
+// forget removes the remote from the table once its pump has exited.
+func (b *Broadcaster) forget(key string, r *remote) {
+	r.shut()
+	b.mu.Lock()
+	if b.remotes[key] == r {
+		delete(b.remotes, key)
+	}
+	b.mu.Unlock()
+	obsRemotes.Dec()
+}
+
+// janitor expires remotes that stopped sending control traffic without a
+// bye: their subscriptions must not pin the station's epoch history (or,
+// parked forever, its subscriber table).
+func (b *Broadcaster) janitor() {
+	defer b.wg.Done()
+	tick := time.NewTicker(b.opts.IdleTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		cutoff := int64(time.Since(b.started)) - int64(b.opts.IdleTimeout)
+		b.mu.Lock()
+		var expired []*remote
+		for _, r := range b.remotes {
+			if r.lastSeen.Load() < cutoff {
+				expired = append(expired, r)
+			}
+		}
+		b.mu.Unlock()
+		for _, r := range expired {
+			obsExpired.Inc()
+			r.shut()
+		}
+	}
+}

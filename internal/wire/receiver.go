@@ -1,0 +1,361 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/packet"
+)
+
+// ReceiverOptions tune one wire subscription. The zero value is a lossless
+// (no injected loss) receiver with a 256-packet credit window and a 2s
+// silence timeout.
+type ReceiverOptions struct {
+	// Loss is the injected deterministic packet-loss rate in [0,1), drawn
+	// with broadcast.Lost over (Seed, position) at serve time — the same
+	// draw as the simulator, on top of whatever the real wire loses.
+	Loss float64
+	// Seed derives the injected loss pattern.
+	Seed int64
+	// Window is the credit window in packets: how far ahead of the current
+	// read position the broadcaster may stream. Default 256 — deep enough
+	// that an attentive receiver never stalls the stream, shallow enough
+	// that the in-flight bytes sit comfortably in a default socket buffer.
+	Window int
+	// Timeout bounds one silent wait for the next datagram; on expiry the
+	// receiver re-sends its credit (the previous want datagram may itself
+	// have been lost) and, after Retries consecutive expiries, declares the
+	// wire dead. Default 2s.
+	Timeout time.Duration
+	// Retries is the number of consecutive timeouts tolerated before the
+	// feed aborts the query via broadcast.AbortFeed. Default 4.
+	Retries int
+}
+
+// Receiver is a remote subscription to a wire broadcast: a broadcast.Feed
+// (and Clocked and Prefetcher) over a connected UDP socket, so the
+// ordinary Tuner — and every scheme client above it — runs on a remote
+// broadcast exactly as on an in-process one. The receiver owns its socket
+// reads: like station.Sub, it is single-goroutine on the client side,
+// while the broadcaster side is concurrency-safe.
+//
+// Loss accounting mirrors the in-process feeds: a position the wire
+// skipped past (datagram dropped by the network, rejected by CRC, or
+// overtaken by reordering) is served as a corrupted reception carrying the
+// correct packet kind from the welcome's kind schedule, counted in
+// WireLost and — through the tuner that listened for it — in Tuner.Lost.
+// Injected loss is applied at serve time on intact positions, keeping the
+// received frame's kind, so a loopback receiver is bit-identical to an
+// offline replay with equal (start, loss, seed).
+type Receiver struct {
+	conn *net.UDPConn
+	opts ReceiverOptions
+
+	start    int
+	cycleLen int
+	version  uint32
+	rate     int
+	kinds    []packet.Kind
+
+	limit int // exclusive credit bound granted so far
+	clock int // next global tick: everything below is served or slept over
+
+	pending    packet.Packet
+	pendingPos int
+	hasPending bool
+
+	corrupted int
+	wireLost  int
+
+	readBuf []byte
+	sendBuf []byte
+	closed  bool
+}
+
+// Dial subscribes to the wire broadcaster at addr (host:port) and performs
+// the hello/welcome handshake. The returned receiver tunes in at Start(),
+// the absolute position of the first packet its subscription covers; wrap
+// it in a tuner with broadcast.NewFeedTuner(rx, rx.Start()) and Close it
+// when the query is done.
+func Dial(addr string, opts ReceiverOptions) (*Receiver, error) {
+	if opts.Loss < 0 || opts.Loss >= 1 {
+		return nil, fmt.Errorf("wire: loss rate %v outside [0,1)", opts.Loss)
+	}
+	if opts.Window <= 0 {
+		opts.Window = 256
+	}
+	if opts.Window < 16 {
+		opts.Window = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 4
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	// Ask the kernel for room to hold a full credit window of datagrams.
+	// The default socket buffer fits the default window with no headroom
+	// (each ~155-byte frame is charged its skb truesize, ~832 bytes, and
+	// 256 of those exactly exhaust a 212992-byte rcvbuf), so a burst after
+	// a credit refill would tip it over and drop a datagram. Best effort:
+	// the kernel clamps the request to rmem_max, and any remaining shortfall
+	// surfaces honestly as wire loss, never as a wrong answer.
+	conn.SetReadBuffer(readBufferFor(opts.Window))
+	r := &Receiver{
+		conn:    conn,
+		opts:    opts,
+		readBuf: make([]byte, 2048),
+	}
+	if err := r.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// readBufferFor sizes the socket receive buffer for a credit window of w
+// in-flight datagrams: the kernel accounts each frame at its skb truesize
+// (~832 bytes for our ~155-byte frames), and a refill burst arrives while
+// up to half the previous window is still queued, so size for 2x the
+// window at a conservative 4KB per datagram, with a 1MB floor.
+func readBufferFor(w int) int {
+	n := 2 * w * 4096
+	if n < 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// handshake sends hello and waits for the welcome, retrying on silence.
+func (r *Receiver) handshake() error {
+	hello := appendHello(nil, uint32(r.opts.Window))
+	for attempt := 0; attempt < r.opts.Retries; attempt++ {
+		if _, err := r.conn.Write(hello); err != nil {
+			return fmt.Errorf("wire: hello: %w", err)
+		}
+		deadline := time.Now().Add(r.opts.Timeout)
+		for {
+			r.conn.SetReadDeadline(deadline)
+			n, err := r.conn.Read(r.readBuf)
+			if err != nil {
+				break // timeout (or ICMP refusal): re-hello
+			}
+			ftype, body, err := packet.OpenEnvelope(r.readBuf[:n])
+			if err != nil {
+				r.corrupted++
+				obsCorrupt.Inc()
+				continue
+			}
+			if ftype != frameWelcome {
+				// A data frame that overtook the welcome on a reordering
+				// network; discarding it surfaces the position as an
+				// ordinary wire gap once the stream is up.
+				continue
+			}
+			w, err := parseWelcome(body)
+			if err != nil {
+				continue
+			}
+			r.start = int(w.Start)
+			r.cycleLen = int(w.CycleLen)
+			r.version = w.Version
+			r.rate = int(w.Rate)
+			r.kinds = w.Kinds
+			r.clock = r.start
+			r.limit = r.start + r.opts.Window // granted in the hello
+			return nil
+		}
+	}
+	return fmt.Errorf("wire: no broadcaster answering at %v", r.conn.RemoteAddr())
+}
+
+// Start returns the tune-in position: the first absolute position this
+// subscription is guaranteed to cover.
+func (r *Receiver) Start() int { return r.start }
+
+// Len returns the cycle length in packets (broadcast.Feed). Wire
+// deployments serve a static cycle, so the length learned at handshake
+// holds for the subscription's lifetime.
+func (r *Receiver) Len() int { return r.cycleLen }
+
+// Version returns the cycle version the broadcaster welcomed us onto.
+func (r *Receiver) Version() uint32 { return r.version }
+
+// Rate returns the bit rate queries over this subscription are costed at.
+func (r *Receiver) Rate() int { return r.rate }
+
+// Clock returns the next global tick (broadcast.Clocked): every tick so
+// far has been served or slept over. On a single wire channel the global
+// clock is the position stream itself, so tuner latency over a Receiver
+// equals the plain-feed accounting packet for packet.
+func (r *Receiver) Clock() int { return r.clock }
+
+// TuneIn returns the tick the subscription began at (latency zero point).
+func (r *Receiver) TuneIn() int { return r.start }
+
+// Corrupted returns how many received datagrams failed the frame
+// integrity check (bad magic, truncation, CRC mismatch) and were dropped.
+func (r *Receiver) Corrupted() int { return r.corrupted }
+
+// WireLost returns how many positions this receiver served as lost
+// because the wire skipped past them — dropped, corrupted or reordered
+// datagrams, as experienced by the listener. A subset of what the tuner
+// on top reports as Lost (which adds the injected-loss draw), so
+// Lost - WireLost isolates injected simulator loss, mirroring the
+// Missed/Lost split of the in-process station.
+func (r *Receiver) WireLost() int { return r.wireLost }
+
+// Prefetch declares an upcoming contiguous listen (broadcast.Prefetcher):
+// the receiver grants the broadcaster credit for the whole span up front,
+// so a long sequential read never stalls on mid-span credit refresh.
+func (r *Receiver) Prefetch(abs, n int) {
+	if r.closed {
+		return
+	}
+	if lim := abs + n + r.opts.Window/2; lim > r.limit {
+		r.sendWant(abs, lim)
+	}
+}
+
+// At blocks until the wire has moved past absolute position abs and
+// returns its packet (broadcast.Feed). Frames below abs were slept over
+// and are discarded; a frame beyond abs means the wire lost abs, which is
+// served as a corrupted reception with the correct kind. If the
+// broadcaster says bye or falls silent past the retry budget the feed
+// aborts the query via broadcast.AbortFeed — a dead wire, unlike a
+// stopped in-process station, has no cycle to degrade to.
+func (r *Receiver) At(abs int) (packet.Packet, bool) {
+	if r.closed {
+		broadcast.AbortFeed(fmt.Errorf("wire: receiver used after Close"))
+	}
+	// Extend credit before any blocking read: the broadcaster streams only
+	// what we have asked for, and asking early (half a window before the
+	// bound) keeps the stream ahead of the reads.
+	if abs+r.opts.Window/2 >= r.limit {
+		r.sendWant(abs, abs+r.opts.Window)
+	}
+	if r.hasPending {
+		switch {
+		case r.pendingPos == abs:
+			r.hasPending = false
+			return r.serve(abs, r.pending)
+		case r.pendingPos > abs:
+			return r.gap(abs)
+		default:
+			r.hasPending = false
+		}
+	}
+	timeouts := 0
+	for {
+		r.conn.SetReadDeadline(time.Now().Add(r.opts.Timeout))
+		n, err := r.conn.Read(r.readBuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				timeouts++
+				if timeouts < r.opts.Retries {
+					// The want (or the whole stream since it) may have been
+					// lost; re-assert the credit and listen again.
+					r.sendWant(abs, abs+r.opts.Window)
+					continue
+				}
+			}
+			broadcast.AbortFeed(fmt.Errorf("wire: broadcast from %v went silent at position %d: %w",
+				r.conn.RemoteAddr(), abs, err))
+		}
+		obsRecv.Inc()
+		ftype, _, err := packet.OpenEnvelope(r.readBuf[:n])
+		if err != nil {
+			r.corrupted++
+			obsCorrupt.Inc()
+			continue
+		}
+		switch ftype {
+		case packet.FrameData:
+		case frameWelcome:
+			continue // duplicate handshake reply
+		case frameBye:
+			broadcast.AbortFeed(fmt.Errorf("wire: broadcaster %v closed the stream at position %d",
+				r.conn.RemoteAddr(), abs))
+		default:
+			continue
+		}
+		f, err := packet.DecodeFrame(r.readBuf[:n])
+		if err != nil {
+			r.corrupted++
+			obsCorrupt.Inc()
+			continue
+		}
+		timeouts = 0
+		switch pos := int(f.Pos); {
+		case pos < abs:
+			// Slept over, or a duplicate; the radio was off for it.
+		case pos == abs:
+			return r.serve(abs, clonePacket(f.Pkt))
+		default:
+			r.pending, r.pendingPos, r.hasPending = clonePacket(f.Pkt), pos, true
+			return r.gap(abs)
+		}
+	}
+}
+
+// serve returns the received packet at abs, applying the injected-loss
+// draw exactly as the simulator does (the kind survives, the payload does
+// not).
+func (r *Receiver) serve(abs int, p packet.Packet) (packet.Packet, bool) {
+	r.clock = abs + 1
+	if broadcast.Lost(uint64(r.opts.Seed), abs, r.opts.Loss) {
+		return packet.Packet{Kind: p.Kind}, false
+	}
+	return p, true
+}
+
+// gap serves a position the wire lost as a corrupted reception with the
+// correct kind from the welcome schedule.
+func (r *Receiver) gap(abs int) (packet.Packet, bool) {
+	r.clock = abs + 1
+	r.wireLost++
+	obsGaps.Inc()
+	return packet.Packet{Kind: r.kinds[abs%r.cycleLen]}, false
+}
+
+// clonePacket copies a decoded frame's packet out of the read buffer: the
+// client may hold payload views across receptions (the in-process feeds
+// hand out immutable cycle slices), so a served payload must not alias a
+// buffer the next datagram overwrites.
+func clonePacket(p packet.Packet) packet.Packet {
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p
+}
+
+// sendWant grants the broadcaster credit to stream [pos, limit).
+func (r *Receiver) sendWant(pos, limit int) {
+	r.sendBuf = appendWant(r.sendBuf[:0], uint64(pos), uint64(limit))
+	if _, err := r.conn.Write(r.sendBuf); err == nil {
+		if limit > r.limit {
+			r.limit = limit
+		}
+	}
+}
+
+// Close tunes out: a best-effort bye releases the broadcaster's
+// subscription immediately (the idle timeout would reclaim it anyway) and
+// the socket closes. Safe to call more than once.
+func (r *Receiver) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.sendBuf = appendBye(r.sendBuf[:0])
+	r.conn.Write(r.sendBuf)
+	r.conn.Close()
+}

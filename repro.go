@@ -57,6 +57,7 @@ import (
 	"repro/internal/spath"
 	"repro/internal/station"
 	"repro/internal/update"
+	"repro/internal/wire"
 )
 
 // Method names an air-index scheme.
@@ -133,6 +134,22 @@ type (
 	// Subscription is one listener's live view of a station's air; it is a
 	// Feed, so NewFeedTuner(sub, sub.Start()) runs any client on it.
 	Subscription = station.Sub
+	// WireBroadcaster drains a live station onto a UDP socket, framing
+	// every packet (magic, length, CRC32-C) so remote receivers detect
+	// truncation and corruption. Serve one from a live deployment with
+	// Deployment.ServeWire.
+	WireBroadcaster = wire.Broadcaster
+	// WireBroadcasterOptions tune a broadcaster (idle-remote expiry, and a
+	// test-only frame corruption hook).
+	WireBroadcasterOptions = wire.BroadcasterOptions
+	// WireReceiver is a UDP subscription to a WireBroadcaster: a Feed, so
+	// NewFeedTuner(rx, rx.Start()) runs any client on it. Datagrams the
+	// network drops or corrupts surface as lost packets (WireLost,
+	// Corrupted), never as wrong data.
+	WireReceiver = wire.Receiver
+	// WireReceiverOptions tune a receiver dial: injected loss on top of
+	// real network loss, credit window, timeouts.
+	WireReceiverOptions = wire.ReceiverOptions
 	// FleetOptions tunes a concurrent load run (Deployment.RunFleet).
 	FleetOptions = fleet.Options
 	// FleetResult aggregates a load run: means, p50/p95/p99 tails and
@@ -204,9 +221,9 @@ const (
 // server (WithMethod/WithParams, through the shared build cache when
 // WithCache names the network), sharding (WithChannels), the live
 // station(s) (WithLive), deterministic packet loss (WithLoss), dynamic
-// updates (WithUpdates) and on-air spatial queries (WithPOI). A live
-// deployment goes on the air on Start (or lazily on first Session or
-// RunFleet); Close takes it off.
+// updates (WithUpdates), on-air spatial queries (WithPOI) and remote
+// tuning over UDP (WithRemote). A live deployment goes on the air on
+// Start (or lazily on first Session or RunFleet); Close takes it off.
 func Deploy(g *Graph, opts ...DeployOption) (*Deployment, error) { return deploy.Deploy(g, opts...) }
 
 // WithMethod picks the air-index scheme (default NR).
@@ -247,6 +264,24 @@ func WithPOI(poi []bool) DeployOption { return deploy.WithPOI(poi) }
 // under the given canonical network name (e.g. "germany/0.05/42"):
 // deployments naming the same (network, method, params) share one build.
 func WithCache(network string) DeployOption { return deploy.WithCache(network) }
+
+// MergeFleetResults folds the results of N concurrently-run fleets —
+// typically one per OS process, all tuned to the same wire broadcaster
+// (cmd/airfleet) — into one controller-level result. Counts, deterministic
+// aggregates and loss totals merge exactly; Elapsed is the longest part and
+// QPS is recomputed over it; the p50/p95/p99 tails are N-weighted means of
+// the parts' quantiles (exact when the parts are identically distributed).
+// Parts disagreeing on method, bit rate or channel count are refused.
+func MergeFleetResults(parts []FleetResult) (FleetResult, error) { return fleet.MergeResults(parts) }
+
+// WithRemote tunes the deployment's sessions to a remote wire broadcaster
+// at addr (host:port, UDP) instead of a local transport: every query dials
+// a WireReceiver subscription, like a device in range of a real station.
+// The local build must match the remote one — Deploy probes the
+// broadcaster and refuses a cycle-length or version mismatch. Excludes
+// WithLive, WithChannels and WithUpdates; WithLoss injects extra
+// deterministic loss on top of whatever the wire really drops.
+func WithRemote(addr string) DeployOption { return deploy.WithRemote(addr) }
 
 // --- Observability (DESIGN.md §10): the process-wide metrics registry and
 // per-query flight recorder. One registry serves every deployment in the

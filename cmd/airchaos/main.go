@@ -1,0 +1,80 @@
+// Command airchaos is a netem-style UDP fault proxy for the broadcast
+// wire: it sits between wire receivers and a broadcaster and injects
+// Gilbert-Elliott bursty loss, reordering, duplication, corruption and
+// blackhole windows on a deterministic seed — the same splitmix64
+// discipline as the simulator, so a chaos run replays exactly.
+//
+// Usage:
+//
+//	airserve -method NR -listen :9040 -clients 0 &        # the station
+//	airchaos -listen :9041 -connect localhost:9040 \
+//	         -p-good-bad 0.05 -p-bad-good 0.3 -loss-bad 0.7 &
+//	airfleet -connect localhost:9041 -redial 2 -deadline 5s
+//
+// Faults apply to the broadcaster->client direction (the broadcast itself);
+// -both applies the same plan to the client->broadcaster control frames
+// too. SIGINT/SIGTERM prints the damage summary and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":9041", "UDP address receivers dial (instead of the broadcaster)")
+		connect = flag.String("connect", "", "upstream broadcaster UDP address; required")
+		seed    = flag.Int64("seed", 1, "fault-plan seed; same seed + same traffic = same fault sequence")
+		pgb     = flag.Float64("p-good-bad", 0, "Gilbert-Elliott per-datagram transition probability good->bad")
+		pbg     = flag.Float64("p-bad-good", 0.3, "Gilbert-Elliott per-datagram transition probability bad->good")
+		lossG   = flag.Float64("loss-good", 0, "per-datagram drop probability in the good state")
+		lossB   = flag.Float64("loss-bad", 0.7, "per-datagram drop probability in the bad state")
+		corrupt = flag.Float64("corrupt", 0, "per-datagram probability of flipping one bit (caught by frame CRC)")
+		dup     = flag.Float64("dup", 0, "per-datagram duplication probability")
+		reorder = flag.Float64("reorder", 0, "per-datagram probability of holding a datagram back one slot")
+		bhEvery = flag.Int("blackhole-every", 0, "blackhole period in datagrams (0 = no blackhole windows)")
+		bhLen   = flag.Int("blackhole-len", 0, "datagrams swallowed at the start of each blackhole period")
+		both    = flag.Bool("both", false, "fault the client->broadcaster control frames with the same plan too")
+	)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "airchaos: -connect is required (the broadcaster's UDP address)")
+		os.Exit(1)
+	}
+
+	plan := repro.ChaosPlan{
+		Seed:     *seed,
+		PGoodBad: *pgb, PBadGood: *pbg,
+		LossGood: *lossG, LossBad: *lossB,
+		Corrupt: *corrupt, Duplicate: *dup, Reorder: *reorder,
+		BlackholeEvery: *bhEvery, BlackholeLen: *bhLen,
+	}
+	opts := repro.ChaosProxyOptions{Down: plan}
+	if *both {
+		up := plan
+		up.Seed = plan.Seed + 1 // decorrelate the directions
+		opts.Up = up
+	}
+	p, err := repro.NewChaosProxy(*listen, *connect, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "airchaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos    udp://%s -> %s (seed %d)\n", p.Addr(), *connect, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	down, up := p.Stats()
+	p.Close()
+	fmt.Printf("down     %s\n", down)
+	if *both {
+		fmt.Printf("up       %s\n", up)
+	}
+}

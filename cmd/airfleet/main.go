@@ -56,6 +56,14 @@ type config struct {
 	pool       int
 	loss       float64
 	workerSeed int64 // fleet seed (workload + loss patterns); 0 = -seed
+
+	// Resilience knobs: a per-query wall-clock deadline and tuning-packet
+	// budget (degraded answers are reported, never hung), and how many
+	// redials each wire subscription may spend surviving a broadcaster
+	// restart.
+	deadline time.Duration
+	budget   int
+	redial   int
 }
 
 // worker runs one fleet in-process against the broadcaster: the same
@@ -84,11 +92,14 @@ func worker(ctx context.Context, cfg config, out io.Writer) (repro.FleetResult, 
 		seed = cfg.seed
 	}
 	rep, err := d.RunFleet(ctx, repro.FleetOptions{
-		Clients:  cfg.clients,
-		Queries:  cfg.queries,
-		PoolSize: cfg.pool,
-		Loss:     cfg.loss,
-		Seed:     seed,
+		Clients:       cfg.clients,
+		Queries:       cfg.queries,
+		PoolSize:      cfg.pool,
+		Loss:          cfg.loss,
+		Seed:          seed,
+		QueryDeadline: cfg.deadline,
+		TuningBudget:  cfg.budget,
+		Wire:          repro.WireReceiverOptions{Redial: cfg.redial},
 	})
 	return rep.Result, err
 }
@@ -125,6 +136,9 @@ func controller(ctx context.Context, cfg config, out io.Writer) (repro.FleetResu
 				"-queries", strconv.Itoa(cfg.queries),
 				"-pool", strconv.Itoa(cfg.pool),
 				"-loss", fmt.Sprint(cfg.loss),
+				"-deadline", cfg.deadline.String(),
+				"-tuning-budget", strconv.Itoa(cfg.budget),
+				"-redial", strconv.Itoa(cfg.redial),
 			}
 			cmd := exec.CommandContext(ctx, exe, args...)
 			var stdout, stderr bytes.Buffer
@@ -164,6 +178,10 @@ func report(w io.Writer, r repro.FleetResult) {
 	row("tuning time (packets)", r.Agg.MeanTuning(), r.Tuning, "%.0f")
 	row("access latency (pkts)", r.Agg.MeanLatency(), r.Latency, "%.0f")
 	row("energy (joules)", r.MeanEnergy, r.Energy, "%.4f")
+	if r.Degraded > 0 || r.Refused > 0 {
+		fmt.Fprintf(w, "\nshed load   %d degraded answers (budget exceeded), %d refused (admission control)\n",
+			r.Degraded, r.Refused)
+	}
 	if r.LostPackets > 0 || r.MissedPackets > 0 {
 		fmt.Fprintf(w, "\nair loss    %d lost receptions (%d injected, %d dropped or corrupted on the wire)\n",
 			r.LostPackets, r.LostPackets-r.MissedPackets, r.MissedPackets)
@@ -217,6 +235,9 @@ func main() {
 	flag.IntVar(&cfg.pool, "pool", 0, "distinct workload queries per worker (0 = cap at the paper's 400)")
 	flag.Float64Var(&cfg.loss, "loss", 0, "injected per-client packet loss rate in [0,1), on top of real wire loss")
 	flag.Int64Var(&cfg.workerSeed, "worker-seed", 0, "fleet seed (workload, loss patterns); 0 = -seed; set per worker by the controller")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-query wall-clock budget (e.g. 2s); exceeded queries are reported degraded, never hung (0 = unlimited)")
+	flag.IntVar(&cfg.budget, "tuning-budget", 0, "per-query tuning budget in packets (the paper's energy knob); 0 = unlimited")
+	flag.IntVar(&cfg.redial, "redial", 0, "wire reconnection attempts per query after broadcaster silence or restart (0 = fail fast)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -60,6 +60,13 @@ type config struct {
 	admin  string
 	listen string
 	linger bool
+
+	// Admission control: cap the station's concurrent subscriptions and
+	// the wire's remote receivers; past the cap, clients are shed with a
+	// typed refusal (station ErrFull, wire busy frame) instead of degrading
+	// every admitted listener. 0 = unlimited.
+	maxSubscribers int
+	maxRemotes     int
 }
 
 // run builds the deployment for the requested shape, puts it on the air,
@@ -77,7 +84,7 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 	opts := []repro.DeployOption{
 		repro.WithMethod(repro.Method(cfg.method)),
 		repro.WithParams(repro.Params{Regions: cfg.regions}),
-		repro.WithLive(repro.StationConfig{BitsPerSecond: cfg.rate}),
+		repro.WithLive(repro.StationConfig{BitsPerSecond: cfg.rate, MaxSubscribers: cfg.maxSubscribers}),
 		repro.WithLoss(cfg.loss, cfg.seed),
 	}
 	if cfg.channels > 1 {
@@ -109,7 +116,7 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 	}
 
 	if cfg.listen != "" {
-		b, err := d.ServeWire(ctx, cfg.listen)
+		b, err := d.ServeWire(ctx, cfg.listen, repro.WireBroadcasterOptions{MaxRemotes: cfg.maxRemotes})
 		if err != nil {
 			return zero, err
 		}
@@ -188,6 +195,10 @@ func report(w io.Writer, r repro.FleetResult) {
 	row("tuning time (packets)", r.Agg.MeanTuning(), r.Tuning, "%.0f")
 	row("access latency (pkts)", r.Agg.MeanLatency(), r.Latency, "%.0f")
 	row("energy (joules)", r.MeanEnergy, r.Energy, "%.4f")
+	if r.Degraded > 0 || r.Refused > 0 {
+		fmt.Fprintf(w, "\nshed load   %d degraded answers (budget exceeded), %d refused (admission control)\n",
+			r.Degraded, r.Refused)
+	}
 	if r.LostPackets > 0 || r.MissedPackets > 0 {
 		fmt.Fprintf(w, "\nair loss    %d corrupted receptions (%d simulator loss, %d backpressure drops)\n",
 			r.LostPackets, r.LostPackets-r.MissedPackets, r.MissedPackets)
@@ -224,6 +235,8 @@ func main() {
 	flag.StringVar(&cfg.admin, "admin", "", "HTTP admin listener address (/metrics /statusz /healthz /debug/pprof/); empty = disabled")
 	flag.StringVar(&cfg.listen, "listen", "", "UDP wire listener address (e.g. :7777) for remote sessions; empty = in-process only")
 	flag.BoolVar(&cfg.linger, "linger", false, "stay on the air after the fleet completes, until SIGINT/SIGTERM")
+	flag.IntVar(&cfg.maxSubscribers, "max-subscribers", 0, "station subscription cap; extra clients are refused, not degraded (0 = unlimited)")
+	flag.IntVar(&cfg.maxRemotes, "max-remotes", 0, "wire remote-receiver cap (-listen); extra dials get a typed busy refusal (0 = unlimited)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,77 @@
+package broadcast
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTunerBudget: SetBudget caps the packets a tuner may receive; the
+// budget exhaustion surfaces through the same typed-panic abort channel as
+// context cancellation, recovered into an error wrapping ErrTuningBudget.
+func TestTunerBudget(t *testing.T) {
+	c := cycleWith(t, 10)
+	ch, _ := NewChannel(c, 0, 1)
+	tn := NewTuner(ch, 0)
+	tn.SetBudget(3)
+
+	listen := func(n int) (err error) {
+		defer RecoverCancel(&err)
+		for i := 0; i < n; i++ {
+			tn.Listen()
+		}
+		return nil
+	}
+	if err := listen(3); err != nil {
+		t.Fatalf("listens within budget aborted: %v", err)
+	}
+	err := listen(1)
+	if !errors.Is(err, ErrTuningBudget) {
+		t.Fatalf("listen past the budget: err %v, want ErrTuningBudget", err)
+	}
+	if tn.Tuning() != 3 {
+		t.Fatalf("tuning %d after abort, want the 3 budgeted packets", tn.Tuning())
+	}
+}
+
+// TestTunerBudgetLifetime: the budget is a lifetime total — a tuner that
+// already spent its packets aborts on re-entry, it does not get a fresh
+// allowance.
+func TestTunerBudgetLifetime(t *testing.T) {
+	c := cycleWith(t, 10)
+	ch, _ := NewChannel(c, 0, 1)
+	tn := NewTuner(ch, 0)
+	tn.SetBudget(2)
+
+	one := func() (err error) {
+		defer RecoverCancel(&err)
+		tn.Listen()
+		return nil
+	}
+	if err := one(); err != nil {
+		t.Fatal(err)
+	}
+	if err := one(); err != nil {
+		t.Fatal(err)
+	}
+	if err := one(); !errors.Is(err, ErrTuningBudget) {
+		t.Fatalf("third listen on a 2-packet budget: err %v, want ErrTuningBudget", err)
+	}
+}
+
+// TestTunerNoBudgetUnlimited: the zero value stays the historical
+// unlimited tuner.
+func TestTunerNoBudgetUnlimited(t *testing.T) {
+	c := cycleWith(t, 10)
+	ch, _ := NewChannel(c, 0, 1)
+	tn := NewTuner(ch, 0)
+	err := func() (err error) {
+		defer RecoverCancel(&err)
+		for i := 0; i < 500; i++ {
+			tn.Listen()
+		}
+		return nil
+	}()
+	if err != nil {
+		t.Fatalf("unbudgeted tuner aborted: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package broadcast
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/obs"
@@ -56,6 +57,12 @@ type Tuner struct {
 	// change within a window marks it mixed too.
 	verLen   int
 	verDrift bool
+
+	// Tuning budget (SetBudget): the paper's energy knob as an admission
+	// limit. 0 (the default) is unlimited; a positive budget aborts the
+	// listen loop once tuning reaches it, via the same typed-panic channel
+	// as a cancelled bound context.
+	budget int
 
 	// Cancellation (Bind): scheme clients drive the tuner in tight
 	// listen loops with no error path of their own, so on a lossy channel
@@ -115,6 +122,24 @@ func (t *Tuner) Bind(ctx context.Context) {
 
 // cancelAbort is the panic payload a cancelled bound context raises.
 type cancelAbort struct{ err error }
+
+// ErrTuningBudget marks a query aborted because its tuning budget ran out:
+// the radio was allowed to receive only so many packets (the paper's
+// energy constraint) and the answer was not complete when they were spent.
+// Callers detect it with errors.Is; deploy.Session reports such queries as
+// degraded rather than failed.
+var ErrTuningBudget = errors.New("broadcast: tuning budget exhausted")
+
+// SetBudget caps how many packets the tuner may listen to; once tuning
+// reaches n, the next Listen aborts the loop with an error wrapping
+// ErrTuningBudget (through the RecoverCancel channel, like cancellation).
+// n <= 0 removes the cap. The budget is a total across the tuner's
+// lifetime — re-entries after a cycle swap spend from the same allowance,
+// which is exactly the energy argument: the radio already paid for those
+// packets.
+func (t *Tuner) SetBudget(n int) {
+	t.budget = n
+}
 
 // AbortFeed aborts the listen loop in progress with err, using the same
 // typed-panic channel as a cancelled bound context: the query entry point's
@@ -199,6 +224,9 @@ func (t *Tuner) CyclePos() int {
 func (t *Tuner) Listen() (packet.Packet, bool) {
 	if t.ctx != nil {
 		t.checkCtx()
+	}
+	if t.budget > 0 && t.tuning >= t.budget {
+		panic(cancelAbort{fmt.Errorf("%w after %d packets", ErrTuningBudget, t.tuning)})
 	}
 	p, ok := t.feed.At(t.pos)
 	t.last = t.pos

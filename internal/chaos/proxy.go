@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyOptions shapes a Proxy. Down faults the broadcaster→client
+// direction (the broadcast itself — where almost all the bytes flow); Up
+// faults client→broadcaster (hello/want/bye control frames). Each flow
+// (distinct client address) gets its own injector pair seeded by
+// DeriveSeed(plan.Seed, flowIndex), so fault patterns are deterministic
+// per flow but uncorrelated across flows.
+type ProxyOptions struct {
+	Down, Up Plan
+
+	// IdleTimeout expires a flow whose client has gone silent (default
+	// 1 minute — comfortably past the wire's own janitor horizon, so the
+	// proxy never tears down a flow the broadcaster still considers live).
+	IdleTimeout time.Duration
+}
+
+// Proxy is a netem-style UDP fault box: clients dial the proxy's address
+// instead of the broadcaster's, and every datagram through it runs the
+// direction's fault plan. It is NAT-shaped — one upstream socket per
+// client flow — so the broadcaster sees one remote per real client and
+// replies route back through the right flow.
+type Proxy struct {
+	opts     ProxyOptions
+	upstream *net.UDPAddr
+	conn     *net.UDPConn // client-facing socket
+
+	mu        sync.Mutex
+	flows     map[string]*flow
+	nextFlow  int
+	closed    bool
+	blackhole atomic.Bool // manual total outage switch (SetBlackhole)
+
+	wg sync.WaitGroup
+}
+
+// flow is one client's NAT entry: its own upstream socket and injector
+// pair.
+type flow struct {
+	client   *net.UDPAddr
+	up       *net.UDPConn // connected to the upstream broadcaster
+	injUp    *Injector    // client → broadcaster
+	injDown  *Injector    // broadcaster → client
+	lastSeen atomic.Int64 // unix nanos of the last client datagram
+}
+
+// NewProxy starts a fault proxy listening on listen (e.g. "127.0.0.1:0")
+// and relaying to the broadcaster at upstream. Close releases it.
+func NewProxy(listen, upstream string, opts ProxyOptions) (*Proxy, error) {
+	if err := opts.Down.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Up.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = time.Minute
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", upstream)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: upstream %q: %w", upstream, err)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		opts:     opts,
+		upstream: uaddr,
+		conn:     conn,
+		flows:    make(map[string]*flow),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the client-facing address — what receivers should Dial.
+func (p *Proxy) Addr() string { return p.conn.LocalAddr().String() }
+
+// SetBlackhole switches a manual total outage on or off, both directions:
+// the schedulable stand-in for "the route is gone" that a test flips
+// around a broadcaster kill window.
+func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+
+// Close tears the proxy down: the client socket, every flow's upstream
+// socket, and the relay goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	flows := make([]*flow, 0, len(p.flows))
+	for _, f := range p.flows {
+		flows = append(flows, f)
+	}
+	p.mu.Unlock()
+
+	err := p.conn.Close()
+	for _, f := range flows {
+		f.up.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Stats sums the damage applied across all flows, per direction.
+func (p *Proxy) Stats() (down, up Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.flows {
+		down.Add(f.injDown.Stats())
+		up.Add(f.injUp.Stats())
+	}
+	return down, up
+}
+
+// serve is the client-facing read loop: route each datagram to its flow,
+// run the Up plan, forward the survivors upstream.
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				continue // transient; the client-facing socket stays up
+			}
+			return // closed
+		}
+		f, err := p.flowFor(raddr)
+		if err != nil {
+			return // proxy closing
+		}
+		f.lastSeen.Store(time.Now().UnixNano())
+		if p.blackhole.Load() {
+			obsBlackholed.Inc()
+			continue
+		}
+		p.mu.Lock()
+		out := f.injUp.Apply(buf[:n])
+		p.mu.Unlock()
+		for _, d := range out {
+			f.up.Write(d)
+		}
+	}
+}
+
+// flowFor returns (creating on first sight) the NAT entry for a client.
+func (p *Proxy) flowFor(raddr *net.UDPAddr) (*flow, error) {
+	key := raddr.String()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("chaos: proxy closed")
+	}
+	if f, ok := p.flows[key]; ok {
+		p.mu.Unlock()
+		return f, nil
+	}
+	idx := p.nextFlow
+	p.nextFlow++
+	p.mu.Unlock()
+
+	up, err := net.DialUDP("udp", nil, p.upstream)
+	if err != nil {
+		return nil, err
+	}
+	injUp, _ := NewInjector(withSeed(p.opts.Up, DeriveSeed(p.opts.Up.Seed, idx)))
+	injDown, _ := NewInjector(withSeed(p.opts.Down, DeriveSeed(p.opts.Down.Seed, idx)))
+	f := &flow{client: raddr, up: up, injUp: injUp, injDown: injDown}
+	f.lastSeen.Store(time.Now().UnixNano())
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		up.Close()
+		return nil, fmt.Errorf("chaos: proxy closed")
+	}
+	if other, ok := p.flows[key]; ok {
+		// Lost an insert race (two datagrams from a new client in flight):
+		// keep the established flow.
+		p.mu.Unlock()
+		up.Close()
+		return other, nil
+	}
+	p.flows[key] = f
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.relayDown(f)
+	return f, nil
+}
+
+// relayDown is one flow's broadcaster-facing read loop: run the Down plan,
+// deliver the survivors to the client.
+func (p *Proxy) relayDown(f *flow) {
+	defer p.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		f.up.SetReadDeadline(time.Now().Add(p.opts.IdleTimeout))
+		n, err := f.up.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// Idle flow: expire the NAT entry if the client has been
+				// silent the whole window, else keep listening.
+				if time.Since(time.Unix(0, f.lastSeen.Load())) >= p.opts.IdleTimeout {
+					p.mu.Lock()
+					if p.flows[f.client.String()] == f {
+						delete(p.flows, f.client.String())
+					}
+					p.mu.Unlock()
+					f.up.Close()
+					return
+				}
+				continue
+			}
+			if !errors.Is(err, net.ErrClosed) {
+				// Transient (ICMP port-unreachable while the broadcaster is
+				// down mid-restart): the NAT entry must survive the outage so
+				// the flow lights back up when the broadcaster returns.
+				continue
+			}
+			return // closed
+		}
+		if p.blackhole.Load() {
+			obsBlackholed.Inc()
+			continue
+		}
+		p.mu.Lock()
+		out := f.injDown.Apply(buf[:n])
+		p.mu.Unlock()
+		for _, d := range out {
+			p.conn.WriteToUDP(d, f.client)
+		}
+	}
+}
+
+// withSeed returns the plan with its seed replaced — how the proxy derives
+// per-flow plans from the direction's base plan.
+func withSeed(p Plan, seed int64) Plan {
+	p.Seed = seed
+	return p
+}

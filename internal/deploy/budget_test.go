@@ -1,0 +1,112 @@
+package deploy_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// TestSessionTuningBudget: a session with a tuning budget answers cheap
+// queries and reports expensive ones as degraded — a *BudgetError wrapping
+// ErrBudgetExceeded with the spend attached — instead of hanging or lying.
+func TestSessionTuningBudget(t *testing.T) {
+	g := testGraph(t, 400, 520, 7)
+	d, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Generous budget first: the query must complete and spend under it.
+	sess, err := d.Session(context.Background(), deploy.SessionOptions{TuningBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Query(context.Background(), 17, 342)
+	if err != nil {
+		t.Fatalf("query under a generous budget: %v", err)
+	}
+	spent := res.Metrics.TuningPackets
+	if spent <= 1 {
+		t.Fatalf("query tuned %d packets; need a multi-packet query to starve", spent)
+	}
+
+	// Now a budget one packet short of what the same query needs.
+	starved, err := d.Session(context.Background(), deploy.SessionOptions{TuningBudget: spent - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = starved.Query(context.Background(), 17, 342)
+	if !errors.Is(err, deploy.ErrBudgetExceeded) {
+		t.Fatalf("starved query: err %v, want ErrBudgetExceeded", err)
+	}
+	var be *deploy.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("starved query error %T does not unwrap to *BudgetError", err)
+	}
+	if be.Reason != "tuning" {
+		t.Fatalf("BudgetError.Reason = %q, want \"tuning\"", be.Reason)
+	}
+	if be.TuningPackets < spent-1 {
+		t.Fatalf("BudgetError reports %d packets spent, want >= %d", be.TuningPackets, spent-1)
+	}
+
+	// The session survives a degraded answer: the next query with room
+	// still works (fresh session, fresh budget).
+	again, err := d.Session(context.Background(), deploy.SessionOptions{TuningBudget: spent + 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := again.Query(context.Background(), 17, 342); err != nil {
+		t.Fatalf("same query under a sufficient budget: %v", err)
+	}
+}
+
+// TestSessionDeadline: an offline session's deadline budget surfaces as a
+// degraded answer (Reason "deadline"), not a bare context error and not a
+// hang.
+func TestSessionDeadline(t *testing.T) {
+	g := testGraph(t, 400, 520, 7)
+	d, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	sess, err := d.Session(context.Background(), deploy.SessionOptions{Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Query(context.Background(), 17, 342)
+	if !errors.Is(err, deploy.ErrBudgetExceeded) {
+		t.Fatalf("query under a 1ns deadline: err %v, want ErrBudgetExceeded", err)
+	}
+	var be *deploy.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("deadline error %T does not unwrap to *BudgetError", err)
+	}
+	if be.Reason != "deadline" {
+		t.Fatalf("BudgetError.Reason = %q, want \"deadline\"", be.Reason)
+	}
+}
+
+// TestSessionNoBudgetsUnchanged: zero-value options keep the historical
+// behavior — no deadline, no budget, plain success.
+func TestSessionNoBudgetsUnchanged(t *testing.T) {
+	g := testGraph(t, 400, 520, 7)
+	d, err := deploy.Deploy(g, deploy.WithMethod(deploy.NR), deploy.WithParams(deploy.Params{Regions: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	sess, err := d.Session(context.Background(), deploy.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(context.Background(), 17, 342); err != nil {
+		t.Fatalf("plain session query: %v", err)
+	}
+}

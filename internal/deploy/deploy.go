@@ -570,7 +570,9 @@ func (d *Deployment) RunFleet(ctx context.Context, opts fleet.Options) (RunRepor
 // (the wire carries one cycle version on one channel). ctx bounds the
 // station's air time as in Start; the caller closes the broadcaster — or
 // just closes the deployment, whose stopping station ends every stream.
-func (d *Deployment) ServeWire(ctx context.Context, addr string) (*wire.Broadcaster, error) {
+// An optional BroadcasterOptions tunes admission control (MaxRemotes) and
+// idle expiry; omitted, the zero-value production defaults apply.
+func (d *Deployment) ServeWire(ctx context.Context, addr string, opts ...wire.BroadcasterOptions) (*wire.Broadcaster, error) {
 	if !d.live || d.st == nil {
 		return nil, fmt.Errorf("repro: ServeWire needs a live single-channel deployment (WithLive)")
 	}
@@ -580,7 +582,11 @@ func (d *Deployment) ServeWire(ctx context.Context, addr string) (*wire.Broadcas
 	if err := d.Start(ctx); err != nil {
 		return nil, err
 	}
-	return wire.NewBroadcaster(addr, d.st, wire.BroadcasterOptions{})
+	var bo wire.BroadcasterOptions
+	if len(opts) > 0 {
+		bo = opts[0]
+	}
+	return wire.NewBroadcaster(addr, d.st, bo)
 }
 
 // WorkloadFor generates the verified query pool a fleet run answers.

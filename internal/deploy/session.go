@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/broadcast"
 	"repro/internal/core"
@@ -13,11 +14,12 @@ import (
 	"repro/internal/multichannel"
 	"repro/internal/obs"
 	"repro/internal/scheme"
+	"repro/internal/station"
 	"repro/internal/update"
 	"repro/internal/wire"
 )
 
-// Session-level instruments (DESIGN.md §10).
+// Session-level instruments (DESIGN.md §10, §12).
 var (
 	obsSessions = obs.GetCounter("air_deploy_sessions_total",
 		"client sessions opened on deployments")
@@ -25,7 +27,47 @@ var (
 		"queries answered through session handles")
 	obsSessionInflight = obs.GetGauge("air_deploy_inflight_queries",
 		"session queries currently in flight")
+	obsDegraded = obs.GetCounter("air_deploy_degraded_total",
+		"session queries aborted by a tuning or deadline budget (degraded answers)")
+	obsRefused = obs.GetCounter("air_deploy_refused_total",
+		"session queries refused by admission control (busy broadcaster or full station)")
 )
+
+// ErrBudgetExceeded classifies a query aborted by its session's answer
+// budget — the tuning-packet cap or the wall-clock deadline. Detect it
+// with errors.Is; the concrete error is a *BudgetError carrying which
+// budget fired and what the query had spent.
+var ErrBudgetExceeded = errors.New("repro: answer budget exceeded")
+
+// BudgetError reports a degraded answer: the query was aborted because its
+// budget ran out, not because anything failed. The paper's energy argument
+// made explicit — a mobile client is allowed only so much radio-on time
+// and so much waiting, and an operator must see how often the broadcast
+// could not answer within it (air_deploy_degraded_total).
+type BudgetError struct {
+	// Reason is "tuning" (TuningBudget exhausted) or "deadline" (Deadline
+	// passed).
+	Reason string
+	// TuningPackets is how many packets the radio had received across every
+	// attempt when the budget fired.
+	TuningPackets int
+	// Elapsed is the query's wall-clock time at the abort (zero when no
+	// deadline was armed).
+	Elapsed time.Duration
+	// Err is the underlying abort (broadcast.ErrTuningBudget or
+	// context.DeadlineExceeded).
+	Err error
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("repro: %s budget exceeded after %d packets: %v", e.Reason, e.TuningPackets, e.Err)
+}
+
+func (e *BudgetError) Unwrap() error { return e.Err }
+
+// Is matches ErrBudgetExceeded, so callers need no type assertion to
+// classify degraded answers.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
 
 // SessionOptions tune one client handle.
 type SessionOptions struct {
@@ -50,6 +92,16 @@ type SessionOptions struct {
 	// retries, re-entries) on it. Metrics are unchanged; a sampled session
 	// with a trace and one without report identical Results.
 	Trace *obs.Trace
+	// Deadline bounds each Query's wall-clock time; past it the attempt
+	// aborts and the query returns a *BudgetError (errors.Is
+	// ErrBudgetExceeded) instead of hanging on a slow or dying air.
+	// 0 = unlimited.
+	Deadline time.Duration
+	// TuningBudget caps the packets the radio may receive per query — the
+	// paper's energy knob as an admission limit. The budget is a total
+	// across swap re-entries (the radio already paid for those packets);
+	// exhausting it returns a *BudgetError. 0 = unlimited.
+	TuningBudget int
 }
 
 // Session is one client's handle on a deployment: a simulated mobile
@@ -132,9 +184,18 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 		t = broadcast.NewFeedTuner(sub, sub.Start())
 		finish = sub.Close
 	case d.remote != "": // remote wire broadcaster
-		rx, err := wire.Dial(d.remote, wire.ReceiverOptions{Loss: d.loss, Seed: s.rng.Int63()})
+		rx, err := wire.Dial(d.remote, wire.ReceiverOptions{Loss: d.loss, Seed: s.rng.Int63(), Redial: sessionRedials})
 		if err != nil {
 			return nil, nil, err
+		}
+		if rx.Len() != d.Len() {
+			// The broadcaster answering this address no longer carries the
+			// cycle this deployment was verified against at Deploy time
+			// (restarted with a different build?). Answering against it
+			// would be silently wrong — fail loudly instead.
+			rx.Close()
+			return nil, nil, fmt.Errorf("repro: remote cycle is now %d packets, local build has %d: %w",
+				rx.Len(), d.Len(), wire.ErrRestarted)
 		}
 		t = broadcast.NewFeedTuner(rx, rx.Start())
 		finish = rx.Close
@@ -148,48 +209,115 @@ func (s *Session) attach(ctx context.Context) (*broadcast.Tuner, func(), error) 
 	return t, finish, nil
 }
 
+// sessionRedials is how many reconnection attempts a session's wire
+// receiver makes before declaring the broadcaster dead: enough to ride
+// through a restart window, few enough that a genuinely gone broadcaster
+// fails within a handful of dial timeouts.
+const sessionRedials = 2
+
 // Query answers one shortest-path query from src to dst on the air. It
 // honors ctx even where the underlying listen loop would spin (a lossy
 // channel mid-recovery), and on a dynamic deployment it transparently
 // re-enters whenever the attempt straddled a cycle swap — on the same
 // feed when the tuner's version window catches the swap, on a fresh one
-// when the feed's cached structure went stale. Tuning and latency in the
-// returned metrics accumulate across re-entries: the true end-to-end cost.
+// when the feed's cached structure went stale (including a wire receiver
+// whose broadcaster restarted onto a different cycle). Tuning and latency
+// in the returned metrics accumulate across re-entries: the true
+// end-to-end cost.
+//
+// With a Deadline or TuningBudget armed (SessionOptions), a query that
+// outruns its budget returns a *BudgetError — an explicitly degraded
+// answer, counted in air_deploy_degraded_total, never a hang.
 func (s *Session) Query(ctx context.Context, src, dst graph.NodeID) (scheme.Result, error) {
 	q := scheme.QueryFor(s.d.g, src, dst)
 	obsSessionQueries.Inc()
 	obsSessionInflight.Inc()
 	defer obsSessionInflight.Dec()
+	var began time.Time
+	if s.opts.Deadline > 0 || s.opts.TuningBudget > 0 {
+		began = time.Now()
+	}
+	if s.opts.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Deadline)
+		defer cancel()
+	}
 	const maxFreshFeeds = 4
+	spent := 0 // tuning packets across every attempt: budgets are totals
 	for attempt := 0; ; attempt++ {
-		res, err := s.queryOnce(ctx, q)
-		if errors.Is(err, update.ErrStaleFeed) && attempt < maxFreshFeeds {
+		res, tuning, err := s.queryOnce(ctx, q, spent)
+		spent += tuning
+		if (errors.Is(err, update.ErrStaleFeed) || errors.Is(err, wire.ErrRestarted)) && attempt < maxFreshFeeds {
 			s.reent++
 			s.opts.Trace.Record(obs.EvReentry, 0, int64(attempt+1))
 			continue
 		}
-		return res, err
+		return res, s.classify(err, spent, began)
 	}
+}
+
+// classify converts budget aborts into *BudgetError (degraded answer) and
+// counts admission refusals; every other error passes through untouched.
+func (s *Session) classify(err error, spent int, began time.Time) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, broadcast.ErrTuningBudget):
+		obsDegraded.Inc()
+		return &BudgetError{Reason: "tuning", TuningPackets: spent, Elapsed: sinceIf(began), Err: err}
+	case s.opts.Deadline > 0 && errors.Is(err, context.DeadlineExceeded):
+		obsDegraded.Inc()
+		return &BudgetError{Reason: "deadline", TuningPackets: spent, Elapsed: sinceIf(began), Err: err}
+	case errors.Is(err, wire.ErrRefused), errors.Is(err, station.ErrFull):
+		obsRefused.Inc()
+	}
+	return err
+}
+
+// sinceIf returns the elapsed time since a non-zero mark.
+func sinceIf(began time.Time) time.Duration {
+	if began.IsZero() {
+		return 0
+	}
+	return time.Since(began)
 }
 
 // queryOnce runs the client once on a freshly attached feed, converting a
 // context abort into an error and counting swap re-entries. The feed is
 // released (and the offline cursor advanced) on every exit path, panics
-// included — a live subscription must not outlive its query attempt.
-func (s *Session) queryOnce(ctx context.Context, q scheme.Query) (res scheme.Result, err error) {
+// included — a live subscription must not outlive its query attempt. The
+// returned tuning is the attempt's packet count even on an abort, so the
+// caller can charge budgets across attempts.
+func (s *Session) queryOnce(ctx context.Context, q scheme.Query, spent int) (res scheme.Result, tuning int, err error) {
+	if b := s.opts.TuningBudget; b > 0 && spent >= b {
+		// A previous attempt burned the whole allowance; do not attach a
+		// fresh feed just to abort on its first listen.
+		return res, 0, fmt.Errorf("%w after %d packets", broadcast.ErrTuningBudget, spent)
+	}
 	t, finish, err := s.attach(ctx)
 	if err != nil {
-		return res, err
+		return res, 0, err
 	}
 	defer finish()
+	// Runs after RecoverCancel (LIFO), so an aborted attempt still reports
+	// what it listened to.
+	defer func() { tuning = t.Tuning() }()
 	defer broadcast.RecoverCancel(&err)
+	if b := s.opts.TuningBudget; b > 0 {
+		t.SetBudget(b - spent)
+	}
 	if s.d.mgr != nil {
 		var attempts int
 		res, attempts, err = update.Query(s.client, t, q)
 		s.reent += attempts - 1
-		return res, err
+		return res, 0, err
 	}
-	return s.client.Query(t, q)
+	res, err = s.client.Query(t, q)
+	return res, 0, err
 }
 
 // Reentries returns how many query attempts this session has discarded to

@@ -15,6 +15,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scheme"
 	"repro/internal/station"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -45,6 +47,10 @@ var (
 		"corrupted receptions observed by fleet tuners (simulator loss + backpressure)")
 	obsMissed = obs.GetCounter("air_fleet_missed_packets_total",
 		"backpressure drops served to fleet tuners as corrupted receptions (subset of lost)")
+	obsDegraded = obs.GetCounter("air_fleet_degraded_total",
+		"fleet queries aborted by a tuning or deadline budget (degraded answers)")
+	obsRefused = obs.GetCounter("air_fleet_refused_total",
+		"fleet queries refused by admission control (busy broadcaster or full station)")
 )
 
 // DefaultPoolSize is the distinct-query pool a run draws from when
@@ -80,6 +86,19 @@ type Options struct {
 	// Shards is the aggregator shard count (default: one per client, capped
 	// at 64).
 	Shards int
+	// QueryDeadline bounds each query's wall-clock time; past it the query
+	// is aborted and counted as degraded (Result.Degraded), never left
+	// hanging. 0 = unlimited.
+	QueryDeadline time.Duration
+	// TuningBudget caps the packets each query's radio may receive — the
+	// paper's energy knob. A query that exhausts it is counted as degraded.
+	// 0 = unlimited.
+	TuningBudget int
+	// Wire carries the base receiver options a remote fleet (RunRemote)
+	// dials with — timeouts, retry/redial budgets, credit window. Loss and
+	// Seed are overridden per client from the run's own Loss/Seed, exactly
+	// like the in-process paths.
+	Wire wire.ReceiverOptions
 }
 
 // ChannelStats summarizes one channel of a multi-channel fleet run.
@@ -100,11 +119,18 @@ type ChannelStats struct {
 type Result struct {
 	Method  string
 	Clients int
-	Queries int // queries issued (Errors counts the subset that failed)
+	Queries int // queries issued (Errors/Degraded/Refused count failed subsets)
 	Pool    int // distinct workload queries the run drew from
 	Errors  int // failed, wrong-distance, or never-subscribed queries
-	Elapsed time.Duration
-	QPS     float64 // correctly answered queries per wall-clock second
+	// Degraded counts queries aborted by the run's answer budgets
+	// (QueryDeadline or TuningBudget); Refused counts queries shed by
+	// admission control (busy broadcaster, full station). Both are disjoint
+	// from Errors, so Agg.N + Errors + Degraded + Refused == Queries — no
+	// outcome is ever silently dropped.
+	Degraded int
+	Refused  int
+	Elapsed  time.Duration
+	QPS      float64 // correctly answered queries per wall-clock second
 
 	// Agg carries the paper's mean factors over the correctly answered
 	// queries (Agg.N of them).
@@ -146,10 +172,12 @@ type shard struct {
 	tuning  metrics.Series
 	latency metrics.Series
 	energy  metrics.Series
-	queries int
-	errors  int
-	lost    int64
-	missed  int64
+	queries  int
+	errors   int
+	degraded int
+	refused  int
+	lost     int64
+	missed   int64
 
 	// Multi-channel accounting (sized on first AddMulti).
 	chanPkts   []int64
@@ -224,6 +252,43 @@ func (a *Aggregator) AddError(worker int) {
 	obsErrors.Inc()
 }
 
+// AddDegraded counts a query aborted by its answer budget (tuning cap or
+// deadline) from the given worker: an explicit degraded answer, disjoint
+// from Errors.
+func (a *Aggregator) AddDegraded(worker int) {
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.degraded++
+	obsDegraded.Inc()
+}
+
+// AddRefused counts a query shed by admission control (busy broadcaster,
+// full station) from the given worker.
+func (a *Aggregator) AddRefused(worker int) {
+	s := &a.shards[worker%len(a.shards)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.refused++
+	obsRefused.Inc()
+}
+
+// classify folds one failed query into the right bucket: degraded (the
+// run's own budget fired), refused (admission control shed it), or error
+// (everything else — scheme failure, dead wire, wrong distance upstream).
+func classify(agg *Aggregator, worker int, err error) {
+	switch {
+	case errors.Is(err, broadcast.ErrTuningBudget), errors.Is(err, context.DeadlineExceeded):
+		agg.AddDegraded(worker)
+	case errors.Is(err, wire.ErrRefused), errors.Is(err, station.ErrFull):
+		agg.AddRefused(worker)
+	default:
+		agg.AddError(worker)
+	}
+}
+
 // AddAir folds one query's air-level loss accounting: lost is every
 // corrupted reception its tuner saw, missed the backpressure-dropped subset
 // its subscription reported. Recorded for answered and failed queries alike
@@ -264,6 +329,8 @@ func (a *Aggregator) Summarize() Result {
 		s := &a.shards[i]
 		r.Queries += s.queries
 		r.Errors += s.errors
+		r.Degraded += s.degraded
+		r.Refused += s.refused
 		r.LostPackets += s.lost
 		r.MissedPackets += s.missed
 		r.Agg.Merge(s.agg)
@@ -296,8 +363,8 @@ func (a *Aggregator) Summarize() Result {
 // workload's reference, and unsubscribes.
 func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
 	return drive(ctx, st.Rate(), srv, w, opts,
-		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
-			runOne(st, client, worker, q, opts.Loss, seed, agg)
+		func(ctx context.Context, client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOne(ctx, st, client, worker, q, seed, opts, agg)
 		})
 }
 
@@ -307,8 +374,8 @@ func Run(ctx context.Context, st *station.Station, srv scheme.Server, w *workloa
 // the mean hop count.
 func RunMulti(ctx context.Context, mst *multichannel.Station, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
 	return drive(ctx, mst.Rate(), srv, w, opts,
-		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
-			runOneMulti(mst, client, worker, q, opts.Loss, seed, agg)
+		func(ctx context.Context, client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOneMulti(ctx, mst, client, worker, q, seed, opts, agg)
 		})
 }
 
@@ -328,7 +395,7 @@ func clientSeed(seed int64, id int) int64 {
 // drive is the shared fleet engine: the work queue, the worker pool, and
 // the run-level summary.
 func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workload, opts Options,
-	one func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator)) (Result, error) {
+	one func(ctx context.Context, client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator)) (Result, error) {
 	if len(w.Queries) == 0 {
 		return Result{}, fmt.Errorf("fleet: empty workload")
 	}
@@ -384,7 +451,7 @@ func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workloa
 				obsQueries.Inc()
 				obsInflight.Inc()
 				qStart := time.Now()
-				one(client, id, q, rng.Int63(), agg)
+				one(ctx, client, id, q, rng.Int63(), agg)
 				obsQuerySecs.Observe(time.Since(qStart).Seconds())
 				obsInflight.Dec()
 			}
@@ -409,20 +476,39 @@ func drive(ctx context.Context, rate int, srv scheme.Server, w *workload.Workloa
 	return res, nil
 }
 
+// runQuery runs one query on a tuner with the run's per-query answer
+// budgets armed, recovering any listen-loop abort (budget, cancellation, a
+// dead wire) into an ordinary error for classification. With no budgets
+// set it is exactly the historical direct call: no context bind, no cap.
+func runQuery(ctx context.Context, client scheme.Client, tuner *broadcast.Tuner, q scheme.Query, opts Options) (res scheme.Result, err error) {
+	defer broadcast.RecoverCancel(&err)
+	if opts.QueryDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.QueryDeadline)
+		defer cancel()
+		tuner.Bind(ctx)
+	}
+	if opts.TuningBudget > 0 {
+		tuner.SetBudget(opts.TuningBudget)
+	}
+	return client.Query(tuner, q)
+}
+
 // runOne answers one query over a live subscription.
-func runOne(st *station.Station, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
-	sub, err := st.Subscribe(loss, seed)
+func runOne(ctx context.Context, st *station.Station, client scheme.Client, worker int, q workload.Query, seed int64, opts Options, agg *Aggregator) {
+	sub, err := st.Subscribe(opts.Loss, seed)
 	if err != nil {
-		// Station off the air (context cancelled mid-run): drop the query.
-		agg.AddError(worker)
+		// Station off the air (context cancelled mid-run) or full
+		// (admission control): the query got no feed.
+		classify(agg, worker, err)
 		return
 	}
 	defer sub.Close()
 	tuner := broadcast.NewFeedTuner(sub, sub.Start())
 	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(sub.Missed())) }()
-	res, err := client.Query(tuner, q.Query)
+	res, err := runQuery(ctx, client, tuner, q.Query, opts)
 	if err != nil {
-		agg.AddError(worker)
+		classify(agg, worker, err)
 		return
 	}
 	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {
@@ -433,18 +519,18 @@ func runOne(st *station.Station, client scheme.Client, worker int, q workload.Qu
 }
 
 // runOneMulti answers one query over a live channel-hopping radio.
-func runOneMulti(mst *multichannel.Station, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
-	rx, err := mst.Subscribe(loss, seed, multichannel.RxOptions{Channel: int(uint64(seed) % uint64(mst.K()))})
+func runOneMulti(ctx context.Context, mst *multichannel.Station, client scheme.Client, worker int, q workload.Query, seed int64, opts Options, agg *Aggregator) {
+	rx, err := mst.Subscribe(opts.Loss, seed, multichannel.RxOptions{Channel: int(uint64(seed) % uint64(mst.K()))})
 	if err != nil {
-		agg.AddError(worker)
+		classify(agg, worker, err)
 		return
 	}
 	defer rx.Close()
 	tuner := broadcast.NewFeedTuner(rx, rx.StartPos())
 	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(rx.Missed())) }()
-	res, err := client.Query(tuner, q.Query)
+	res, err := runQuery(ctx, client, tuner, q.Query, opts)
 	if err != nil {
-		agg.AddError(worker)
+		classify(agg, worker, err)
 		return
 	}
 	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {

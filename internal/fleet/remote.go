@@ -26,8 +26,12 @@ import (
 func RunRemote(ctx context.Context, addr string, srv scheme.Server, w *workload.Workload, opts Options) (Result, error) {
 	// Probe the broadcaster once up front: fail fast when nobody is
 	// listening, learn the rate to cost energy at, and catch a client/server
-	// build mismatch before spawning the whole fleet.
-	probe, err := wire.Dial(addr, wire.ReceiverOptions{})
+	// build mismatch before spawning the whole fleet. The probe dials with
+	// the run's wire options (minus loss), so a chaos run with short
+	// timeouts fails fast here too.
+	po := opts.Wire
+	po.Loss, po.Seed = 0, 0
+	probe, err := wire.Dial(addr, po)
 	if err != nil {
 		return Result{}, fmt.Errorf("fleet: remote broadcast: %w", err)
 	}
@@ -39,27 +43,31 @@ func RunRemote(ctx context.Context, addr string, srv scheme.Server, w *workload.
 			cycleLen, srv.Name(), want)
 	}
 	return drive(ctx, rate, srv, w, opts,
-		func(client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
-			runOneRemote(addr, client, worker, q, opts.Loss, seed, agg)
+		func(ctx context.Context, client scheme.Client, worker int, q workload.Query, seed int64, agg *Aggregator) {
+			runOneRemote(ctx, addr, client, worker, q, seed, opts, agg)
 		})
 }
 
 // runOneRemote answers one query over a fresh wire subscription, like a
 // device waking up, dialing in, asking, and tuning out.
-func runOneRemote(addr string, client scheme.Client, worker int, q workload.Query, loss float64, seed int64, agg *Aggregator) {
-	rx, err := wire.Dial(addr, wire.ReceiverOptions{Loss: loss, Seed: seed})
+func runOneRemote(ctx context.Context, addr string, client scheme.Client, worker int, q workload.Query, seed int64, opts Options, agg *Aggregator) {
+	ro := opts.Wire
+	ro.Loss, ro.Seed = opts.Loss, seed
+	rx, err := wire.Dial(addr, ro)
 	if err != nil {
-		agg.AddError(worker)
+		// A busy frame is admission control doing its job (refused); an
+		// unanswered dial is an error like any other.
+		classify(agg, worker, err)
 		return
 	}
 	defer rx.Close()
 	tuner := broadcast.NewFeedTuner(rx, rx.Start())
 	defer func() { agg.AddAir(worker, int64(tuner.Lost()), int64(rx.WireLost())) }()
-	res, err := queryWire(client, tuner, q.Query)
+	res, err := runQuery(ctx, client, tuner, q.Query, opts)
 	if err != nil {
-		// Broadcaster gone mid-query (bye or silence) or a scheme error:
-		// either way the query got no answer.
-		agg.AddError(worker)
+		// Broadcaster gone mid-query (dead wire), a budget abort, a refusal
+		// mid-redial, or a scheme error: classify, never drop silently.
+		classify(agg, worker, err)
 		return
 	}
 	if rel := (res.Dist - q.RefDist) / (1 + q.RefDist); rel > 1e-3 || rel < -1e-3 {
@@ -67,13 +75,6 @@ func runOneRemote(addr string, client scheme.Client, worker int, q workload.Quer
 		return
 	}
 	agg.Add(worker, res.Metrics)
-}
-
-// queryWire runs one query over a wire-backed tuner, recovering the
-// dead-wire abort (broadcast.AbortFeed) into an ordinary error.
-func queryWire(client scheme.Client, tuner *broadcast.Tuner, q scheme.Query) (res scheme.Result, err error) {
-	defer broadcast.RecoverCancel(&err)
-	return client.Query(tuner, q)
 }
 
 // MergeResults folds the Results of N concurrently-run fleets — typically
@@ -114,6 +115,8 @@ func MergeResults(parts []Result) (Result, error) {
 		out.Clients += p.Clients
 		out.Queries += p.Queries
 		out.Errors += p.Errors
+		out.Degraded += p.Degraded
+		out.Refused += p.Refused
 		out.LostPackets += p.LostPackets
 		out.MissedPackets += p.MissedPackets
 		out.Pool = max(out.Pool, p.Pool)

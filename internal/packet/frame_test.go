@@ -94,6 +94,27 @@ func FuzzFrame(f *testing.F) {
 	f.Add(flipped)
 	short := AppendEnvelope(nil, FrameData, []byte{1, 2, 3}) // data frame, body too short
 	f.Add(short)
+	// Control-frame shapes from the wire protocol (hello/want/busy/bye and
+	// a welcome-like RLE body): valid envelopes the data decoder must
+	// reject as ErrCorruptFrame without panicking, plus truncations.
+	hello := AppendEnvelope(nil, 0x10, []byte{64, 0, 0, 0})
+	f.Add(hello)
+	f.Add(hello[:len(hello)-2])
+	want := AppendEnvelope(nil, 0x12, make([]byte, 16)) // two u64 positions
+	f.Add(want)
+	f.Add(want[:envelopeHeader+3])
+	busy := AppendEnvelope(nil, 0x14, []byte{7, 0, 0, 0, 16, 0, 0, 0})
+	f.Add(busy)
+	f.Add(AppendEnvelope(nil, 0x13, nil)) // bye: empty body
+	welcomeish := AppendEnvelope(nil, 0x11, []byte{
+		0, 0, 0, 0, 0, 0, 0, 1, // start
+		0, 4, // cycle len
+		0, 0, 0, 2, // version
+		0, 0, 0, 3, // rate
+		2, 0, 2, 1, // RLE kind runs
+	})
+	f.Add(welcomeish)
+	f.Add(welcomeish[:len(welcomeish)-3])
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, err := DecodeFrame(b)
 		if err != nil {

@@ -51,7 +51,15 @@ var (
 	obsBufDepth = obs.GetHistogram("air_station_sub_buffer_depth",
 		"sampled per-subscriber buffer occupancy in packets (every 256th delivery)",
 		obs.ExpBuckets(1, 4, 7))
+	obsRefused = obs.GetCounter("air_station_refused_subscribers_total",
+		"subscriptions refused by the MaxSubscribers admission cap")
 )
+
+// ErrFull reports that a Subscribe hit the station's MaxSubscribers
+// admission cap. Callers detect it with errors.Is; the wire broadcaster
+// converts it into a typed busy frame so a remote client learns it was
+// shed rather than timing out.
+var ErrFull = errors.New("station: subscriber limit reached")
 
 // Config tunes a station. The zero value is a virtual-clock station with
 // paper-sized packets and a generous per-subscriber buffer.
@@ -71,6 +79,10 @@ type Config struct {
 	// stations on one SharedClock, so every channel transmits global tick T
 	// before any channel transmits T+1 (internal/multichannel).
 	Clock *SharedClock
+	// MaxSubscribers caps concurrent subscriptions; Subscribe past the cap
+	// fails with ErrFull (admission control — a refused client costs one
+	// frame, an admitted one an indefinite broadcast feed). 0 = unlimited.
+	MaxSubscribers int
 }
 
 // Transmission is one packet as it crossed the air for one subscriber:
@@ -549,6 +561,10 @@ func (s *Station) subscribe(lossRate float64, seed int64, exact bool) (*Sub, err
 	defer s.mu.Unlock()
 	if !s.running {
 		return nil, fmt.Errorf("station: not on the air")
+	}
+	if s.cfg.MaxSubscribers > 0 && len(s.subs) >= s.cfg.MaxSubscribers {
+		obsRefused.Inc()
+		return nil, fmt.Errorf("%w (%d subscribers)", ErrFull, len(s.subs))
 	}
 	sub.start = s.pos
 	sub.want.Store(int64(sub.start))

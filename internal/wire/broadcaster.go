@@ -30,6 +30,8 @@ var (
 		"received datagrams rejected by the frame integrity check")
 	obsGaps = obs.GetCounter("air_wire_gap_packets_total",
 		"positions a receiver served as lost because the wire skipped past them")
+	obsBusy = obs.GetCounter("air_wire_refused_remotes_total",
+		"hellos refused with a busy frame (admission control: remote cap or full station)")
 )
 
 // BroadcasterOptions tune a wire broadcaster. The zero value is a
@@ -42,8 +44,15 @@ type BroadcasterOptions struct {
 	// Corrupt, when set, intercepts every outgoing data frame: tests use it
 	// to flip bits (the receiver must reject the frame by CRC and account
 	// the position as lost) or return nil to drop the datagram outright.
-	// The callback may mutate and return frame in place.
+	// The callback may mutate and return frame in place. It must be safe
+	// for concurrent use — one pump goroutine per remote calls it.
+	// chaos.Injector.WireHook is the standard deterministic implementation.
 	Corrupt func(pos uint64, frame []byte) []byte
+	// MaxRemotes caps concurrently subscribed remotes: a hello past the cap
+	// is answered with a busy frame (a typed refusal the receiver surfaces
+	// as ErrRefused) instead of a subscription the station cannot afford.
+	// A full station (station.ErrFull) is shed the same way. 0 = unlimited.
+	MaxRemotes int
 }
 
 // Broadcaster drains a live station onto a UDP socket: every remote
@@ -248,13 +257,23 @@ func (b *Broadcaster) hello(key string, raddr *net.UDPAddr, window int64) {
 		}
 		return
 	}
+	if b.opts.MaxRemotes > 0 && len(b.remotes) >= b.opts.MaxRemotes {
+		n := len(b.remotes)
+		b.mu.Unlock()
+		b.refuse(raddr, n)
+		return
+	}
 	b.mu.Unlock()
 
 	// Subscribe outside the lock (the station takes its own); a hello
 	// while the station is off the air gets no welcome — the receiver's
-	// dial retry reports it as nobody answering.
+	// dial retry reports it as nobody answering. A full station is a typed
+	// refusal: the client was shed, not lost.
 	sub, err := b.st.Subscribe(0, 0)
 	if err != nil {
+		if errors.Is(err, station.ErrFull) {
+			b.refuse(raddr, b.Remotes())
+		}
 		return
 	}
 	w, err := welcomeFor(b.st, sub.Start())
@@ -278,6 +297,14 @@ func (b *Broadcaster) hello(key string, raddr *net.UDPAddr, window int64) {
 		sub.Close()
 		return
 	}
+	if b.opts.MaxRemotes > 0 && len(b.remotes) >= b.opts.MaxRemotes {
+		// Lost an admission race while subscribing outside the lock.
+		n := len(b.remotes)
+		b.mu.Unlock()
+		sub.Close()
+		b.refuse(raddr, n)
+		return
+	}
 	b.remotes[key] = r
 	b.mu.Unlock()
 	obsHellos.Inc()
@@ -290,6 +317,14 @@ func (b *Broadcaster) hello(key string, raddr *net.UDPAddr, window int64) {
 	b.conn.WriteToUDP(w, raddr)
 	b.wg.Add(1)
 	go b.pump(key, r)
+}
+
+// refuse sheds a hello with a typed busy frame: the client learns it was
+// refused (and fails fast with ErrRefused) instead of burning its whole
+// dial deadline on silence.
+func (b *Broadcaster) refuse(raddr *net.UDPAddr, remotes int) {
+	obsBusy.Inc()
+	b.conn.WriteToUDP(appendBusy(nil, uint32(remotes), uint32(b.opts.MaxRemotes)), raddr)
 }
 
 // touch stamps the remote's liveness clock.

@@ -25,6 +25,8 @@
 //	want     receiver -> broadcaster  pos u64 (lowest position still
 //	                                  needed), limit u64 (exclusive credit)
 //	bye      either direction         stream over
+//	busy     broadcaster -> receiver  remotes u32, max u32 (admission
+//	                                  refusal: at capacity, try elsewhere)
 //
 // The welcome's kind schedule lets the receiver serve a position the wire
 // lost with the correct packet kind (clients may inspect Kind even on a
@@ -46,6 +48,7 @@ const (
 	frameWelcome uint8 = 0x11
 	frameWant    uint8 = 0x12
 	frameBye     uint8 = 0x13
+	frameBusy    uint8 = 0x14
 )
 
 // errProto reports a syntactically valid envelope whose control body does
@@ -175,4 +178,24 @@ func parseWant(body []byte) (pos, limit uint64, err error) {
 // appendBye frames an end-of-stream notice.
 func appendBye(dst []byte) []byte {
 	return packet.AppendEnvelope(dst, frameBye, nil)
+}
+
+// appendBusy frames an admission refusal: the broadcaster (or its station)
+// is at capacity and will not subscribe this remote. The body carries the
+// current remote count and the cap, so a shed client can report *why* it
+// was refused. Unlike silence, a busy frame lets the receiver fail fast
+// with a typed error instead of burning its whole dial deadline.
+func appendBusy(dst []byte, remotes, max uint32) []byte {
+	var body [8]byte
+	binary.LittleEndian.PutUint32(body[:], remotes)
+	binary.LittleEndian.PutUint32(body[4:], max)
+	return packet.AppendEnvelope(dst, frameBusy, body[:])
+}
+
+// parseBusy decodes an admission refusal.
+func parseBusy(body []byte) (remotes, max uint32, err error) {
+	if len(body) != 8 {
+		return 0, 0, fmt.Errorf("%w: busy body of %d bytes", errProto, len(body))
+	}
+	return binary.LittleEndian.Uint32(body), binary.LittleEndian.Uint32(body[4:]), nil
 }

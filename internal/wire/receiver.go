@@ -1,12 +1,43 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
 	"repro/internal/broadcast"
+	"repro/internal/obs"
 	"repro/internal/packet"
+)
+
+// Receiver-side instruments (DESIGN.md §12).
+var (
+	obsDead = obs.GetCounter("air_wire_dead_total",
+		"receivers that declared the broadcaster gone (silence or bye past every retry and redial)")
+	obsRedials = obs.GetCounter("air_wire_redials_total",
+		"mid-stream re-dial attempts after broadcaster silence or bye")
+	obsRestarts = obs.GetCounter("air_wire_restarts_total",
+		"re-dials that found a broadcaster with a different cycle (stale subscription)")
+)
+
+// Typed receiver failures. They surface through broadcast.AbortFeed (for
+// mid-query transport death) or as ordinary Dial errors; either way callers
+// classify with errors.Is.
+var (
+	// ErrDead marks a broadcaster gone for good: silent past the retry
+	// budget (and every configured redial), or it said bye and no redial
+	// brought it back. Distinct from injected simulator loss, which never
+	// kills a feed.
+	ErrDead = errors.New("wire: broadcaster gone")
+	// ErrRefused marks an admission refusal: the broadcaster answered with
+	// a busy frame instead of a welcome. The client was shed, not lost.
+	ErrRefused = errors.New("wire: broadcaster at capacity")
+	// ErrRestarted marks a successful redial onto a broadcaster whose cycle
+	// geometry (length or version) no longer matches the subscription: the
+	// partial answer the client holds was built on air that no longer
+	// exists. The receiver is stale; the session must re-attach fresh.
+	ErrRestarted = errors.New("wire: broadcaster restarted with a different cycle")
 )
 
 // ReceiverOptions tune one wire subscription. The zero value is a lossless
@@ -17,7 +48,7 @@ type ReceiverOptions struct {
 	// with broadcast.Lost over (Seed, position) at serve time — the same
 	// draw as the simulator, on top of whatever the real wire loses.
 	Loss float64
-	// Seed derives the injected loss pattern.
+	// Seed derives the injected loss pattern (and the dial backoff jitter).
 	Seed int64
 	// Window is the credit window in packets: how far ahead of the current
 	// read position the broadcaster may stream. Default 256 — deep enough
@@ -27,16 +58,31 @@ type ReceiverOptions struct {
 	// Timeout bounds one silent wait for the next datagram; on expiry the
 	// receiver re-sends its credit (the previous want datagram may itself
 	// have been lost) and, after Retries consecutive expiries, declares the
-	// wire dead. Default 2s.
+	// wire dead (or re-dials, with Redial). Default 2s.
 	Timeout time.Duration
 	// Retries is the number of consecutive timeouts tolerated before the
-	// feed aborts the query via broadcast.AbortFeed. Default 4.
+	// feed gives up on the current socket. Default 4.
 	Retries int
+	// DialTimeout bounds the whole hello/welcome handshake. Within it the
+	// hello is re-sent with capped jittered exponential backoff (not a
+	// fixed interval: a cold-starting fleet must not synchronize into a
+	// hello storm against a booting broadcaster). Default Retries*Timeout,
+	// matching the old fixed-interval budget.
+	DialTimeout time.Duration
+	// Redial is how many reconnection attempts a mid-stream death (silence
+	// past Retries, or a bye) is allowed before the feed aborts with
+	// ErrDead. Each attempt is a fresh socket and handshake; a welcome with
+	// the same cycle geometry resumes the stream in place (the missed air
+	// is re-anchored a whole number of cycles ahead, so the partial answer
+	// stays valid), a different geometry aborts with ErrRestarted. Default
+	// 0: die on the first death, the right call for loopback tests and the
+	// historical behavior.
+	Redial int
 }
 
 // Receiver is a remote subscription to a wire broadcast: a broadcast.Feed
-// (and Clocked and Prefetcher) over a connected UDP socket, so the
-// ordinary Tuner — and every scheme client above it — runs on a remote
+// (and Clocked, Prefetcher and Refreshable) over a connected UDP socket, so
+// the ordinary Tuner — and every scheme client above it — runs on a remote
 // broadcast exactly as on an in-process one. The receiver owns its socket
 // reads: like station.Sub, it is single-goroutine on the client side,
 // while the broadcaster side is concurrency-safe.
@@ -49,9 +95,17 @@ type ReceiverOptions struct {
 // Injected loss is applied at serve time on intact positions, keeping the
 // received frame's kind, so a loopback receiver is bit-identical to an
 // offline replay with equal (start, loss, seed).
+//
+// Position bookkeeping across redials: the client's positions are fixed at
+// the original subscription's coordinates; a redial that lands on a later
+// wire position re-anchors by a whole number of cycles (offset ≡ 0 mod L),
+// so client position p is always served wire position p+offset with an
+// identical cycle slot — content correctness survives the reconnect, and
+// the client never observes positions moving backwards.
 type Receiver struct {
-	conn *net.UDPConn
-	opts ReceiverOptions
+	conn  *net.UDPConn
+	raddr *net.UDPAddr
+	opts  ReceiverOptions
 
 	start    int
 	cycleLen int
@@ -59,26 +113,32 @@ type Receiver struct {
 	rate     int
 	kinds    []packet.Kind
 
-	limit int // exclusive credit bound granted so far
-	clock int // next global tick: everything below is served or slept over
+	limit  int // exclusive credit bound granted so far (client coords)
+	clock  int // next global tick: everything below is served or slept over
+	offset int // wire position minus client position; a multiple of cycleLen
 
 	pending    packet.Packet
 	pendingPos int
 	hasPending bool
 
-	corrupted int
-	wireLost  int
+	corrupted    int
+	wireLost     int
+	redials      int
+	unproductive int // redials since the last data frame actually arrived
+	stale        bool
 
-	readBuf []byte
-	sendBuf []byte
-	closed  bool
+	dialDraw uint64 // monotonic draw index for backoff jitter
+	readBuf  []byte
+	sendBuf  []byte
+	closed   bool
 }
 
 // Dial subscribes to the wire broadcaster at addr (host:port) and performs
 // the hello/welcome handshake. The returned receiver tunes in at Start(),
 // the absolute position of the first packet its subscription covers; wrap
 // it in a tuner with broadcast.NewFeedTuner(rx, rx.Start()) and Close it
-// when the query is done.
+// when the query is done. A broadcaster at capacity answers with a busy
+// frame, surfaced as an error wrapping ErrRefused.
 func Dial(addr string, opts ReceiverOptions) (*Receiver, error) {
 	if opts.Loss < 0 || opts.Loss >= 1 {
 		return nil, fmt.Errorf("wire: loss rate %v outside [0,1)", opts.Loss)
@@ -95,13 +155,44 @@ func Dial(addr string, opts ReceiverOptions) (*Receiver, error) {
 	if opts.Retries <= 0 {
 		opts.Retries = 4
 	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = time.Duration(opts.Retries) * opts.Timeout
+	}
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}
-	conn, err := net.DialUDP("udp", nil, raddr)
+	r := &Receiver{
+		raddr:   raddr,
+		opts:    opts,
+		readBuf: make([]byte, 2048),
+	}
+	if err := r.connect(); err != nil {
+		return nil, err
+	}
+	w, err := r.exchangeHello(time.Now().Add(opts.DialTimeout))
 	if err != nil {
-		return nil, fmt.Errorf("wire: %w", err)
+		// The hello may have landed with every welcome lost on the way
+		// back; a bye releases the half-made subscription instead of
+		// leaving a zombie remote parked on the broadcaster.
+		r.abandon()
+		return nil, err
+	}
+	r.start = int(w.Start)
+	r.cycleLen = int(w.CycleLen)
+	r.version = w.Version
+	r.rate = int(w.Rate)
+	r.kinds = w.Kinds
+	r.clock = r.start
+	r.limit = r.start + r.opts.Window // granted in the hello
+	return r, nil
+}
+
+// connect dials a fresh socket to the broadcaster.
+func (r *Receiver) connect() error {
+	conn, err := net.DialUDP("udp", nil, r.raddr)
+	if err != nil {
+		return fmt.Errorf("wire: %w", err)
 	}
 	// Ask the kernel for room to hold a full credit window of datagrams.
 	// The default socket buffer fits the default window with no headroom
@@ -110,17 +201,9 @@ func Dial(addr string, opts ReceiverOptions) (*Receiver, error) {
 	// a credit refill would tip it over and drop a datagram. Best effort:
 	// the kernel clamps the request to rmem_max, and any remaining shortfall
 	// surfaces honestly as wire loss, never as a wrong answer.
-	conn.SetReadBuffer(readBufferFor(opts.Window))
-	r := &Receiver{
-		conn:    conn,
-		opts:    opts,
-		readBuf: make([]byte, 2048),
-	}
-	if err := r.handshake(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return r, nil
+	conn.SetReadBuffer(readBufferFor(r.opts.Window))
+	r.conn = conn
+	return nil
 }
 
 // readBufferFor sizes the socket receive buffer for a credit window of w
@@ -136,19 +219,49 @@ func readBufferFor(w int) int {
 	return n
 }
 
-// handshake sends hello and waits for the welcome, retrying on silence.
-func (r *Receiver) handshake() error {
+// jitter returns the deterministic backoff multiplier in [0.5, 1.5) for
+// this receiver's n-th dial draw: the splitmix64 finalizer over (seed, n),
+// the repo's standard determinism discipline. Per-receiver seeds decorrelate
+// a fleet's backoff schedules — the whole point of jitter.
+func jitter(seed int64, n uint64) float64 {
+	z := uint64(seed) + n*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/float64(1<<53)
+}
+
+// exchangeHello drives one hello/welcome handshake on the current socket,
+// re-sending the hello with capped jittered exponential backoff until the
+// welcome arrives or the deadline passes. A busy frame fails fast with
+// ErrRefused — the broadcaster answered, it just will not have us.
+func (r *Receiver) exchangeHello(deadline time.Time) (welcome, error) {
 	hello := appendHello(nil, uint32(r.opts.Window))
-	for attempt := 0; attempt < r.opts.Retries; attempt++ {
+	base := r.opts.Timeout / 8
+	if base < 20*time.Millisecond {
+		base = 20 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
 		if _, err := r.conn.Write(hello); err != nil {
-			return fmt.Errorf("wire: hello: %w", err)
+			return welcome{}, fmt.Errorf("wire: hello: %w", err)
 		}
-		deadline := time.Now().Add(r.opts.Timeout)
+		// Exponentially widening, jittered listen window for this hello,
+		// capped at Timeout and at the overall dial deadline.
+		window := base << min(attempt, 6)
+		if window > r.opts.Timeout {
+			window = r.opts.Timeout
+		}
+		window = time.Duration(float64(window) * jitter(r.opts.Seed, r.dialDraw))
+		r.dialDraw++
+		wait := time.Now().Add(window)
+		if wait.After(deadline) {
+			wait = deadline
+		}
 		for {
-			r.conn.SetReadDeadline(deadline)
+			r.conn.SetReadDeadline(wait)
 			n, err := r.conn.Read(r.readBuf)
 			if err != nil {
-				break // timeout (or ICMP refusal): re-hello
+				break // window over (or ICMP refusal): re-hello
 			}
 			ftype, body, err := packet.OpenEnvelope(r.readBuf[:n])
 			if err != nil {
@@ -156,27 +269,30 @@ func (r *Receiver) handshake() error {
 				obsCorrupt.Inc()
 				continue
 			}
-			if ftype != frameWelcome {
+			switch ftype {
+			case frameWelcome:
+				w, err := parseWelcome(body)
+				if err != nil {
+					continue
+				}
+				return w, nil
+			case frameBusy:
+				remotes, max, err := parseBusy(body)
+				if err != nil {
+					continue
+				}
+				return welcome{}, fmt.Errorf("%w (%d/%d remotes) at %v", ErrRefused, remotes, max, r.raddr)
+			default:
 				// A data frame that overtook the welcome on a reordering
 				// network; discarding it surfaces the position as an
 				// ordinary wire gap once the stream is up.
 				continue
 			}
-			w, err := parseWelcome(body)
-			if err != nil {
-				continue
-			}
-			r.start = int(w.Start)
-			r.cycleLen = int(w.CycleLen)
-			r.version = w.Version
-			r.rate = int(w.Rate)
-			r.kinds = w.Kinds
-			r.clock = r.start
-			r.limit = r.start + r.opts.Window // granted in the hello
-			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return welcome{}, fmt.Errorf("wire: no broadcaster answering at %v: %w", r.raddr, ErrDead)
 		}
 	}
-	return fmt.Errorf("wire: no broadcaster answering at %v", r.conn.RemoteAddr())
 }
 
 // Start returns the tune-in position: the first absolute position this
@@ -185,7 +301,8 @@ func (r *Receiver) Start() int { return r.start }
 
 // Len returns the cycle length in packets (broadcast.Feed). Wire
 // deployments serve a static cycle, so the length learned at handshake
-// holds for the subscription's lifetime.
+// holds for the subscription's lifetime; a redial that lands on a
+// different length marks the receiver stale instead of changing it.
 func (r *Receiver) Len() int { return r.cycleLen }
 
 // Version returns the cycle version the broadcaster welcomed us onto.
@@ -203,9 +320,19 @@ func (r *Receiver) Clock() int { return r.clock }
 // TuneIn returns the tick the subscription began at (latency zero point).
 func (r *Receiver) TuneIn() int { return r.start }
 
+// Stale reports whether a redial found the air changed underneath the
+// subscription (broadcast.Refreshable): the cycle geometry of the
+// restarted broadcaster no longer matches what this receiver was built on,
+// so it must not be re-entered — the session re-attaches a fresh one.
+func (r *Receiver) Stale() bool { return r.stale }
+
 // Corrupted returns how many received datagrams failed the frame
 // integrity check (bad magic, truncation, CRC mismatch) and were dropped.
 func (r *Receiver) Corrupted() int { return r.corrupted }
+
+// Redials returns how many mid-stream reconnection attempts this receiver
+// has made.
+func (r *Receiver) Redials() int { return r.redials }
 
 // WireLost returns how many positions this receiver served as lost
 // because the wire skipped past them — dropped, corrupted or reordered
@@ -231,9 +358,11 @@ func (r *Receiver) Prefetch(abs, n int) {
 // returns its packet (broadcast.Feed). Frames below abs were slept over
 // and are discarded; a frame beyond abs means the wire lost abs, which is
 // served as a corrupted reception with the correct kind. If the
-// broadcaster says bye or falls silent past the retry budget the feed
-// aborts the query via broadcast.AbortFeed — a dead wire, unlike a
-// stopped in-process station, has no cycle to degrade to.
+// broadcaster says bye or falls silent past the retry budget, the receiver
+// re-dials up to Redial times (fresh socket, fresh handshake, stream
+// re-anchored); past that the feed aborts the query via
+// broadcast.AbortFeed with ErrDead — a dead wire, unlike a stopped
+// in-process station, has no cycle to degrade to.
 func (r *Receiver) At(abs int) (packet.Packet, bool) {
 	if r.closed {
 		broadcast.AbortFeed(fmt.Errorf("wire: receiver used after Close"))
@@ -269,8 +398,10 @@ func (r *Receiver) At(abs int) (packet.Packet, bool) {
 					continue
 				}
 			}
-			broadcast.AbortFeed(fmt.Errorf("wire: broadcast from %v went silent at position %d: %w",
-				r.conn.RemoteAddr(), abs, err))
+			r.redial(abs, fmt.Errorf("wire: broadcast from %v went silent at position %d: %w",
+				r.raddr, abs, err))
+			timeouts = 0
+			continue
 		}
 		obsRecv.Inc()
 		ftype, _, err := packet.OpenEnvelope(r.readBuf[:n])
@@ -284,8 +415,10 @@ func (r *Receiver) At(abs int) (packet.Packet, bool) {
 		case frameWelcome:
 			continue // duplicate handshake reply
 		case frameBye:
-			broadcast.AbortFeed(fmt.Errorf("wire: broadcaster %v closed the stream at position %d",
-				r.conn.RemoteAddr(), abs))
+			r.redial(abs, fmt.Errorf("wire: broadcaster %v closed the stream at position %d",
+				r.raddr, abs))
+			timeouts = 0
+			continue
 		default:
 			continue
 		}
@@ -296,7 +429,8 @@ func (r *Receiver) At(abs int) (packet.Packet, bool) {
 			continue
 		}
 		timeouts = 0
-		switch pos := int(f.Pos); {
+		r.unproductive = 0 // real data: the stream is alive again
+		switch pos := int(f.Pos) - r.offset; {
 		case pos < abs:
 			// Slept over, or a duplicate; the radio was off for it.
 		case pos == abs:
@@ -308,9 +442,95 @@ func (r *Receiver) At(abs int) (packet.Packet, bool) {
 	}
 }
 
+// abandon gives up on the current socket: a best-effort bye first, so the
+// broadcaster releases whatever remote this socket had (a zombie remote
+// parks its pump and, on a virtual clock, wedges the whole station until
+// the janitor reaps it), then the close.
+func (r *Receiver) abandon() {
+	r.sendBuf = appendBye(r.sendBuf[:0])
+	r.conn.Write(r.sendBuf)
+	r.conn.Close()
+}
+
+// redial tears the dead socket down and reconnects, up to opts.Redial
+// attempts; cause is what killed the stream. On success the subscription
+// is re-anchored at client position abs and At's read loop resumes; on
+// exhaustion (or a changed broadcast) the feed aborts, so redial only
+// returns after a successful reconnect.
+//
+// The budget is charged per stretch of silence, not per call: redials since
+// the last received data frame accumulate in r.unproductive (reset by At on
+// real data), so a broadcaster that answers handshakes but never streams —
+// a wedged station behind a live socket — cannot string a receiver along
+// with an endless welcome-timeout-welcome loop.
+func (r *Receiver) redial(abs int, cause error) {
+	r.abandon()
+	if r.opts.Redial <= 0 {
+		obsDead.Inc()
+		broadcast.AbortFeed(fmt.Errorf("%w: %v", ErrDead, cause))
+	}
+	if r.unproductive >= r.opts.Redial {
+		obsDead.Inc()
+		broadcast.AbortFeed(fmt.Errorf("%w: %d redials produced no data: %v",
+			ErrDead, r.unproductive, cause))
+	}
+	base := r.opts.Timeout / 8
+	if base < 20*time.Millisecond {
+		base = 20 * time.Millisecond
+	}
+	for attempt := 0; attempt < r.opts.Redial; attempt++ {
+		r.redials++
+		r.unproductive++
+		obsRedials.Inc()
+		if attempt > 0 {
+			// The broadcaster just refused to answer a whole DialTimeout of
+			// hellos; pause (jittered, widening) before the next storm.
+			pause := time.Duration(float64(base<<min(attempt, 6)) * jitter(r.opts.Seed, r.dialDraw))
+			r.dialDraw++
+			time.Sleep(pause)
+		}
+		if err := r.connect(); err != nil {
+			continue
+		}
+		w, err := r.exchangeHello(time.Now().Add(r.opts.DialTimeout))
+		if err != nil {
+			r.abandon()
+			if errors.Is(err, ErrRefused) {
+				// The broadcaster is back but shedding load; a shed client
+				// must not hammer it with more redials.
+				broadcast.AbortFeed(fmt.Errorf("wire: redial refused: %w", err))
+			}
+			continue
+		}
+		if int(w.CycleLen) != r.cycleLen || w.Version != r.version {
+			// The air changed underneath us: whatever partial answer the
+			// client holds was built on a cycle that no longer exists.
+			r.stale = true
+			obsRestarts.Inc()
+			broadcast.AbortFeed(fmt.Errorf("%w: cycle %d v%d is now %d v%d",
+				ErrRestarted, r.cycleLen, r.version, w.CycleLen, w.Version))
+		}
+		// Re-anchor: the new subscription covers wire positions >= w.Start.
+		// Advance the offset by whole cycles until client position abs maps
+		// at or past it — same cycle slots, so the client's reception plan
+		// and partial answer stay valid; the skipped air is just more
+		// latency, which the wall clock already charged.
+		if need := int(w.Start) - (abs + r.offset); need > 0 {
+			r.offset += (need + r.cycleLen - 1) / r.cycleLen * r.cycleLen
+		}
+		r.hasPending = false
+		r.limit = abs
+		r.sendWant(abs, abs+r.opts.Window)
+		return
+	}
+	obsDead.Inc()
+	broadcast.AbortFeed(fmt.Errorf("%w after %d redials: %v", ErrDead, r.opts.Redial, cause))
+}
+
 // serve returns the received packet at abs, applying the injected-loss
 // draw exactly as the simulator does (the kind survives, the payload does
-// not).
+// not). The draw runs on client coordinates, so a receiver that redialed
+// mid-query keeps the same deterministic loss pattern it started with.
 func (r *Receiver) serve(abs int, p packet.Packet) (packet.Packet, bool) {
 	r.clock = abs + 1
 	if broadcast.Lost(uint64(r.opts.Seed), abs, r.opts.Loss) {
@@ -320,7 +540,8 @@ func (r *Receiver) serve(abs int, p packet.Packet) (packet.Packet, bool) {
 }
 
 // gap serves a position the wire lost as a corrupted reception with the
-// correct kind from the welcome schedule.
+// correct kind from the welcome schedule. (offset is a multiple of the
+// cycle length, so client coordinates index the schedule directly.)
 func (r *Receiver) gap(abs int) (packet.Packet, bool) {
 	r.clock = abs + 1
 	r.wireLost++
@@ -337,9 +558,10 @@ func clonePacket(p packet.Packet) packet.Packet {
 	return p
 }
 
-// sendWant grants the broadcaster credit to stream [pos, limit).
+// sendWant grants the broadcaster credit to stream client positions
+// [pos, limit), translated to wire coordinates on the way out.
 func (r *Receiver) sendWant(pos, limit int) {
-	r.sendBuf = appendWant(r.sendBuf[:0], uint64(pos), uint64(limit))
+	r.sendBuf = appendWant(r.sendBuf[:0], uint64(pos+r.offset), uint64(limit+r.offset))
 	if _, err := r.conn.Write(r.sendBuf); err == nil {
 		if limit > r.limit {
 			r.limit = limit

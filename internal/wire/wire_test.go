@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -321,6 +322,8 @@ func TestDeadWireAborts(t *testing.T) {
 	}
 	if err := read(); err == nil {
 		t.Fatal("receiver kept serving after the broadcaster closed")
+	} else if !errors.Is(err, ErrDead) {
+		t.Fatalf("dead wire surfaced as %v, want ErrDead", err)
 	}
 }
 

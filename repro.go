@@ -44,6 +44,7 @@ import (
 	"net/http"
 
 	"repro/internal/broadcast"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/fleet"
@@ -76,6 +77,41 @@ const (
 
 // Methods lists all implemented methods in the paper's presentation order.
 var Methods = deploy.Methods
+
+// Typed failure sentinels (match with errors.Is). They classify the
+// outcomes a chaos-hardened deployment must account explicitly: degraded
+// answers (budgets), shed clients (admission control), and dead or
+// restarted broadcasters.
+var (
+	// ErrBudgetExceeded classifies a session query aborted by its answer
+	// budget (SessionOptions.Deadline / TuningBudget); the concrete error
+	// is a *BudgetError.
+	ErrBudgetExceeded = deploy.ErrBudgetExceeded
+	// ErrWireDead marks a wire broadcaster gone for good: silent past every
+	// retry and redial.
+	ErrWireDead = wire.ErrDead
+	// ErrWireRefused marks an admission refusal: the broadcaster answered
+	// with a busy frame (at capacity) instead of a welcome.
+	ErrWireRefused = wire.ErrRefused
+	// ErrWireRestarted marks a redial that found the broadcaster serving a
+	// different cycle: the subscription is stale and the session
+	// re-attaches fresh.
+	ErrWireRestarted = wire.ErrRestarted
+	// ErrStationFull marks a subscription refused by a station's
+	// MaxSubscribers admission cap.
+	ErrStationFull = station.ErrFull
+	// ErrTuningBudget marks a tuner that exhausted its packet allowance
+	// (the underlying cause inside a *BudgetError with Reason "tuning").
+	ErrTuningBudget = broadcast.ErrTuningBudget
+)
+
+// NewChaosProxy starts a fault proxy listening at listen and relaying to
+// the broadcaster at upstream, applying the per-direction fault plans of
+// opts to every datagram. Point WithRemote (or airfleet -connect) at
+// Proxy.Addr() instead of the broadcaster to load-test through faults.
+func NewChaosProxy(listen, upstream string, opts ChaosProxyOptions) (*ChaosProxy, error) {
+	return chaos.NewProxy(listen, upstream, opts)
+}
 
 // Params tunes a method's server. Zero values select the paper's defaults.
 type Params = deploy.Params
@@ -148,8 +184,23 @@ type (
 	// Corrupted), never as wrong data.
 	WireReceiver = wire.Receiver
 	// WireReceiverOptions tune a receiver dial: injected loss on top of
-	// real network loss, credit window, timeouts.
+	// real network loss, credit window, timeouts, and the redial budget a
+	// receiver spends surviving a broadcaster restart.
 	WireReceiverOptions = wire.ReceiverOptions
+	// ChaosPlan is one direction's deterministic fault schedule — Gilbert-
+	// Elliott bursty loss, reordering, duplication, corruption, blackhole
+	// windows — seeded like the simulator, so every chaos run replays.
+	ChaosPlan = chaos.Plan
+	// ChaosProxy is a netem-style UDP fault box: dial it instead of the
+	// broadcaster and every datagram through it runs the fault plan.
+	ChaosProxy = chaos.Proxy
+	// ChaosProxyOptions pair a downstream and an upstream ChaosPlan.
+	ChaosProxyOptions = chaos.ProxyOptions
+	// ChaosStats counts the faults a proxy (or injector) actually applied.
+	ChaosStats = chaos.Stats
+	// BudgetError reports a degraded answer: a session query aborted by its
+	// tuning or deadline budget (errors.Is ErrBudgetExceeded).
+	BudgetError = deploy.BudgetError
 	// FleetOptions tunes a concurrent load run (Deployment.RunFleet).
 	FleetOptions = fleet.Options
 	// FleetResult aggregates a load run: means, p50/p95/p99 tails and

@@ -251,7 +251,7 @@ func main() {
 func realMain() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment: table1|table2|table3|fig10|fig11|fig12|fig13|fig14|bench|compare|churn|all")
-		preset     = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
+		preset     = flag.String("preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco|continent)")
 		scale      = flag.Float64("scale", 0.05, "network scale factor (1.0 = paper-sized)")
 		queries    = flag.Int("queries", 400, "queries per experiment")
 		seed       = flag.Int64("seed", 2010, "random seed")

@@ -67,6 +67,13 @@ type config struct {
 	// every admitted listener. 0 = unlimited.
 	maxSubscribers int
 	maxRemotes     int
+
+	// Warm restarts: cacheDir roots a persistent disk tier under the build
+	// cache (servercache) so a restart with the same network/method/params
+	// mmaps the previous run's cycle and border precomputation instead of
+	// rebuilding; cacheBytes budgets it (0 = unbounded). "" disables.
+	cacheDir   string
+	cacheBytes int64
 }
 
 // run builds the deployment for the requested shape, puts it on the air,
@@ -89,6 +96,13 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 	}
 	if cfg.channels > 1 {
 		opts = append(opts, repro.WithChannels(cfg.channels))
+	}
+	if cfg.cacheDir != "" {
+		network := fmt.Sprintf("%s/%g/%d", cfg.preset, cfg.scale, cfg.seed)
+		opts = append(opts,
+			repro.WithCache(network),
+			repro.WithDiskCache(cfg.cacheDir, cfg.cacheBytes))
+		fmt.Fprintf(out, "cache    %s (key %s, budget %s)\n", cfg.cacheDir, network, byteBudget(cfg.cacheBytes))
 	}
 	if cfg.updates > 0 {
 		opts = append(opts, repro.WithUpdates(repro.UpdateConfig{
@@ -176,6 +190,14 @@ func run(ctx context.Context, cfg config, out io.Writer) (repro.RunReport, error
 	return rep, nil
 }
 
+// byteBudget renders a -cache-bytes budget for the startup banner.
+func byteBudget(n int64) string {
+	if n <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d bytes", n)
+}
+
 // report renders the load-test summary.
 func report(w io.Writer, r repro.FleetResult) {
 	fmt.Fprintf(w, "\nfleet    %d clients, %d queries in %v", r.Clients, r.Queries, r.Elapsed.Round(time.Millisecond))
@@ -219,7 +241,7 @@ func report(w io.Writer, r repro.FleetResult) {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.method, "method", "NR", "air-index method: DJ|NR|EB|LD|AF|SPQ|HiTi")
-	flag.StringVar(&cfg.preset, "preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco)")
+	flag.StringVar(&cfg.preset, "preset", "germany", "network preset (milan|germany|argentina|india|sanfrancisco|continent)")
 	flag.Float64Var(&cfg.scale, "scale", 0.05, "network scale factor (1.0 = paper-sized)")
 	flag.IntVar(&cfg.clients, "clients", 100, "concurrent clients in the fleet (0 with -listen = serve-only, no local fleet)")
 	flag.IntVar(&cfg.queries, "queries", 2000, "total queries across the fleet")
@@ -237,6 +259,8 @@ func main() {
 	flag.BoolVar(&cfg.linger, "linger", false, "stay on the air after the fleet completes, until SIGINT/SIGTERM")
 	flag.IntVar(&cfg.maxSubscribers, "max-subscribers", 0, "station subscription cap; extra clients are refused, not degraded (0 = unlimited)")
 	flag.IntVar(&cfg.maxRemotes, "max-remotes", 0, "wire remote-receiver cap (-listen); extra dials get a typed busy refusal (0 = unlimited)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persistent build-cache directory: warm restarts mmap the previous run's cycle instead of rebuilding; empty = disabled")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 0, "disk cache byte budget with -cache-dir; least-recently-used entries evict past it (0 = unbounded)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

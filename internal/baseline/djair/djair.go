@@ -6,6 +6,7 @@
 package djair
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/baseline/fullcycle"
@@ -33,6 +34,38 @@ func New(g *graph.Graph) *Server {
 	asm := broadcast.NewAssembler()
 	asm.Append(packet.KindData, -1, "network", netdata.EncodeNodes(g, nodes, nil, nil))
 	return &Server{g: g, cycle: asm.Finish()}
+}
+
+// WriteCycle streams the data-only DJ cycle for g to w in the broadcast
+// cycle-file format without materializing it: a count-only pass fixes the
+// layout, then packets are encoded and written in small batches. The bytes
+// decode (broadcast.DecodeCycle) to exactly New(g).Cycle() with
+// SetVersion(version) applied. This is the continent-scale build path: peak
+// memory stays flat in the cycle size.
+func WriteCycle(w io.Writer, g *graph.Graph, version uint32) error {
+	nodes := make([]graph.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	total := netdata.CountNodes(g, nodes, nil, nil)
+	cw, err := broadcast.NewCycleWriter(w, total, nil, version)
+	if err != nil {
+		return err
+	}
+	if _, err := cw.BeginSection(packet.KindData, -1, "network"); err != nil {
+		return err
+	}
+	if err := netdata.StreamNodes(g, nodes, nil, nil, 1024, cw.Emit); err != nil {
+		return err
+	}
+	return cw.Close()
+}
+
+// FromCycle wraps an already-built cycle (typically decoded from a disk
+// cache entry whose payload is mmap'd) as a DJ server for g, skipping
+// assembly entirely.
+func FromCycle(g *graph.Graph, cycle *broadcast.Cycle) *Server {
+	return &Server{g: g, cycle: cycle}
 }
 
 // Name implements scheme.Server.

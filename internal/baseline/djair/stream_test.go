@@ -1,0 +1,47 @@
+package djair
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/netgen"
+)
+
+// TestWriteCycleBitIdentical pins the streamed DJ build against the
+// in-memory one: the cycle file decodes to exactly New(g).Cycle().
+func TestWriteCycleBitIdentical(t *testing.T) {
+	g, err := netgen.Generate(800, 900, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(g).Cycle()
+	want.SetVersion(5)
+
+	var buf bytes.Buffer
+	if err := WriteCycle(&buf, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := broadcast.DecodeCycle(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || got.Len() != want.Len() {
+		t.Fatalf("decoded %d packets v%d, want %d v%d", got.Len(), got.Version, want.Len(), want.Version)
+	}
+	for i := range want.Packets {
+		w, g := want.Packets[i], got.Packets[i]
+		if g.Kind != w.Kind || g.NextIndex != w.NextIndex || g.Version != w.Version || !bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	if len(got.Sections) != 1 || got.Sections[0] != want.Sections[0] {
+		t.Fatalf("sections = %+v, want %+v", got.Sections, want.Sections)
+	}
+
+	// A server wrapped around the decoded cycle is the warm-restart path.
+	warm := FromCycle(g, got)
+	if warm.Cycle().Len() != want.Len() {
+		t.Fatal("FromCycle server serves a different cycle")
+	}
+}

@@ -80,6 +80,27 @@ func NewEBShared(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regio
 	return e
 }
 
+// NewEBFromCycle wraps an already-assembled cycle — typically decoded from
+// a disk-cache entry whose payload is mmap'd — as an EB server, skipping
+// assembly: the warm-restart path. The caller vouches that cycle was built
+// from exactly (g, kd, regions, border, opts); pre is charged from the
+// border data, which records the pre-computation the cycle embodies.
+func NewEBFromCycle(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regions, border *precompute.BorderData, opts Options, cycle *broadcast.Cycle) *EB {
+	return &EB{opts: opts, g: g, kd: kd, regions: regions, border: border, pre: border.Elapsed, cycle: cycle}
+}
+
+// RebuildFromCycle is the warm variant of Rebuild: the border data and the
+// assembled cycle for the weight-mutated network g2 were already computed
+// (by a previous process run, loaded from the disk cache), so only the
+// topology check runs. The caller vouches border and cycle belong to g2
+// under this server's partition and options.
+func (e *EB) RebuildFromCycle(g2 *graph.Graph, border *precompute.BorderData, cycle *broadcast.Cycle) (*EB, error) {
+	if err := rebuildable(e.g, g2); err != nil {
+		return nil, fmt.Errorf("core: EB: %w", err)
+	}
+	return NewEBFromCycle(g2, e.kd, e.regions, border, e.opts, cycle), nil
+}
+
 // Rebuild builds a new EB server broadcasting the same road network with
 // mutated arc weights (internal/update's cycle rebuild entry point). The
 // kd-tree partition and the region/border structure are functions of
@@ -144,24 +165,46 @@ func regionSegments(g *graph.Graph, regions *precompute.Regions, border *precomp
 	return cross, local
 }
 
-func (e *EB) assemble(kd *partition.KDTree) *broadcast.Cycle {
-	n := e.regions.N
-	cross, local := regionSegments(e.g, e.regions, e.border, e.opts.Segments, e.opts.POI)
+// ebItem is one entry of an EB cycle layout: an index copy or a region's
+// data (cross segment, then local segment).
+type ebItem struct {
+	index  bool
+	region int
+}
+
+// ebPlan is the fully determined layout of an EB cycle, computed from
+// per-region packet counts alone: emitters walk it in order, so packets
+// never need to exist before their turn. Both the in-memory assemble and
+// the streamed out-of-core build run the same plan, which is what makes
+// them bit-identical.
+type ebPlan struct {
+	layout    []ebItem
+	idx       []packet.Packet // one materialized index copy (always small)
+	offs      []airidx.RegionOffset
+	idxStarts []int // cycle positions of the index copies, ascending
+	total     int   // total cycle length in packets
+}
+
+// planEB computes the EB cycle layout for per-region cross/local packet
+// counts: the (1,m)-interleaving, the final region offsets, and the index
+// copy itself.
+func planEB(g *graph.Graph, kd *partition.KDTree, border *precompute.BorderData, opts Options, crossN, localN []int) *ebPlan {
+	n := len(crossN)
 	totalData := 0
 	for r := 0; r < n; r++ {
-		totalData += len(cross[r]) + len(local[r])
+		totalData += crossN[r] + localN[r]
 	}
 
 	cellW := 3
-	if !e.opts.SquareCells {
+	if !opts.SquareCells {
 		cellW = 1 // degenerate blocks: row-major runs of single cells
 	}
 	buildIndex := func(offs []airidx.RegionOffset) []packet.Packet {
 		var recs []airidx.Rec
 		recs = append(recs, airidx.KDSplitRecords(kd.Splits())...)
-		recs = append(recs, airidx.EBCellRecords(e.border.MinDist, e.border.MaxDist, cellW)...)
+		recs = append(recs, airidx.EBCellRecords(border.MinDist, border.MaxDist, cellW)...)
 		recs = append(recs, airidx.OffsetRecords(offs, false)...)
-		return airidx.PackIndex(recs, e.g.NumNodes(), n, airidx.GlobalRegion)
+		return airidx.PackIndex(recs, g.NumNodes(), n, airidx.GlobalRegion)
 	}
 
 	// Pass 1: index size with placeholder offsets (fixed-width fields, so
@@ -171,51 +214,62 @@ func (e *EB) assemble(kd *partition.KDTree) *broadcast.Cycle {
 
 	// Layout: m index copies forced between regions (never cutting a
 	// region's data), at approximately even data intervals.
-	type item struct {
-		index  bool
-		region int
-	}
-	var layout []item
+	var layout []ebItem
 	emitted := 0
 	copies := 0
 	for r := 0; r < n; r++ {
 		if copies < m && emitted*m >= copies*totalData {
-			layout = append(layout, item{index: true})
+			layout = append(layout, ebItem{index: true})
 			copies++
 		}
-		layout = append(layout, item{region: r})
-		emitted += len(cross[r]) + len(local[r])
+		layout = append(layout, ebItem{region: r})
+		emitted += crossN[r] + localN[r]
 	}
 	for copies < m {
-		layout = append(layout, item{index: true})
+		layout = append(layout, ebItem{index: true})
 		copies++
 	}
 
 	// Compute final positions.
 	offs := make([]airidx.RegionOffset, n)
+	var idxStarts []int
 	pos := 0
 	for _, it := range layout {
 		if it.index {
+			idxStarts = append(idxStarts, pos)
 			pos += nIdx
 			continue
 		}
 		r := it.region
 		offs[r] = airidx.RegionOffset{
 			DataStart: pos,
-			NCross:    len(cross[r]),
-			NLocal:    len(local[r]),
+			NCross:    crossN[r],
+			NLocal:    localN[r],
 		}
-		pos += len(cross[r]) + len(local[r])
+		pos += crossN[r] + localN[r]
 	}
 
 	idx := buildIndex(offs)
 	if len(idx) != nIdx {
 		panic("core: EB index size changed between passes")
 	}
+	return &ebPlan{layout: layout, idx: idx, offs: offs, idxStarts: idxStarts, total: pos}
+}
+
+func (e *EB) assemble(kd *partition.KDTree) *broadcast.Cycle {
+	n := e.regions.N
+	cross, local := regionSegments(e.g, e.regions, e.border, e.opts.Segments, e.opts.POI)
+	crossN := make([]int, n)
+	localN := make([]int, n)
+	for r := 0; r < n; r++ {
+		crossN[r], localN[r] = len(cross[r]), len(local[r])
+	}
+	plan := planEB(e.g, kd, e.border, e.opts, crossN, localN)
+
 	asm := broadcast.NewAssembler()
-	for _, it := range layout {
+	for _, it := range plan.layout {
 		if it.index {
-			asm.Append(packet.KindIndex, -1, "EB index", idx)
+			asm.Append(packet.KindIndex, -1, "EB index", plan.idx)
 			continue
 		}
 		asm.Append(packet.KindData, it.region, fmt.Sprintf("R%d cross", it.region), cross[it.region])

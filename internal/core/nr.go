@@ -58,6 +58,25 @@ func newNRShared(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regio
 	return s, nil
 }
 
+// NewNRFromCycle wraps an already-assembled cycle — typically decoded from
+// a disk-cache entry whose payload is mmap'd — as an NR server, skipping
+// assembly: the warm-restart path. The caller vouches that cycle was built
+// from exactly (g, kd, regions, border, opts).
+func NewNRFromCycle(g *graph.Graph, kd *partition.KDTree, regions *precompute.Regions, border *precompute.BorderData, opts Options, cycle *broadcast.Cycle) *NR {
+	return &NR{opts: opts, g: g, kd: kd, regions: regions, border: border, pre: border.Elapsed, cycle: cycle}
+}
+
+// RebuildFromCycle is the warm variant of Rebuild: border data and cycle
+// for the weight-mutated network g2 come from the disk cache instead of
+// recomputation. The caller vouches they belong to g2 under this server's
+// partition and options.
+func (s *NR) RebuildFromCycle(g2 *graph.Graph, border *precompute.BorderData, cycle *broadcast.Cycle) (*NR, error) {
+	if err := rebuildable(s.g, g2); err != nil {
+		return nil, fmt.Errorf("core: NR: %w", err)
+	}
+	return NewNRFromCycle(g2, s.kd, s.regions, border, s.opts, cycle), nil
+}
+
 // Rebuild builds a new NR server broadcasting the same road network with
 // mutated arc weights, reusing the kd partition and region structure (pure
 // functions of coordinates and topology) and re-running the parallel border

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/broadcast"
+	"repro/internal/graph"
+	"repro/internal/netdata"
+	"repro/internal/packet"
+	"repro/internal/partition"
+	"repro/internal/precompute"
+)
+
+// streamBatch is how many packets a streamed build materializes at a time:
+// one batch of fixed packets (~170 KB) instead of the whole cycle.
+const streamBatch = 1024
+
+// StreamEBCycle writes the EB cycle for pre-computed parts directly to w in
+// the broadcast cycle-file format, emitting each region's segments as they
+// are encoded instead of materializing the cycle: peak memory stays flat in
+// the cycle size (one index copy plus one packet batch), which is what lets
+// a continent-scale build run on a machine whose RAM the cycle exceeds.
+//
+// The bytes written decode (broadcast.DecodeCycle) to exactly the cycle
+// NewEBShared(g, kd, regions, border, opts) assembles in memory with
+// SetVersion(version) applied — the layout is computed by the same planEB
+// and the packets by the same netdata encoder, via the count-only sink.
+func StreamEBCycle(w io.Writer, g *graph.Graph, kd *partition.KDTree, regions *precompute.Regions, border *precompute.BorderData, opts Options, version uint32) error {
+	n := regions.N
+
+	// Determine each region's node order once; segment counts follow from
+	// the count-only encoding pass — no packets yet.
+	crossNodes := make([][]graph.NodeID, n)
+	localNodes := make([][]graph.NodeID, n)
+	crossN := make([]int, n)
+	localN := make([]int, n)
+	precompute.ParallelFor(n, func(r int) {
+		if opts.Segments {
+			ordered, nCross := precompute.SplitSegments(regions.Nodes[r], border.CrossBorder)
+			crossNodes[r], localNodes[r] = ordered[:nCross], ordered[nCross:]
+		} else {
+			// Without segmentation everything is "cross": clients always
+			// listen to the whole region.
+			crossNodes[r] = regions.Nodes[r]
+		}
+		crossN[r] = netdata.CountNodes(g, crossNodes[r], regions.IsBorder, opts.POI)
+		localN[r] = netdata.CountNodes(g, localNodes[r], regions.IsBorder, opts.POI)
+	})
+	plan := planEB(g, kd, border, opts, crossN, localN)
+
+	cw, err := broadcast.NewCycleWriter(w, plan.total, plan.idxStarts, version)
+	if err != nil {
+		return err
+	}
+	for _, it := range plan.layout {
+		if it.index {
+			if _, err := cw.Append(packet.KindIndex, -1, "EB index", plan.idx); err != nil {
+				return err
+			}
+			continue
+		}
+		r := it.region
+		if _, err := cw.BeginSection(packet.KindData, r, fmt.Sprintf("R%d cross", r)); err != nil {
+			return err
+		}
+		if err := netdata.StreamNodes(g, crossNodes[r], regions.IsBorder, opts.POI, streamBatch, cw.Emit); err != nil {
+			return err
+		}
+		if localN[r] > 0 {
+			if _, err := cw.BeginSection(packet.KindData, r, fmt.Sprintf("R%d local", r)); err != nil {
+				return err
+			}
+			if err := netdata.StreamNodes(g, localNodes[r], regions.IsBorder, opts.POI, streamBatch, cw.Emit); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Close()
+}

@@ -78,6 +78,8 @@ type config struct {
 	upd       *UpdateConfig
 	poi       []bool
 	cacheNet  string
+	diskDir   string
+	diskBytes int64
 	remote    string
 
 	// prebuilt parts (the deprecated wrappers route through these).
@@ -136,6 +138,17 @@ func WithPOI(poi []bool) Option { return func(c *config) { c.poi = poi } }
 // tests and fuzzers naming the same (network, method, params) share one
 // immutable build instead of repeating the pre-computation.
 func WithCache(network string) Option { return func(c *config) { c.cacheNet = network } }
+
+// WithDiskCache persists keyed builds across process restarts: cycles and
+// border pre-computation write to a diskcache tier rooted at dir (LRU
+// byte budget maxBytes, 0 = unbounded), and a later deployment naming the
+// same (network, method, params) loads them instead of re-running the
+// Dijkstra storm — the cycle served straight from an mmap'd cache entry.
+// Requires WithCache to name the network (the disk key). EB, NR and DJ
+// warm-load; other methods still build cold but share the tier's dir.
+func WithDiskCache(dir string, maxBytes int64) Option {
+	return func(c *config) { c.diskDir = dir; c.diskBytes = maxBytes }
+}
 
 // withServer injects an already-built server: the deprecated facade
 // wrappers route existing components through the Deployment path with it.
@@ -217,6 +230,17 @@ func Deploy(g *graph.Graph, opts ...Option) (*Deployment, error) {
 		}
 		if c.poi != nil {
 			return nil, fmt.Errorf("repro: WithUpdates and WithPOI cannot combine yet (rebuilds drop the POI flags)")
+		}
+	}
+	if c.diskDir != "" {
+		if c.cacheNet == "" {
+			return nil, fmt.Errorf("repro: WithDiskCache needs WithCache to name the network (the persistent key)")
+		}
+		cur := servercache.Disk()
+		if cur == nil || cur.Dir() != c.diskDir {
+			if err := servercache.EnableDisk(c.diskDir, c.diskBytes); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if c.remote != "" {
@@ -330,7 +354,21 @@ func (d *Deployment) buildServer(c *config) error {
 		Scheme:  string(c.method),
 		Params:  c.params.sig() + poiSig(c.poi),
 	}
-	srv, err := servercache.Get(key, build)
+	// With a disk tier attached, a keyed miss first tries the persisted
+	// artifacts (warm restart) and persists what a cold build produced.
+	coreOpts := c.params.CoreOptions()
+	coreOpts.POI = c.poi
+	tiered := func() (scheme.Server, error) {
+		if srv, ok := warmServer(key, c.method, d.g, coreOpts); ok {
+			return srv, nil
+		}
+		srv, err := build()
+		if err == nil {
+			persistServer(key, srv)
+		}
+		return srv, err
+	}
+	srv, err := servercache.Get(key, tiered)
 	d.srv = srv
 	return err
 }

@@ -1,0 +1,79 @@
+package deploy
+
+import (
+	"repro/internal/baseline/djair"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/precompute"
+	"repro/internal/scheme"
+	"repro/internal/servercache"
+)
+
+// The warm-restart path: when a disk tier is attached
+// (servercache.EnableDisk, via WithDiskCache or airserve -cache-dir), a
+// keyed build first tries to reassemble its server from persisted
+// artifacts — the border pre-computation and the broadcast cycle, the two
+// products of the Dijkstra storm — and only falls back to computing them.
+// The kd partition and region structure are pure functions of the graph's
+// coordinates and topology, cheap to rederive, so they are not persisted.
+//
+// Coverage is deliberately the codec-backed schemes: EB, NR and DJ. The
+// other baselines rebuild cold — their aux structures have no disk codec
+// (and no continent-scale ambition).
+
+// warmServer tries to assemble the keyed server from disk-cached
+// artifacts. A false return means "build cold" for any reason: no tier,
+// missing or corrupt entries, or artifacts that contradict the requested
+// build (wrong region count, wrong node count).
+func warmServer(key servercache.Key, m Method, g *graph.Graph, opts core.Options) (scheme.Server, bool) {
+	if servercache.Disk() == nil {
+		return nil, false
+	}
+	switch m {
+	case DJ:
+		cyc := servercache.CachedCycle(key)
+		if cyc == nil {
+			return nil, false
+		}
+		return djair.FromCycle(g, cyc), true
+	case EB, NR:
+		border, n, ok := servercache.CachedBorder(key)
+		if !ok || n != opts.Regions || len(border.CrossBorder) != g.NumNodes() {
+			return nil, false
+		}
+		cyc := servercache.CachedCycle(key)
+		if cyc == nil {
+			return nil, false
+		}
+		kd, err := partition.NewKDTree(g, opts.Regions)
+		if err != nil {
+			return nil, false
+		}
+		regions := precompute.BuildRegions(g, kd)
+		if m == EB {
+			return core.NewEBFromCycle(g, kd, regions, border, opts, cyc), true
+		}
+		return core.NewNRFromCycle(g, kd, regions, border, opts, cyc), true
+	}
+	return nil, false
+}
+
+// persistServer writes a freshly built server's artifacts to the disk tier
+// (no-op without one; failures are logged inside servercache and never
+// fail the build).
+func persistServer(key servercache.Key, srv scheme.Server) {
+	if servercache.Disk() == nil {
+		return
+	}
+	switch s := srv.(type) {
+	case *core.EB:
+		servercache.PutBorder(key, s.Border(), s.Regions().N)
+		servercache.PutCycle(key, s.Cycle())
+	case *core.NR:
+		servercache.PutBorder(key, s.Border(), s.Regions().N)
+		servercache.PutCycle(key, s.Cycle())
+	case *djair.Server:
+		servercache.PutCycle(key, s.Cycle())
+	}
+}

@@ -1,0 +1,94 @@
+package deploy_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/servercache"
+)
+
+// diskCounters reads the diskcache hit/miss counters (obs.GetCounter is
+// an idempotent registry lookup, so this observes the same series the
+// diskcache package increments).
+func diskCounters() (hits, misses int64) {
+	return obs.GetCounter("air_diskcache_hits_total", "").Value(),
+		obs.GetCounter("air_diskcache_misses_total", "").Value()
+}
+
+// TestWarmRestartSkipsRebuild is the end-to-end warm-restart contract:
+// deploy with a disk-backed cache, simulate a process restart (flush the
+// in-memory build cache, detach and re-attach the disk tier on the same
+// directory), deploy again, and prove via the miss→hit counter transition
+// that the second deployment loaded the persisted artifacts instead of
+// rebuilding — and that what it loaded serves bit-identical answers.
+func TestWarmRestartSkipsRebuild(t *testing.T) {
+	for _, m := range []deploy.Method{deploy.EB, deploy.NR, deploy.DJ} {
+		t.Run(string(m), func(t *testing.T) {
+			dir := t.TempDir()
+			g := testGraph(t, 300, 380, 6)
+			servercache.Flush()
+			defer func() { servercache.Flush(); servercache.DisableDisk() }()
+
+			opts := []deploy.Option{
+				deploy.WithMethod(m),
+				deploy.WithParams(deploy.Params{Regions: 8}),
+				deploy.WithCache("warm/300/6"),
+				deploy.WithDiskCache(dir, 0),
+			}
+
+			hits0, _ := diskCounters()
+			d1, err := deploy.Deploy(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits1, misses1 := diskCounters()
+			if hits1 != hits0 {
+				t.Fatalf("cold deploy hit the empty disk cache (%d hits)", hits1-hits0)
+			}
+			cold := d1.Server().Cycle()
+
+			// The restart: the in-memory cache forgets its servers and the
+			// disk tier re-opens the same directory from scratch.
+			servercache.Flush()
+			servercache.DisableDisk()
+
+			d2, err := deploy.Deploy(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits2, misses2 := diskCounters()
+			if hits2 == hits1 {
+				t.Fatal("warm deploy never hit the disk cache: it rebuilt")
+			}
+			if misses2 != misses1 {
+				t.Fatalf("warm deploy missed %d disk entries", misses2-misses1)
+			}
+			warm := d2.Server().Cycle()
+
+			if cold.Len() != warm.Len() {
+				t.Fatalf("warm cycle has %d packets, cold %d", warm.Len(), cold.Len())
+			}
+			for i := range cold.Packets {
+				p, q := cold.Packets[i], warm.Packets[i]
+				if p.Kind != q.Kind || p.NextIndex != q.NextIndex || p.Version != q.Version ||
+					string(p.Payload) != string(q.Payload) {
+					t.Fatalf("warm cycle diverges from cold at packet %d", i)
+				}
+			}
+
+			// The warm server answers from the mmap'd cycle.
+			sess, err := d2.Session(context.Background(), deploy.SessionOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.Query(context.Background(), graph.NodeID(5), graph.NodeID(211))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDist(t, g, 5, 211, res.Dist)
+		})
+	}
+}

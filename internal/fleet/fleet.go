@@ -115,8 +115,19 @@ type ChannelStats struct {
 	Tuning metrics.Quantiles
 }
 
+// ResultWireVersion is the version of Result's JSON wire format — the
+// worker→controller contract of cmd/airfleet. Version 2 added the
+// mergeable tail histograms (TuningHist, LatencyHist, EnergyHist) and their
+// layout; a Result with WireVersion 0 (an old worker) merges with an
+// N-weighted-mean downgrade, logged by MergeResults.
+const ResultWireVersion = 2
+
 // Result is the aggregate outcome of a fleet run.
 type Result struct {
+	// WireVersion stamps the JSON wire format this Result was produced
+	// under (see ResultWireVersion); zero means a pre-histogram producer.
+	WireVersion int `json:",omitempty"`
+
 	Method  string
 	Clients int
 	Queries int // queries issued (Errors/Degraded/Refused count failed subsets)
@@ -142,6 +153,14 @@ type Result struct {
 	Latency    metrics.Quantiles
 	Energy     metrics.Quantiles
 	MeanEnergy float64
+	// TuningHist, LatencyHist and EnergyHist carry the same per-query
+	// samples as the quantile summaries above, but in the fixed-layout
+	// mergeable form (metrics.Hist): MergeResults adds them across parts
+	// and recomputes true global tails instead of averaging per-part
+	// quantiles. Nil on results from pre-WireVersion-2 producers.
+	TuningHist  *metrics.Hist `json:",omitempty"`
+	LatencyHist *metrics.Hist `json:",omitempty"`
+	EnergyHist  *metrics.Hist `json:",omitempty"`
 	// Rate is the bit rate energy was costed at.
 	Rate int
 
@@ -167,11 +186,11 @@ type Result struct {
 // the result is still assembled with ordinary mutexes (safe under -race
 // whatever the worker count).
 type shard struct {
-	mu      sync.Mutex
-	agg     metrics.Agg
-	tuning  metrics.Series
-	latency metrics.Series
-	energy  metrics.Series
+	mu       sync.Mutex
+	agg      metrics.Agg
+	tuning   metrics.Series
+	latency  metrics.Series
+	energy   metrics.Series
 	queries  int
 	errors   int
 	degraded int
@@ -350,9 +369,13 @@ func (a *Aggregator) Summarize() Result {
 	r.Tuning = tuning.Quantiles()
 	r.Latency = latency.Quantiles()
 	r.Energy = energy.Quantiles()
+	r.TuningHist = tuning.Hist()
+	r.LatencyHist = latency.Hist()
+	r.EnergyHist = energy.Hist()
 	r.MeanEnergy = energy.Mean()
 	r.MeanHops = hops.Mean()
 	r.Rate = a.rate
+	r.WireVersion = ResultWireVersion
 	return r
 }
 

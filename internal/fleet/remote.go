@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/broadcast"
@@ -81,16 +82,18 @@ func runOneRemote(ctx context.Context, addr string, client scheme.Client, worker
 // one per OS process, all tuned to the same broadcaster — into one
 // controller-level Result.
 //
-// Counts, the deterministic Agg factors, and loss totals merge exactly.
-// Elapsed is the longest part (the parts ran in parallel) and QPS is
-// recomputed as total correct answers over that window, so a straggler
-// process lowers throughput honestly. The tail summaries (Tuning, Latency,
-// Energy) cannot be reconstructed from per-part quantiles; they are merged
-// as N-weighted means of the parts' quantiles — an approximation that is
-// exact when the parts are identically distributed (the usual case: same
-// workload, same loss) and clearly labeled here so nobody mistakes the
-// merged p99 for a true global percentile. MeanEnergy and MeanHops merge
-// exactly (they are means).
+// Counts, the deterministic Agg factors, loss totals, and Pool (the total
+// distinct-query capacity across parts) merge exactly. Elapsed is the
+// longest part (the parts ran in parallel) and QPS is recomputed as total
+// correct answers over that window, so a straggler process lowers
+// throughput honestly. The tail summaries (Tuning, Latency, Energy) merge
+// through the parts' fixed-layout histograms (metrics.Hist), so the merged
+// p50/p95/p99 are true global quantiles to within one histogram bucket.
+// When any part lacks histograms — a worker built before ResultWireVersion
+// 2 — the merge logs the downgrade once and falls back to N-weighted means
+// of the parts' quantiles, an approximation that is exact only when the
+// parts are identically distributed. MeanEnergy and MeanHops merge exactly
+// (they are means).
 //
 // Per-channel stats are merged positionally; parts disagreeing on Method,
 // Rate, or channel count are a caller bug and return an error.
@@ -98,9 +101,18 @@ func MergeResults(parts []Result) (Result, error) {
 	if len(parts) == 0 {
 		return Result{}, fmt.Errorf("fleet: no results to merge")
 	}
-	out := Result{Method: parts[0].Method, Rate: parts[0].Rate, Pool: parts[0].Pool}
+	out := Result{Method: parts[0].Method, Rate: parts[0].Rate}
 	var wTuning, wLatency, wEnergy weightedQuantiles
+	var hTuning, hLatency, hEnergy metrics.Hist
 	var sumEnergy, sumHops float64
+	exact := true
+	for _, p := range parts {
+		if p.TuningHist == nil || p.LatencyHist == nil || p.EnergyHist == nil {
+			log.Printf("fleet: merge: part produced by wire version %d carries no tail histograms; merged p50/p95/p99 downgraded to N-weighted means of per-part quantiles", p.WireVersion)
+			exact = false
+			break
+		}
+	}
 	for i, p := range parts {
 		if p.Method != out.Method {
 			return Result{}, fmt.Errorf("fleet: merging %s result into %s run", p.Method, out.Method)
@@ -119,13 +131,21 @@ func MergeResults(parts []Result) (Result, error) {
 		out.Refused += p.Refused
 		out.LostPackets += p.LostPackets
 		out.MissedPackets += p.MissedPackets
-		out.Pool = max(out.Pool, p.Pool)
+		// Pool sums: the controller-level report states total concurrent
+		// distinct-query capacity, not the largest single part's.
+		out.Pool += p.Pool
 		out.Elapsed = maxDuration(out.Elapsed, p.Elapsed)
 		out.Agg.Merge(p.Agg)
 		n := p.Agg.N
-		wTuning.add(p.Tuning, n)
-		wLatency.add(p.Latency, n)
-		wEnergy.add(p.Energy, n)
+		if exact {
+			hTuning.Merge(p.TuningHist)
+			hLatency.Merge(p.LatencyHist)
+			hEnergy.Merge(p.EnergyHist)
+		} else {
+			wTuning.add(p.Tuning, n)
+			wLatency.add(p.Latency, n)
+			wEnergy.add(p.Energy, n)
+		}
 		sumEnergy += p.MeanEnergy * float64(n)
 		sumHops += p.MeanHops * float64(n)
 		for c, ch := range p.Channels {
@@ -136,9 +156,18 @@ func MergeResults(parts []Result) (Result, error) {
 			out.Channels[c].Queries += ch.Queries
 		}
 	}
-	out.Tuning = wTuning.quantiles()
-	out.Latency = wLatency.quantiles()
-	out.Energy = wEnergy.quantiles()
+	if exact {
+		out.Tuning = hTuning.Quantiles()
+		out.Latency = hLatency.Quantiles()
+		out.Energy = hEnergy.Quantiles()
+		// Keep the merged histograms so a merge of merges stays exact.
+		out.TuningHist, out.LatencyHist, out.EnergyHist = &hTuning, &hLatency, &hEnergy
+		out.WireVersion = ResultWireVersion
+	} else {
+		out.Tuning = wTuning.quantiles()
+		out.Latency = wLatency.quantiles()
+		out.Energy = wEnergy.quantiles()
+	}
 	if out.Agg.N > 0 {
 		out.MeanEnergy = sumEnergy / float64(out.Agg.N)
 		out.MeanHops = sumHops / float64(out.Agg.N)

@@ -157,4 +157,92 @@ func TestMergeResults(t *testing.T) {
 	if _, err := MergeResults(nil); err == nil {
 		t.Error("merging nothing succeeded")
 	}
+	// Pool is total concurrent capacity: parts of 30 each sum, not max.
+	out, err = MergeResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pool != 60 {
+		t.Errorf("merged pool %d, want the parts' sum 60", out.Pool)
+	}
+}
+
+// TestMergeResultsExactTails is the regression test for the N-weighted-mean
+// tail bug: on deliberately skewed parts (one fast fleet, one slow fleet)
+// the merged p50/p95/p99 must match the exact whole-population percentiles
+// within one histogram bucket, where the old weighted mean was off without
+// bound. It also pins the downgrade: a part without histograms (an old
+// worker's wire format) falls back to the approximation instead of failing.
+func TestMergeResultsExactTails(t *testing.T) {
+	// Two parts with very different distributions: part A's queries all
+	// tune ~10 packets; part B is a minority of the population but all its
+	// queries tune ~1000. The global p99 lives in part B; the N-weighted
+	// mean of per-part p99s lands far below it.
+	sample := func(r *Result, pop *metrics.Series, vals []float64) {
+		var s metrics.Series
+		for _, v := range vals {
+			s.Add(v)
+			pop.Add(v)
+		}
+		r.Agg.N = s.N()
+		r.Queries = s.N()
+		r.Tuning = s.Quantiles()
+		r.TuningHist = s.Hist()
+		r.Latency, r.LatencyHist = s.Quantiles(), s.Hist()
+		r.Energy, r.EnergyHist = s.Quantiles(), s.Hist()
+		r.WireVersion = ResultWireVersion
+		r.Method, r.Rate, r.Elapsed = "NR", 2_000_000, time.Second
+	}
+	var pop metrics.Series
+	var a, b Result
+	fast := make([]float64, 900)
+	for i := range fast {
+		fast[i] = 10 + float64(i%7)
+	}
+	slow := make([]float64, 100)
+	for i := range slow {
+		slow[i] = 1000 + float64(i%50)
+	}
+	sample(&a, &pop, fast)
+	sample(&b, &pop, slow)
+
+	out, err := MergeResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		p   float64
+		got float64
+	}{{50, out.Tuning.P50}, {95, out.Tuning.P95}, {99, out.Tuning.P99}} {
+		exact := pop.Percentile(q.p)
+		if !metrics.SameBucket(q.got, exact) {
+			t.Errorf("merged p%v = %v, exact population percentile %v — more than one bucket apart", q.p, q.got, exact)
+		}
+	}
+	// The bug this fixes: the weighted mean puts p99 near 0.9*13+0.1*1049,
+	// nowhere near the true ~1049. Assert the merge is not doing that.
+	if out.Tuning.P99 < 900 {
+		t.Errorf("merged p99 = %v, still looks like an N-weighted mean (exact is %v)", out.Tuning.P99, pop.Percentile(99))
+	}
+	if out.WireVersion != ResultWireVersion || out.TuningHist == nil {
+		t.Errorf("merged result dropped its histograms (wire v%d)", out.WireVersion)
+	}
+
+	// Downgrade: strip one part's histograms (old worker). The merge must
+	// succeed, mark the result pre-v2, and report the documented
+	// approximation.
+	old := b
+	old.WireVersion = 0
+	old.TuningHist, old.LatencyHist, old.EnergyHist = nil, nil, nil
+	down, err := MergeResults([]Result{a, old})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.WireVersion != 0 || down.TuningHist != nil {
+		t.Errorf("downgraded merge claims exact tails: wire v%d, hist %v", down.WireVersion, down.TuningHist)
+	}
+	wantP99 := (float64(a.Agg.N)*a.Tuning.P99 + float64(old.Agg.N)*old.Tuning.P99) / float64(a.Agg.N+old.Agg.N)
+	if diff := down.Tuning.P99 - wantP99; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("downgraded p99 = %v, want the N-weighted mean %v", down.Tuning.P99, wantP99)
+	}
 }

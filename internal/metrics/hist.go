@@ -1,0 +1,173 @@
+package metrics
+
+import "math"
+
+// Hist is a mergeable fixed-layout histogram of non-negative samples. Every
+// Hist shares one global log-spaced bucket layout (histMin, histGamma), so
+// histograms built independently — one per fleet worker process, say — merge
+// by adding counts, and a quantile of the merged histogram equals the true
+// whole-population quantile to within one bucket (a relative error of at
+// most histGamma-1, about 8%). That is what fleet.MergeResults needs: the
+// N-weighted mean of per-part p99s can underestimate the global p99 without
+// bound, while a merged histogram cannot be off by more than a bucket.
+//
+// The layout is part of the wire format (fleet workers JSON-encode Hist
+// inside Result): changing histMin, histGamma or maxBuckets is a wire break
+// and must bump fleet.ResultWireVersion.
+//
+// Fields are exported for JSON; use the methods to maintain them. The zero
+// value is an empty histogram ready for Add.
+type Hist struct {
+	// Zero counts samples <= histMin (including exact zeros); they report
+	// as 0 in quantiles.
+	Zero int64 `json:",omitempty"`
+	// Low is the layout index of Counts[0]: bucket i of this histogram is
+	// global bucket Low+i, covering [histMin*histGamma^(Low+i),
+	// histMin*histGamma^(Low+i+1)). Counts is trimmed to the populated
+	// window so a JSON-encoded Hist stays small.
+	Low    int     `json:",omitempty"`
+	Counts []int64 `json:",omitempty"`
+}
+
+const (
+	// histMin is the lower edge of global bucket 0. Everything at or below
+	// it (energy is bounded below by sleep power over one packet; packet
+	// counts are integers) lands in the Zero bucket.
+	histMin = 1e-9
+	// histGamma is the bucket growth factor: each bucket spans 8% more
+	// than the last, bounding quantile error at one bucket = 8% relative.
+	histGamma = 1.08
+	// maxBuckets caps the layout (histMin*histGamma^maxBuckets ≈ 2e12):
+	// +Inf and overflow samples clamp into the last bucket rather than
+	// growing Counts without bound.
+	maxBuckets = 640
+)
+
+var invLogGamma = 1 / math.Log(histGamma)
+
+// bucketOf maps a sample to its global layout index, or -1 for the Zero
+// bucket.
+func bucketOf(v float64) int {
+	if !(v > histMin) { // catches NaN, negatives, zero
+		return -1
+	}
+	i := int(math.Log(v/histMin) * invLogGamma)
+	if i < 0 {
+		i = 0
+	}
+	if i >= maxBuckets {
+		i = maxBuckets - 1
+	}
+	return i
+}
+
+// bucketRep is the representative value reported for global bucket i: the
+// geometric midpoint, within half a bucket of every sample in it.
+func bucketRep(i int) float64 {
+	return histMin * math.Pow(histGamma, float64(i)+0.5)
+}
+
+// Add records one sample.
+func (h *Hist) Add(v float64) {
+	i := bucketOf(v)
+	if i < 0 {
+		h.Zero++
+		return
+	}
+	h.grow(i)
+	h.Counts[i-h.Low]++
+}
+
+// grow widens the Counts window to include global bucket i.
+func (h *Hist) grow(i int) {
+	if len(h.Counts) == 0 {
+		h.Low = i
+		h.Counts = append(h.Counts, 0)
+		return
+	}
+	if i < h.Low {
+		pad := make([]int64, h.Low-i)
+		h.Counts = append(pad, h.Counts...)
+		h.Low = i
+	}
+	for i >= h.Low+len(h.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+}
+
+// Merge adds o's counts into h. Safe with o == nil (no-op).
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	h.Zero += o.Zero
+	if len(o.Counts) == 0 {
+		return
+	}
+	h.grow(o.Low)
+	h.grow(o.Low + len(o.Counts) - 1)
+	for i, c := range o.Counts {
+		h.Counts[o.Low+i-h.Low] += c
+	}
+}
+
+// N returns the total sample count.
+func (h *Hist) N() int64 {
+	n := h.Zero
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the p-th percentile (p in [0,100]) as the representative
+// value of the bucket holding the rank-p sample, or 0 for an empty
+// histogram. The result is within one bucket of the exact sample
+// percentile.
+func (h *Hist) Quantile(p float64) float64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	if rank <= h.Zero {
+		return 0
+	}
+	cum := h.Zero
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketRep(h.Low + i)
+		}
+	}
+	return bucketRep(h.Low + len(h.Counts) - 1)
+}
+
+// Quantiles returns the p50/p95/p99 summary of the histogram.
+func (h *Hist) Quantiles() Quantiles {
+	return Quantiles{P50: h.Quantile(50), P95: h.Quantile(95), P99: h.Quantile(99)}
+}
+
+// SameBucket reports whether a and b fall in the same or adjacent layout
+// buckets — the "within one bucket" equivalence the merge guarantees.
+func SameBucket(a, b float64) bool {
+	ba, bb := bucketOf(a), bucketOf(b)
+	d := ba - bb
+	return d >= -1 && d <= 1
+}
+
+// Hist builds the fixed-layout histogram of the series' samples, the
+// mergeable form of its tails carried in a fleet Result.
+func (s *Series) Hist() *Hist {
+	h := &Hist{}
+	for _, v := range s.vals {
+		h.Add(v)
+	}
+	return h
+}

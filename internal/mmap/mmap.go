@@ -1,0 +1,54 @@
+// Package mmap provides read-only memory-mapped file views with a portable
+// fallback. On unix the bytes live in the page cache — a multi-gigabyte
+// cycle or CSR costs no Go heap — and the view stays valid after the file
+// is unlinked (eviction-safe) until Close. On platforms without mmap the
+// file is read into memory; callers keep the same contract either way.
+package mmap
+
+import (
+	"fmt"
+	"os"
+)
+
+// Data is a read-only view of a file's contents. Bytes must not be
+// modified and must not be used after Close.
+type Data struct {
+	b      []byte
+	munmap func([]byte) error
+}
+
+// Bytes returns the mapped contents.
+func (d *Data) Bytes() []byte { return d.b }
+
+// Close releases the view; the slice from Bytes is invalid afterwards.
+func (d *Data) Close() error {
+	b := d.b
+	d.b = nil
+	if b == nil || d.munmap == nil {
+		return nil
+	}
+	return d.munmap(b)
+}
+
+// Open maps the named file read-only.
+func Open(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return File(f, info.Size())
+}
+
+// File maps size bytes of f read-only. The mapping is independent of f:
+// the caller may close the file (and even unlink it) immediately after.
+func File(f *os.File, size int64) (*Data, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mmap: empty file %s", f.Name())
+	}
+	return mapFile(f, size)
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package mmap
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func mapFile(f *os.File, size int64) (*Data, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", f.Name(), err)
+	}
+	return &Data{b: b}, nil
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+func mapFile(f *os.File, size int64) (*Data, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", f.Name(), err)
+	}
+	return &Data{b: b, munmap: syscall.Munmap}, nil
+}

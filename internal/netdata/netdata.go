@@ -39,8 +39,10 @@ const (
 // AppendNode writes node v of g as one or more TagNode records. border
 // marks v as a region border node (clients need the distinction for the
 // super-edge contraction of Section 6.1); poi marks v as a point of
-// interest for the on-air spatial query extension.
-func AppendNode(w *packet.Writer, g *graph.Graph, v graph.NodeID, border, poi bool) {
+// interest for the on-air spatial query extension. The sink is a
+// packet.Writer when encoding for real and a packet.Counter during the
+// layout pass of a streamed build.
+func AppendNode(w packet.Sink, g *graph.Graph, v graph.NodeID, border, poi bool) {
 	nd := g.Node(v)
 	dst, wgt := g.Out(v)
 	var flags uint8
@@ -80,6 +82,45 @@ func EncodeNodes(g *graph.Graph, nodes []graph.NodeID, isBorder, isPOI []bool) [
 		AppendNode(w, g, v, isBorder != nil && isBorder[v], isPOI != nil && isPOI[v])
 	}
 	return w.Packets()
+}
+
+// CountNodes returns the exact number of data packets EncodeNodes would
+// produce for the same arguments, without materializing any — the layout
+// pass of an out-of-core cycle build. It shares AppendNode with the real
+// encoder, so the count cannot drift from the encoding.
+func CountNodes(g *graph.Graph, nodes []graph.NodeID, isBorder, isPOI []bool) int {
+	var c packet.Counter
+	for _, v := range nodes {
+		AppendNode(&c, g, v, isBorder != nil && isBorder[v], isPOI != nil && isPOI[v])
+	}
+	return c.Packets()
+}
+
+// StreamNodes encodes the given nodes like EncodeNodes but hands completed
+// packets to emit in batches of at most batch packets, so the full segment
+// never lives in memory at once: this is what keeps a continent-scale
+// build's peak RSS flat. The concatenation of all emitted batches is
+// exactly EncodeNodes' output. emit must not retain the batch slice (its
+// packets may, their payloads are freshly allocated).
+func StreamNodes(g *graph.Graph, nodes []graph.NodeID, isBorder, isPOI []bool, batch int, emit func([]packet.Packet) error) error {
+	if batch <= 0 {
+		batch = 1024
+	}
+	w := packet.NewWriter(packet.KindData)
+	for _, v := range nodes {
+		AppendNode(w, g, v, isBorder != nil && isBorder[v], isPOI != nil && isPOI[v])
+		if w.Completed() >= batch {
+			if err := emit(w.Drain()); err != nil {
+				return err
+			}
+		}
+	}
+	if pkts := w.Packets(); len(pkts) > 0 {
+		if err := emit(pkts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NodeRecord is a decoded TagNode record (possibly a continuation chunk of

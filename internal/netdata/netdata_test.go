@@ -102,3 +102,42 @@ func TestHighDegreeChunking(t *testing.T) {
 	}
 	_ = packet.MaxRecord
 }
+
+// TestCountAndStreamMatchEncode pins the streamed-build primitives to the
+// materializing encoder: CountNodes predicts the exact packet count and
+// StreamNodes' concatenated batches equal EncodeNodes' output, for every
+// batch size including ones smaller than a node's record run.
+func TestCountAndStreamMatchEncode(t *testing.T) {
+	g, err := netgen.Generate(300, 340, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]graph.NodeID, g.NumNodes())
+	border := make([]bool, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+		border[i] = i%7 == 0
+	}
+	want := EncodeNodes(g, nodes, border, nil)
+	if got := CountNodes(g, nodes, border, nil); got != len(want) {
+		t.Fatalf("CountNodes = %d, EncodeNodes produced %d", got, len(want))
+	}
+	for _, batch := range []int{1, 2, 7, 1024} {
+		var streamed []packet.Packet
+		err := StreamNodes(g, nodes, border, nil, batch, func(b []packet.Packet) error {
+			streamed = append(streamed, b...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("batch %d: streamed %d packets, want %d", batch, len(streamed), len(want))
+		}
+		for i := range want {
+			if string(streamed[i].Payload) != string(want[i].Payload) || streamed[i].Kind != want[i].Kind {
+				t.Fatalf("batch %d: packet %d differs", batch, i)
+			}
+		}
+	}
+}

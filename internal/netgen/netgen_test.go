@@ -75,11 +75,15 @@ func TestValidationErrors(t *testing.T) {
 
 func TestPresets(t *testing.T) {
 	if len(Presets) != 5 {
-		t.Fatalf("%d presets, want 5", len(Presets))
+		t.Fatalf("%d presets, want the paper's 5 (continent is deliberately separate)", len(Presets))
 	}
 	p, err := PresetByName("germany")
 	if err != nil || p.Nodes != 28867 || p.Edges != 30429 {
 		t.Fatalf("germany preset wrong: %+v, %v", p, err)
+	}
+	c, err := PresetByName("continent")
+	if err != nil || 2*c.Edges < 10_000_000 {
+		t.Fatalf("continent preset must carry >= 1e7 directed arcs: %+v, %v", c, err)
 	}
 	if _, err := PresetByName("atlantis"); err == nil {
 		t.Error("unknown preset should error")

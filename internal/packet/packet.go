@@ -116,6 +116,15 @@ const (
 	TagDeltaArcs                  // changed-arc batch: (from, to, new weight) triples
 )
 
+// Sink abstracts the destination of framed records: a Writer materializes
+// packets, a Counter only sizes them. Encoders written against Sink (e.g.
+// netdata.AppendNode) serve both a materializing pass and the count-only
+// layout pass of a streamed cycle build with one code path, so the two can
+// never disagree about packet boundaries.
+type Sink interface {
+	Add(tag uint8, data []byte)
+}
+
 // Writer frames records into packets. Records are placed whole; a record
 // that does not fit in the current packet's remaining space starts a new
 // packet. All packets produced by one Writer share a Kind.
@@ -129,6 +138,11 @@ type Writer struct {
 func NewWriter(kind Kind) *Writer {
 	return &Writer{kind: kind}
 }
+
+var (
+	_ Sink = (*Writer)(nil)
+	_ Sink = (*Counter)(nil)
+)
 
 // Add appends one record. It panics if data exceeds MaxRecord — callers
 // split large structures into parts at a higher level, because a record is
@@ -165,6 +179,56 @@ func (w *Writer) Packets() []Packet {
 	out := make([]Packet, len(w.packets))
 	copy(out, w.packets)
 	return out
+}
+
+// Drain returns the packets completed so far and forgets them, leaving any
+// partially filled packet accumulating. Records never span packets, so a
+// drained prefix is final: a streaming encoder can emit it and release the
+// memory while continuing to Add. Interleaving Drain with Add produces the
+// same packet sequence, in total, as a single Packets call.
+func (w *Writer) Drain() []Packet {
+	out := w.packets
+	w.packets = nil
+	return out
+}
+
+// Completed reports how many sealed packets are waiting (what Drain would
+// return), not counting the partially filled one.
+func (w *Writer) Completed() int { return len(w.packets) }
+
+// Counter computes how many packets a record stream frames into, without
+// materializing them: the layout pass of a streamed cycle build. It applies
+// exactly Writer's placement rule (whole records, new packet when a record
+// does not fit).
+type Counter struct {
+	packets int
+	cur     int
+}
+
+// Add implements Sink, counting the record instead of storing it. It
+// enforces the same limits as Writer.Add.
+func (c *Counter) Add(tag uint8, data []byte) {
+	if tag == TagEnd {
+		panic("packet: record tag 0 is reserved for padding")
+	}
+	if len(data) > MaxRecord {
+		panic(fmt.Sprintf("packet: record of %d bytes exceeds MaxRecord=%d", len(data), MaxRecord))
+	}
+	need := recordHeader + len(data)
+	if c.cur+need > PayloadSize {
+		c.packets++
+		c.cur = 0
+	}
+	c.cur += need
+}
+
+// Packets returns the number of packets the records framed into so far
+// (sealing the partial one, like Writer.Packets).
+func (c *Counter) Packets() int {
+	if c.cur > 0 {
+		return c.packets + 1
+	}
+	return c.packets
 }
 
 // AppendRecord frames one record onto b, append-style: the same framing

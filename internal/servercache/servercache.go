@@ -17,6 +17,8 @@
 package servercache
 
 import (
+	"errors"
+	"os"
 	"sync"
 	"time"
 
@@ -38,6 +40,8 @@ var (
 	obsBuildSecs = obs.GetHistogram("air_servercache_build_seconds",
 		"wall time of cache-miss builds",
 		obs.ExpBuckets(0.001, 4, 8))
+	obsTransient = obs.GetCounter("air_servercache_transient_errors_total",
+		"builds that failed transiently (entry dropped so the next Get retries)")
 )
 
 // Key identifies one built artifact. The string fields are canonical so
@@ -69,8 +73,13 @@ type entry struct {
 var cache sync.Map // Key -> *entry
 
 // Get returns the value cached under key, invoking build at most once
-// across all concurrent callers. A build error is cached too: the same key
-// deterministically produces the same error, so there is no point retrying.
+// across all concurrent callers. A deterministic build error is cached too —
+// the same key produces the same error, so there is no point retrying. A
+// transient error (see IsTransient: I/O failures, or anything the build
+// wrapped with Transient) drops the entry instead, so the next Get for the
+// key retries the build; callers already waiting on the failed build still
+// observe the error. This matters once builds touch disk (the diskcache
+// layer): ENOSPC or a failed mmap must not poison the key forever.
 func Get[T any](key Key, build func() (T, error)) (T, error) {
 	e, loaded := cache.LoadOrStore(key, &entry{})
 	ent := e.(*entry)
@@ -89,10 +98,52 @@ func Get[T any](key Key, build func() (T, error)) (T, error) {
 		}
 	})
 	if ent.err != nil {
+		if IsTransient(ent.err) {
+			// Drop exactly the entry we observed failing: a concurrent Get
+			// may already have replaced it with a fresh (retrying) entry,
+			// which must not be deleted out from under its builder.
+			if cache.CompareAndDelete(key, e) {
+				obsEntries.Dec()
+				obsTransient.Inc()
+			}
+		}
 		var zero T
 		return zero, ent.err
 	}
 	return ent.val.(T), nil
+}
+
+// transientError marks a build failure as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so Get treats it as retryable: the failed entry is
+// dropped and the next Get for the key builds again. Build functions wrap
+// environmental failures (disk full, flaky NFS, mmap limits) and leave
+// deterministic ones (bad parameters, a graph that fails validation) bare.
+// Returns nil for nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is a retryable build failure: anything
+// wrapped by Transient, plus unwrapped OS-level I/O errors (path, syscall
+// and link errors) — with disk in the build path those depend on the
+// machine's state at build time, not on the key.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t *transientError
+	var pe *os.PathError
+	var se *os.SyscallError
+	var le *os.LinkError
+	return errors.As(err, &t) || errors.As(err, &pe) || errors.As(err, &se) || errors.As(err, &le)
 }
 
 // Len returns the number of cached entries (tests and diagnostics).

@@ -2,6 +2,8 @@ package servercache
 
 import (
 	"errors"
+	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -77,5 +79,73 @@ func TestGetCachesErrors(t *testing.T) {
 	}
 	if builds != 1 {
 		t.Fatalf("%d builds for an erroring key, want 1", builds)
+	}
+}
+
+// TestGetRetriesTransientErrors is the regression test for the
+// cached-forever error bug: a transient failure (disk full, failed mmap)
+// must drop the entry so the next Get retries, while deterministic errors
+// stay cached (previous test). The third build succeeding proves the key
+// was never poisoned.
+func TestGetRetriesTransientErrors(t *testing.T) {
+	Flush()
+	key := Key{Network: "n1", Scheme: "NR", Params: "disk"}
+	builds := 0
+	got, err := Get(key, func() (int, error) {
+		builds++
+		if builds <= 2 {
+			return 0, Transient(errors.New("disk full"))
+		}
+		return 7, nil
+	})
+	if err == nil {
+		t.Fatal("first Get of a failing build succeeded")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("Transient error not recognized: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err = Get(key, func() (int, error) {
+			builds++
+			if builds <= 2 {
+				return 0, Transient(errors.New("disk full"))
+			}
+			return 7, nil
+		})
+	}
+	if err != nil || got != 7 {
+		t.Fatalf("Get after transient failures = %v, %v; want 7, nil", got, err)
+	}
+	if builds != 3 {
+		t.Fatalf("%d builds across 2 transient failures + success, want 3", builds)
+	}
+	if Len() != 1 {
+		t.Fatalf("Len = %d after recovery, want 1", Len())
+	}
+	// The successful value is now cached: no further builds.
+	if _, err := Get(key, func() (int, error) { builds++; return 0, errors.New("rebuilt") }); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 3 {
+		t.Fatalf("recovered key rebuilt (%d builds)", builds)
+	}
+}
+
+// TestIsTransientOSErrors: unwrapped OS-level I/O failures count as
+// transient without explicit wrapping — a build that propagates a raw
+// *os.PathError (ENOSPC, EMFILE) must not poison its key.
+func TestIsTransientOSErrors(t *testing.T) {
+	_, err := os.Open("/nonexistent/servercache/probe")
+	if !IsTransient(err) {
+		t.Errorf("os.PathError not transient: %v", err)
+	}
+	if !IsTransient(fmt.Errorf("build: %w", err)) {
+		t.Error("wrapped os.PathError not transient")
+	}
+	if IsTransient(errors.New("regions must be a power of two")) {
+		t.Error("deterministic error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
 	}
 }

@@ -183,7 +183,21 @@ func (m *Manager) Apply(ups []graph.WeightUpdate) (*Build, error) {
 		key := *m.cfg.Cache
 		key.Version = v2
 		key.Params = fmt.Sprintf("%s|updates=%016x", key.Params, sig2)
-		srv2, err = servercache.Get(key, build)
+		prev := m.srv
+		srv2, err = servercache.Get(key, func() (scheme.Server, error) {
+			// Disk tier: a restarted manager replaying the same update
+			// history warm-loads each version's cycle and border data
+			// instead of re-running the rebuild (warmRebuild is a no-op
+			// without servercache.EnableDisk).
+			if srv, ok := warmRebuild(key, g2, prev); ok {
+				return srv, nil
+			}
+			srv, err := build()
+			if err == nil {
+				persistRebuild(key, srv)
+			}
+			return srv, err
+		})
 	} else {
 		srv2, err = build()
 	}
@@ -241,6 +255,67 @@ func toDeltaArcs(ups []graph.WeightUpdate) []packet.DeltaArc {
 		arcs[i] = packet.DeltaArc{From: uint32(u.From), To: uint32(u.To), Weight: u.Weight}
 	}
 	return arcs
+}
+
+// warmRebuild tries to reconstruct the version keyed by key from the
+// servercache disk tier: the persisted cycle (mmap-backed) plus, for EB
+// and NR, the persisted border data, grafted onto the previous version's
+// partition via RebuildFromCycle. False means "rebuild cold".
+func warmRebuild(key servercache.Key, g2 *graph.Graph, prev scheme.Server) (scheme.Server, bool) {
+	if servercache.Disk() == nil {
+		return nil, false
+	}
+	switch s := prev.(type) {
+	case *djair.Server:
+		cyc := servercache.CachedCycle(key)
+		if cyc == nil {
+			return nil, false
+		}
+		return djair.FromCycle(g2, cyc), true
+	case *core.EB:
+		border, n, ok := servercache.CachedBorder(key)
+		if !ok || n != s.Regions().N || len(border.CrossBorder) != g2.NumNodes() {
+			return nil, false
+		}
+		cyc := servercache.CachedCycle(key)
+		if cyc == nil {
+			return nil, false
+		}
+		srv, err := s.RebuildFromCycle(g2, border, cyc)
+		return srv, err == nil
+	case *core.NR:
+		border, n, ok := servercache.CachedBorder(key)
+		if !ok || n != s.Regions().N || len(border.CrossBorder) != g2.NumNodes() {
+			return nil, false
+		}
+		cyc := servercache.CachedCycle(key)
+		if cyc == nil {
+			return nil, false
+		}
+		srv, err := s.RebuildFromCycle(g2, border, cyc)
+		return srv, err == nil
+	}
+	return nil, false
+}
+
+// persistRebuild writes a freshly rebuilt version's artifacts to the disk
+// tier (no-op without one). The persisted cycle is the server's own —
+// unstamped, untrailered — because the delta trailer and version stamp
+// re-derive deterministically from the update batch on load.
+func persistRebuild(key servercache.Key, srv scheme.Server) {
+	if servercache.Disk() == nil {
+		return
+	}
+	switch s := srv.(type) {
+	case *core.EB:
+		servercache.PutBorder(key, s.Border(), s.Regions().N)
+		servercache.PutCycle(key, s.Cycle())
+	case *core.NR:
+		servercache.PutBorder(key, s.Border(), s.Regions().N)
+		servercache.PutCycle(key, s.Cycle())
+	case *djair.Server:
+		servercache.PutCycle(key, s.Cycle())
+	}
 }
 
 // RebuilderFor returns the native weight-only rebuild function for servers

@@ -316,13 +316,26 @@ func WithPOI(poi []bool) DeployOption { return deploy.WithPOI(poi) }
 // deployments naming the same (network, method, params) share one build.
 func WithCache(network string) DeployOption { return deploy.WithCache(network) }
 
+// WithDiskCache backs the build cache with a persistent disk tier rooted
+// at dir (created if missing), budgeted to maxBytes (<= 0 means
+// unbounded): keyed EB, NR and DJ builds persist their broadcast cycle
+// and border precomputation, and a warm restart of the same deployment
+// mmaps them back instead of re-running the Dijkstra storm. Requires
+// WithCache to name the network; other methods still build cold.
+func WithDiskCache(dir string, maxBytes int64) DeployOption {
+	return deploy.WithDiskCache(dir, maxBytes)
+}
+
 // MergeFleetResults folds the results of N concurrently-run fleets —
 // typically one per OS process, all tuned to the same wire broadcaster
 // (cmd/airfleet) — into one controller-level result. Counts, deterministic
 // aggregates and loss totals merge exactly; Elapsed is the longest part and
-// QPS is recomputed over it; the p50/p95/p99 tails are N-weighted means of
-// the parts' quantiles (exact when the parts are identically distributed).
-// Parts disagreeing on method, bit rate or channel count are refused.
+// QPS is recomputed over it; the p50/p95/p99 tails are read from merged
+// latency histograms, so they are exact to one histogram bucket (~8%)
+// even when the parts are skewed. Parts predating the histogram wire
+// format degrade to N-weighted means of the parts' quantiles, with a
+// logged downgrade. Parts disagreeing on method, bit rate or channel
+// count are refused.
 func MergeFleetResults(parts []FleetResult) (FleetResult, error) { return fleet.MergeResults(parts) }
 
 // WithRemote tunes the deployment's sessions to a remote wire broadcaster
@@ -365,7 +378,8 @@ func NewServer(m Method, g *Graph, p Params) (Server, error) { return deploy.New
 
 // GeneratePreset builds a synthetic stand-in for one of the paper's five
 // road networks ("milan", "germany", "argentina", "india", "sanfrancisco"),
-// scaled by scale (1.0 = paper-sized), deterministically from seed.
+// or the out-of-core "continent" stressor (10.4M directed arcs), scaled by
+// scale (1.0 = paper-sized), deterministically from seed.
 func GeneratePreset(name string, scale float64, seed int64) (*Graph, error) {
 	p, err := netgen.PresetByName(name)
 	if err != nil {

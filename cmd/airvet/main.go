@@ -1,0 +1,138 @@
+// Command airvet runs the repo's static-analysis suite (internal/analysis):
+// determinism, noalloc, obsdiscipline and frameconst.
+//
+// Two modes share one binary:
+//
+//	airvet [flags] ./...            standalone: resolve patterns, typecheck
+//	                                from source, run every analyzer
+//	go vet -vettool=$(which airvet) ./...
+//	                                unitchecker: cmd/go typechecks and hands
+//	                                the tool a *.cfg per package
+//
+// Flags:
+//
+//	-run a,b     run only the named analyzers
+//	-json        print diagnostics as a JSON array on stdout
+//	-fix         apply suggested fixes in place (standalone mode only)
+//	-list        list the analyzers and exit
+//
+// Exit code 0 means no findings, 1 means findings, 2 means the tool itself
+// failed (bad pattern, unparseable package).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+var (
+	flagRun  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flagJSON = flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	flagFix  = flag.Bool("fix", false, "apply suggested fixes (standalone mode only)")
+	flagList = flag.Bool("list", false, "list analyzers and exit")
+	flagV    = flag.String("V", "", "print version and exit (go vet protocol)")
+)
+
+func main() {
+	// `go vet` probes the tool with -flags before any real run: respond with
+	// the JSON flag description it expects and exit.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		describeFlags()
+		return
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: airvet [flags] packages...\n       airvet [flags] file.cfg   (go vet -vettool protocol)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *flagV != "" {
+		// cmd/go hashes this line into its action cache key; the third field
+		// must not be "devel" unless a buildID is appended.
+		fmt.Printf("airvet version 1\n")
+		return
+	}
+	analyzers := selected()
+	if *flagList {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMain(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standaloneMain(args, analyzers))
+}
+
+// selected filters the suite by -run.
+func selected() []*analysis.Analyzer {
+	out, err := selectAnalyzers(*flagRun)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "airvet: %v\n", err)
+		os.Exit(2)
+	}
+	return out
+}
+
+// selectAnalyzers resolves a comma-separated -run value against the suite;
+// naming an unknown analyzer is a usage error, not a silent no-op.
+func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
+	all := suite.Analyzers()
+	if runFlag == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(runFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown analyzer(s) in -run: %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// describeFlags answers `airvet -flags` with the JSON schema go vet uses to
+// mirror tool flags onto its own command line.
+func describeFlags() {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	descs := []flagDesc{
+		{Name: "run", Bool: false, Usage: "comma-separated analyzer names to run"},
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	out, err := json.Marshal(descs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airvet:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/suite"
+)
+
+// TestSmokeInternalPacket runs the full suite over the packet codec — the
+// most invariant-dense package in the tree — and requires a clean exit.
+func TestSmokeInternalPacket(t *testing.T) {
+	if code := standaloneMain([]string{"../../internal/packet"}, suite.Analyzers()); code != 0 {
+		t.Fatalf("airvet over internal/packet: exit %d, want 0", code)
+	}
+}
+
+// TestBadFixtureFails seeds a deterministic package with a wall-clock read
+// and requires airvet to refuse it with exit status 1.
+func TestBadFixtureFails(t *testing.T) {
+	if code := standaloneMain([]string{"testdata/bad"}, suite.Analyzers()); code != 1 {
+		t.Fatalf("airvet over testdata/bad: exit %d, want 1 (a finding)", code)
+	}
+}
+
+// TestUnknownAnalyzerRejected mirrors the -run flag contract: asking for an
+// analyzer that does not exist is a usage error, not a silent no-op.
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers(nosuch): expected error, got nil")
+	}
+	as, err := selectAnalyzers("determinism,frameconst")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("selectAnalyzers: got %d analyzers, want 2", len(as))
+	}
+}
+
+// TestVettoolIntegration builds the airvet binary and drives it through
+// `go vet -vettool`, the unitchecker path: the packet codec must come back
+// clean through the real cmd/go protocol (vet.cfg, export data, -V=full).
+func TestVettoolIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping go vet -vettool integration build")
+	}
+	bin := filepath.Join(t.TempDir(), "airvet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building airvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "../../internal/packet")
+	vet.Env = os.Environ()
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over internal/packet: %v\n%s", err, out)
+	}
+}

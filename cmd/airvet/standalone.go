@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// A finding pairs a diagnostic with the analyzer and package that produced
+// it, positioned for output.
+type finding struct {
+	Analyzer string       `json:"analyzer"`
+	Package  string       `json:"package"`
+	Posn     string       `json:"posn"` // file:line:col
+	Message  string       `json:"message"`
+	Fixes    []findingFix `json:"suggested_fixes,omitempty"`
+	diag     analysis.Diagnostic
+	fset     *token.FileSet
+}
+
+type findingFix struct {
+	Message string        `json:"message"`
+	Edits   []findingEdit `json:"edits"`
+}
+
+type findingEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"` // byte offsets
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// standaloneMain resolves patterns, loads and typechecks each package from
+// source, runs the analyzers, and prints (or fixes) the findings. Returns
+// the process exit code.
+func standaloneMain(patterns []string, analyzers []*analysis.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airvet:", err)
+		return 2
+	}
+	loader, err := load.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airvet:", err)
+		return 2
+	}
+	dirs, err := load.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airvet:", err)
+		return 2
+	}
+
+	broken := false
+	var findings []finding
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "airvet: %v\n", err)
+			broken = true
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "airvet: %s: type error: %v\n", pkg.Path, terr)
+			broken = true
+		}
+		findings = append(findings, runAnalyzers(pkg, analyzers)...)
+	}
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Posn < findings[j].Posn })
+
+	if *flagFix {
+		applied, err := applyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "airvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "airvet: applied %d fix(es)\n", applied)
+	}
+
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "airvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Posn, f.Analyzer, f.Message)
+		}
+	}
+	switch {
+	case broken:
+		return 2
+	case len(findings) > 0 && !*flagJSON:
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzers applies each analyzer to one loaded package.
+func runAnalyzers(pkg *load.Package, analyzers []*analysis.Analyzer) []finding {
+	var out []finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, newFinding(name, pkg.Path, pkg.Fset, d))
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "airvet: %s on %s: %v\n", a.Name, pkg.Path, err)
+		}
+	}
+	return out
+}
+
+func newFinding(analyzer, pkgPath string, fset *token.FileSet, d analysis.Diagnostic) finding {
+	f := finding{
+		Analyzer: analyzer,
+		Package:  pkgPath,
+		Posn:     relPosn(fset, d.Pos),
+		Message:  d.Message,
+		diag:     d,
+		fset:     fset,
+	}
+	for _, fix := range d.SuggestedFixes {
+		ff := findingFix{Message: fix.Message}
+		for _, e := range fix.TextEdits {
+			p, q := fset.Position(e.Pos), fset.Position(e.End)
+			ff.Edits = append(ff.Edits, findingEdit{
+				Filename: p.Filename, Start: p.Offset, End: q.Offset, New: string(e.NewText),
+			})
+		}
+		f.Fixes = append(f.Fixes, ff)
+	}
+	return f
+}
+
+// relPosn formats a position with the filename relative to the working
+// directory when possible — stable across checkouts, clickable locally.
+func relPosn(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if cwd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(cwd, p.Filename); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// applyFixes applies every suggested fix, one file at a time, rejecting
+// overlapping edits so a half-applied file can never be written.
+func applyFixes(findings []finding) (int, error) {
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	perFile := map[string][]edit{}
+	applied := 0
+	for _, f := range findings {
+		for _, fix := range f.Fixes {
+			for _, e := range fix.Edits {
+				perFile[e.Filename] = append(perFile[e.Filename], edit{e.Start, e.End, e.New})
+			}
+			applied++
+		}
+	}
+	for file, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return 0, fmt.Errorf("fix: overlapping edits in %s", file)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return 0, err
+		}
+		var out []byte
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				return 0, fmt.Errorf("fix: edit out of range in %s", file)
+			}
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.newText...)
+			last = e.end
+		}
+		out = append(out, src[last:]...)
+		info, err := os.Stat(file)
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(file, out, info.Mode().Perm()); err != nil {
+			return 0, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,11 @@
+// Package bad is a driver-test fixture: a deterministic file with a wall
+// clock read, which airvet must refuse with exit status 1.
+//
+//air:deterministic
+package bad
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,240 @@
+// Package analysistest runs one analyzer over GOPATH-style fixture packages
+// and matches its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the repo's dependency-free
+// analysis framework.
+//
+// Fixture layout, relative to the analyzer's test:
+//
+//	testdata/src/<pkg>/<file>.go
+//
+// Every line expecting diagnostics carries a trailing comment of the form
+// `// want "re"` (several strings for several diagnostics on one line); the
+// regexp must match the diagnostic message. A fixture package importing
+// "stub" resolves stub from testdata/src/stub — fixtures can stand in for
+// real dependencies (a fake obs, a fake packet) without touching them.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run applies the analyzer to each fixture package under dir/src and reports
+// every mismatch between expected and actual diagnostics through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := load.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.ExtraRoots = []string{dir + "/src"}
+	for _, pkgName := range pkgs {
+		runOne(t, loader, a, dir+"/src/"+pkgName)
+	}
+}
+
+func runOne(t *testing.T, loader *load.Loader, a *analysis.Analyzer, pkgDir string) {
+	t.Helper()
+	pkg, err := loader.Load(pkgDir)
+	if err != nil {
+		t.Errorf("analysistest: loading %s: %v", pkgDir, err)
+		return
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("analysistest: %s: fixture does not typecheck: %v", pkgDir, terr)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("analysistest: %s: analyzer error: %v", pkgDir, err)
+		return
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		p := pkg.Fset.Position(d.Pos)
+		key := posKey{p.Filename, p.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE extracts the quoted expectations of one want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants parses `// want "re" ...` comments, keyed by the line the
+// comment starts on (for a trailing comment, the line it annotates).
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	wants := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					// A directive comment occupies the whole trailing
+					// comment, so fixtures that expect a diagnostic on the
+					// directive itself (e.g. a missing justification) embed
+					// the expectation after it: //air:foo want "re".
+					if !strings.HasPrefix(c.Text, "//air:") {
+						continue
+					}
+					if _, rest, found := strings.Cut(c.Text, " want "); found {
+						text = rest
+					} else {
+						continue
+					}
+				}
+				p := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text, -1) {
+					pat := q
+					if pat[0] == '"' {
+						unq, err := strconv.Unquote(pat)
+						if err != nil {
+							t.Errorf("%s: bad want string %s: %v", p, q, err)
+							continue
+						}
+						pat = unq
+					} else {
+						pat = pat[1 : len(pat)-1]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", p, q, err)
+						continue
+					}
+					key := posKey{p.Filename, p.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// RunFixSuggestions applies every suggested fix the analyzer produces for
+// the fixture package and returns the fixed rendering of each file, keyed by
+// base filename — drivers and tests assert on the result without touching
+// the fixture on disk.
+func RunFixSuggestions(t *testing.T, dir string, a *analysis.Analyzer, pkgName string) map[string]string {
+	t.Helper()
+	loader, err := load.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.ExtraRoots = []string{dir + "/src"}
+	pkg, err := loader.Load(dir + "/src/" + pkgName)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkgName, err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer error: %v", err)
+	}
+
+	type edit struct {
+		start, end int
+		newText    string
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				p, q := pkg.Fset.Position(e.Pos), pkg.Fset.Position(e.End)
+				perFile[p.Filename] = append(perFile[p.Filename], edit{p.Offset, q.Offset, string(e.NewText)})
+			}
+		}
+	}
+	out := map[string]string{}
+	for file, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		src, err := readFile(file)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		var b strings.Builder
+		last := 0
+		for _, e := range edits {
+			if e.start < last {
+				t.Fatalf("analysistest: overlapping fixes in %s", file)
+			}
+			b.WriteString(src[last:e.start])
+			b.WriteString(e.newText)
+			last = e.end
+		}
+		b.WriteString(src[last:])
+		out[baseName(file)] = b.String()
+	}
+	return out
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("reading %s: %w", path, err)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "go/ast"
+
+// WithStack traverses the AST rooted at root in depth-first order, calling
+// fn at each node with the path of ancestors (outermost first, ending in n
+// itself). Returning false prunes the subtree. The stack slice is reused
+// between calls; callers that retain it must copy.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Pruned subtrees get no post-order nil callback: pop now.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

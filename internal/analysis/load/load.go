@@ -1,0 +1,305 @@
+// Package load resolves and typechecks packages for the airvet analyzers
+// without go/packages (the module is dependency-free): module packages are
+// parsed from source and typechecked with go/types, standard-library
+// imports go through the standard library's own source importer
+// (importer.ForCompiler "source"), and analysistest fixtures resolve
+// GOPATH-style under extra source roots.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, typechecked package: what a driver hands each
+// analyzer as a Pass.
+type Package struct {
+	Path  string // import path ("repro/internal/packet")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds soft typechecking errors. Analysis proceeds on the
+	// partial information; drivers surface these separately.
+	TypeErrors []error
+}
+
+// A Loader loads packages of one module (plus optional GOPATH-style extra
+// roots for test fixtures), memoizing by import path so shared dependencies
+// typecheck once per process.
+type Loader struct {
+	ModDir  string // module root (directory holding go.mod)
+	ModPath string // module path from go.mod
+	Fset    *token.FileSet
+
+	// ExtraRoots are additional source roots resolved GOPATH-style: an
+	// import path "p" maps to <root>/p if that directory exists. Used by
+	// analysistest for testdata/src fixtures. Extra roots win over the
+	// standard library so fixtures can stub dependency packages.
+	ExtraRoots []string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir: it walks
+// up from dir to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("load: no go.mod at or above %s", abs)
+		}
+		modDir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := modulePath(string(data))
+	if modPath == "" {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", modDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModDir:  modDir,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(mod string) string {
+	for _, line := range strings.Split(mod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// dirFor maps an import path to a source directory, or "" when the path is
+// not module-local and not under an extra root (i.e. standard library).
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rest))
+	}
+	for _, root := range l.ExtraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// PathFor maps a source directory to its import path.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for _, root := range l.ExtraRoots {
+		if rest, ok := cutDirPrefix(abs, root); ok {
+			return filepath.ToSlash(rest), nil
+		}
+	}
+	if abs == l.ModDir {
+		return l.ModPath, nil
+	}
+	if rest, ok := cutDirPrefix(abs, l.ModDir); ok {
+		return l.ModPath + "/" + filepath.ToSlash(rest), nil
+	}
+	return "", fmt.Errorf("load: %s is outside module %s", abs, l.ModDir)
+}
+
+func cutDirPrefix(path, root string) (string, bool) {
+	prefix := root + string(filepath.Separator)
+	if strings.HasPrefix(path, prefix) {
+		return path[len(prefix):], true
+	}
+	return "", false
+}
+
+// Load loads, parses and typechecks the package in dir (and, recursively,
+// its module-local dependencies).
+func (l *Loader) Load(dir string) (*Package, error) {
+	path, err := l.PathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path)
+}
+
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %q is not module-local", path)
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: importerFunc(l.importFor(path)),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if len(pkg.TypeErrors) < 20 {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			}
+		},
+	}
+	// Check returns the (possibly incomplete) package even on error; soft
+	// errors are already collected via conf.Error.
+	tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// importFor returns the import function used while typechecking importer
+// (module-local and fixture paths load from source here; everything else is
+// the standard library, delegated to the stdlib source importer).
+func (l *Loader) importFor(importer string) func(string) (*types.Package, error) {
+	return func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if l.dirFor(path) != "" {
+			pkg, err := l.loadPath(path)
+			if err != nil {
+				return nil, err
+			}
+			if pkg.Types == nil {
+				return nil, fmt.Errorf("load: %q did not typecheck (imported by %s)", path, importer)
+			}
+			return pkg.Types, nil
+		}
+		return l.std.Import(path)
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Expand resolves package patterns relative to dir into package
+// directories: "./..." and "dir/..." walk recursively (skipping testdata,
+// hidden and underscore directories), anything else names one directory.
+// Directories with no buildable non-test Go files are silently skipped on
+// walks and reported as errors when named explicitly.
+func Expand(dir string, patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "..."); ok {
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = dir
+			} else if !filepath.IsAbs(root) {
+				root = filepath.Join(dir, root)
+			}
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasBuildableGo(p) {
+					add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p := pat
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		if !hasBuildableGo(p) {
+			return nil, fmt.Errorf("load: no buildable Go files in %s", p)
+		}
+		add(p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasBuildableGo(dir string) bool {
+	bp, err := build.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

@@ -1,0 +1,162 @@
+// Package noallocpin cross-checks the repo's two zero-allocation registries
+// against each other: the //air:noalloc annotations (checked statically by
+// the airvet noalloc analyzer) and the testing.AllocsPerRun(...)=0 pins
+// (checked at runtime by the package tests). A function pinned but not
+// annotated escapes static checking; a function annotated but not pinned
+// claims a property nothing verifies. Both directions fail this test.
+package noallocpin
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// exceptions lists functions allowed to carry //air:noalloc without an
+// AllocsPerRun pin (or vice versa), each with the reason. Keep it empty
+// unless a pin is genuinely impossible to express.
+var exceptions = map[string]string{}
+
+func TestNoallocAnnotationsMatchAllocsPerRunPins(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+
+	type pkgFacts struct {
+		declared  map[string]bool // funcs/methods declared in non-test files
+		annotated map[string]bool // //air:noalloc carriers
+		pinned    map[string]bool // called inside an AllocsPerRun closure
+	}
+	facts := map[string]*pkgFacts{} // keyed by package dir relative to root
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pf := facts[rel]
+		if pf == nil {
+			pf = &pkgFacts{declared: map[string]bool{}, annotated: map[string]bool{}, pinned: map[string]bool{}}
+			facts[rel] = pf
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectPins(f, pf.pinned)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pf.declared[fn.Name.Name] = true
+			if analysis.FuncDirective(fn, analysis.DirNoAlloc) {
+				pf.annotated[fn.Name.Name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range sortedKeys(facts) {
+		pf := facts[dir]
+		for _, name := range sortedKeys(pf.pinned) {
+			if !pf.declared[name] {
+				continue // a cross-package or builtin call inside the closure
+			}
+			key := dir + "." + name
+			if !pf.annotated[name] && exceptions[key] == "" {
+				t.Errorf("%s: %s is pinned by an AllocsPerRun test but not annotated //air:noalloc — annotate it so airvet checks the body", dir, name)
+			}
+		}
+		for _, name := range sortedKeys(pf.annotated) {
+			key := dir + "." + name
+			if !pf.pinned[name] && exceptions[key] == "" {
+				t.Errorf("%s: %s is annotated //air:noalloc but no AllocsPerRun test in the package pins it — add a pin or an exception with a reason", dir, name)
+			}
+		}
+	}
+}
+
+// collectPins records the names called inside testing.AllocsPerRun closures.
+func collectPins(f *ast.File, pinned map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		lit, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := inner.Fun.(type) {
+			case *ast.Ident:
+				pinned[fun.Name] = true
+			case *ast.SelectorExpr:
+				pinned[fun.Sel.Name] = true
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

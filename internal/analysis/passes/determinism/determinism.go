@@ -1,0 +1,183 @@
+// Package determinism enforces the repo's bit-identical-replay invariant:
+// in designated deterministic packages every timestamp must come from the
+// virtual clock and every random draw from the seeded splitmix64
+// discipline, so wall clocks, math/rand, and map-iteration order must
+// never reach an encoded output or an answer.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall clocks, math/rand and order-sensitive map iteration in deterministic packages
+
+In the designated deterministic packages (core, scheme, packet, precompute,
+update, chaos, netdata, spath, baseline/*, and any package carrying an
+//air:deterministic file directive) the analyzer reports:
+
+  - references to time.Now, time.Since and the rest of the wall-clock and
+    timer surface (replay must draw time from the virtual clock);
+  - any import of math/rand or math/rand/v2 (draws come from seeded
+    splitmix64 — see internal/chaos);
+  - iteration over a map whose loop body is order-sensitive: map order is
+    randomized per process, so anything it can reach — an encoded byte, an
+    appended slice, a random draw — breaks bit-identical replay. Loops
+    whose bodies are provably order-insensitive (map writes, integer/bool
+    accumulation, deletes) and the collect-keys-then-sort idiom are
+    allowed.
+
+In every package, deterministic or not, calls to math/rand's package-level
+draw functions (rand.Intn, rand.Shuffle, ...) are reported: they read the
+shared unseeded source, which no replayable code path may do. Construct a
+seeded generator instead.
+
+A finding on a justified line is suppressed with
+//air:nondeterministic "why this cannot reach an encoded byte or a draw"
+on, or immediately above, the line; the justification string is mandatory.`,
+	Run: run,
+}
+
+// deterministicExact lists designated package paths, matched on the
+// module-relative suffix so the same analyzer works standalone, under
+// go vet (full import paths) and in analysistest fixtures.
+var deterministicExact = []string{
+	"internal/core",
+	"internal/scheme",
+	"internal/packet",
+	"internal/precompute",
+	"internal/update",
+	"internal/chaos",
+	"internal/netdata",
+	"internal/spath",
+}
+
+// deterministicPrefix lists designated package subtrees.
+var deterministicPrefix = []string{
+	"internal/baseline/",
+}
+
+// forbiddenTime is the wall-clock and timer surface of package time: none
+// of it may steer a deterministic package. (time.Duration arithmetic and
+// formatting remain free.)
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// globalRandDraws are math/rand (and v2) package-level functions that read
+// the process-global source: unseeded by construction.
+var globalRandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+}
+
+// IsDeterministicPath reports whether the import path names a designated
+// deterministic package.
+func IsDeterministicPath(path string) bool {
+	for _, p := range deterministicExact {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	for _, p := range deterministicPrefix {
+		if strings.HasPrefix(path, p) || strings.Contains(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	deterministic := IsDeterministicPath(pass.Pkg.Path())
+	dirs := make(map[*ast.File]*analysis.Directives, len(pass.Files))
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		d := analysis.ParseDirectives(pass.Fset, f)
+		dirs[f] = d
+		if d.Has(analysis.DirDeterministic) {
+			deterministic = true
+		}
+	}
+	for f, d := range dirs {
+		analysis.CheckJustified(pass, d, analysis.DirNondeterministic)
+		checkFile(pass, f, d, deterministic)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File, dirs *analysis.Directives, deterministic bool) {
+	report := func(pos token.Pos, end token.Pos, format string, args ...any) {
+		if _, ok := dirs.SuppressedAt(analysis.DirNondeterministic, pos); ok {
+			return
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: pos, End: end, Category: "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if deterministic {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp.Pos(), imp.End(),
+					"deterministic package imports %s: random draws must come from the seeded splitmix64 discipline (internal/chaos)", path)
+			}
+		}
+	}
+
+	analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if deterministic && forbiddenTime[obj.Name()] {
+					report(n.Pos(), n.End(),
+						"wall clock in deterministic package: time.%s breaks bit-identical replay; use the virtual clock or annotate //air:nondeterministic", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandDraws[obj.Name()] && isPackageFunc(obj) {
+					report(n.Pos(), n.End(),
+						"rand.%s draws from the unseeded process-global source; construct a seeded generator instead", obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if deterministic {
+				checkMapRange(pass, n, stack, report)
+			}
+		}
+		return true
+	})
+}
+
+// isPackageFunc reports whether obj is a package-level function (as opposed
+// to a method like (*rand.Rand).Intn, which is seeded by construction).
+func isPackageFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

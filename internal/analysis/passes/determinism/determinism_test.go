@@ -1,0 +1,41 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/determinism"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "det")
+}
+
+func TestRandImport(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "detrand")
+}
+
+func TestGlobalRandEverywhere(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "randglobal")
+}
+
+// TestFalsePositives locks in the calibrated-clean shapes: any diagnostic in
+// the detfp fixture is a regression.
+func TestFalsePositives(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "detfp")
+}
+
+func TestIsDeterministicPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":          true,
+		"repro/internal/packet":        true,
+		"repro/internal/baseline/hiti": true,
+		"repro/internal/obs":           false,
+		"repro/internal/wire":          false,
+		"internal/chaos":               true,
+	} {
+		if got := determinism.IsDeterministicPath(path); got != want {
+			t.Errorf("IsDeterministicPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// checkMapRange classifies one `for ... range m` over a map. Map iteration
+// order is randomized per process, so the loop is reported unless its body
+// provably cannot leak the order:
+//
+//   - order-insensitive bodies: every write is a map store, an integer/bool
+//     accumulation (+=, ^=, counters), a delete, or a write to a variable
+//     declared inside the loop; no calls except pure builtins; no early
+//     exits (an early return/break leaks which key came first);
+//   - the canonicalization idiom: the body only collects keys/values into
+//     slices, and every collected slice is sorted later in the same
+//     function before any other use.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node, report func(pos, end token.Pos, format string, args ...any)) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := &classifier{pass: pass, loop: rs}
+	if c.orderInsensitive(rs.Body) {
+		return
+	}
+	if c.collectThenSort(rs, stack) {
+		return
+	}
+	report(rs.Pos(), rs.Body.Lbrace,
+		"map iteration order can reach an order-sensitive sink%s; iterate sorted keys, restructure the body, or annotate //air:nondeterministic", c.reasonSuffix())
+}
+
+type classifier struct {
+	pass   *analysis.Pass
+	loop   *ast.RangeStmt
+	reason string // first order-sensitive construct found, for the message
+}
+
+func (c *classifier) fail(reason string) bool {
+	if c.reason == "" {
+		c.reason = reason
+	}
+	return false
+}
+
+func (c *classifier) reasonSuffix() string {
+	if c.reason == "" {
+		return ""
+	}
+	return " (" + c.reason + ")"
+}
+
+// loopLocal reports whether the identifier resolves to a variable declared
+// inside the loop (including the key/value variables).
+func (c *classifier) loopLocal(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	return obj != nil && obj.Pos() >= c.loop.Pos() && obj.Pos() < c.loop.End()
+}
+
+func (c *classifier) orderInsensitive(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if !c.stmtOK(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) stmtOK(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if !c.pure(rhs) {
+				return false
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if !c.writeOK(lhs, s.Tok) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		return c.writeOK(s.X, token.ADD_ASSIGN)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.builtinName(call) == "delete" {
+			return c.pureArgs(call)
+		}
+		return c.fail("calls in the loop body")
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !c.pure(v) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.pure(s.Cond) {
+			return false
+		}
+		if !c.orderInsensitive(s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				return c.orderInsensitive(els)
+			}
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.orderInsensitive(s)
+	case *ast.BranchStmt:
+		// continue restarts with another key: fine. break/goto leak which
+		// key arrived first.
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		return c.fail("early exit leaks which key came first")
+	case *ast.ReturnStmt:
+		return c.fail("early exit leaks which key came first")
+	default:
+		return c.fail("order-dependent statement")
+	}
+}
+
+// writeOK reports whether one assignment target keeps the body
+// order-insensitive under the given assignment operator.
+func (c *classifier) writeOK(lhs ast.Expr, tok token.Token) bool {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" || c.loopLocal(l) {
+			return true
+		}
+		return c.accumOK(l, tok, l.Name)
+	case *ast.SelectorExpr:
+		// A field of a loop-local value follows its base; a field of an
+		// outer value follows the accumulation rules, like an outer ident.
+		if base, ok := rootIdent(l); ok && c.loopLocal(base) {
+			return true
+		}
+		if !c.pure(l.X) {
+			return false
+		}
+		return c.accumOK(l, tok, l.Sel.Name)
+	case *ast.IndexExpr:
+		// A store into another map is order-insensitive (keyed, not
+		// positional); a store into a slice index that depends only on the
+		// key would be too, but proving that is not worth the machinery.
+		if xt := c.pass.TypesInfo.TypeOf(l.X); xt != nil {
+			if _, isMap := xt.Underlying().(*types.Map); isMap {
+				return c.pure(l.X) && c.pure(l.Index)
+			}
+		}
+		return c.fail("indexed store leaks iteration order")
+	default:
+		return c.fail("order-dependent assignment target")
+	}
+}
+
+// accumOK applies the outer-variable accumulation rules to one assignment
+// target: only commutative accumulations over order-stable domains are
+// safe. Integer and bitwise accumulation commute exactly; float addition
+// does not (rounding is order-dependent), last-writer-wins assignment
+// obviously does not.
+func (c *classifier) accumOK(target ast.Expr, tok token.Token, name string) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		if lt := c.pass.TypesInfo.TypeOf(target); lt != nil {
+			if t, ok := lt.Underlying().(*types.Basic); ok &&
+				t.Info()&(types.IsInteger|types.IsBoolean) != 0 {
+				return true
+			}
+		}
+		return c.fail("non-integer accumulation is order-dependent")
+	}
+	return c.fail("last-writer-wins assignment to " + name)
+}
+
+// rootIdent unwraps a selector chain (a.b.c) to its base identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// pure reports whether evaluating e has no side effects and calls nothing
+// but pure builtins or type conversions.
+func (c *classifier) pure(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch c.builtinName(n) {
+			case "len", "cap", "min", "max", "abs":
+				return true
+			}
+			if tv, found := c.pass.TypesInfo.Types[n.Fun]; found && tv.IsType() {
+				return true // conversion
+			}
+			ok = c.fail("calls in the loop body")
+			return false
+		case *ast.FuncLit:
+			ok = c.fail("function literal in the loop body")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = c.fail("channel receive in the loop body")
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func (c *classifier) pureArgs(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if !c.pure(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func (c *classifier) builtinName(call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return ""
+	}
+	return id.Name
+}
+
+// collectThenSort recognizes the canonicalization idiom: the loop body only
+// appends keys/values (or otherwise stays order-insensitive), and every
+// slice it appends to is passed to a sort call later in the same function.
+func (c *classifier) collectThenSort(rs *ast.RangeStmt, stack []ast.Node) bool {
+	collected := map[types.Object]bool{}
+	if !c.collectAppends(rs.Body, collected) || len(collected) == 0 {
+		return false
+	}
+	// Find the statements that follow the loop, walking outward through
+	// enclosing blocks so `for { ... } ; sort.Ints(keys)` is found even
+	// when the loop sits inside an if.
+	for obj := range collected {
+		if !c.sortedAfter(obj, rs, stack) {
+			c.fail("collected slice " + obj.Name() + " is never sorted")
+			return false
+		}
+	}
+	return true
+}
+
+// collectAppends walks the body accepting order-insensitive statements plus
+// `s = append(s, ...)`; appended outer slices land in collected.
+func (c *classifier) collectAppends(body *ast.BlockStmt, collected map[types.Object]bool) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if c.appendStmt(s, collected) {
+				continue
+			}
+		case *ast.IfStmt:
+			if s.Init == nil && c.pure(s.Cond) {
+				okThen := c.collectAppends(s.Body, collected)
+				okElse := true
+				if s.Else != nil {
+					if els, isBlock := s.Else.(*ast.BlockStmt); isBlock {
+						okElse = c.collectAppends(els, collected)
+					} else {
+						okElse = false
+					}
+				}
+				if okThen && okElse {
+					continue
+				}
+			}
+		}
+		if !c.stmtOK(stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendStmt matches `s = append(s, pureArgs...)` with s an identifier,
+// recording outer-scope destinations.
+func (c *classifier) appendStmt(s *ast.AssignStmt, collected map[types.Object]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 || (s.Tok != token.ASSIGN && s.Tok != token.DEFINE) {
+		return false
+	}
+	dst, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || c.builtinName(call) != "append" || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || src.Name != dst.Name {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if !c.pure(a) {
+			return false
+		}
+	}
+	if !c.loopLocal(dst) {
+		obj := c.pass.TypesInfo.Uses[dst]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[dst]
+		}
+		if obj == nil {
+			return false
+		}
+		collected[obj] = true
+	}
+	return true
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// in a statement after the loop within one of its enclosing blocks.
+func (c *classifier) sortedAfter(obj types.Object, rs *ast.RangeStmt, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, stmt := range block.List {
+			if stmt.Pos() <= rs.Pos() {
+				continue
+			}
+			found := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+				default:
+					return true
+				}
+				for _, a := range call.Args {
+					if id, ok := a.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == obj {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

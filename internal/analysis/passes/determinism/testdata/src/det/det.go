@@ -1,0 +1,110 @@
+// Package det exercises the determinism analyzer inside a designated
+// deterministic package (via the file directive below).
+//
+//air:deterministic
+package det
+
+import (
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall clock in deterministic package: time\.Now`
+	return time.Since(start) // want `wall clock in deterministic package: time\.Since`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wall clock in deterministic package: time\.Sleep`
+}
+
+// durationMath uses only the arithmetic surface of package time: allowed.
+func durationMath(d time.Duration) float64 {
+	return (d + time.Millisecond).Seconds()
+}
+
+func justified() int64 {
+	return time.Now().UnixNano() //air:nondeterministic "fixture: wall time feeds a log line, never an encoded byte"
+}
+
+func justifiedAbove() int64 {
+	//air:nondeterministic "fixture: wall time feeds a log line, never an encoded byte"
+	return time.Now().UnixNano()
+}
+
+func unjustified() {
+	//air:nondeterministic want `requires a quoted justification`
+	_ = time.Unix(0, 0)
+}
+
+func orderSensitive(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order can reach an order-sensitive sink`
+		out = append(out, use(k))
+	}
+	return out
+}
+
+func earlyExit(m map[int]bool) bool {
+	for _, v := range m { // want `early exit leaks which key came first`
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func lastWriterWins(m map[int]int) int {
+	latest := 0
+	for _, v := range m { // want `last-writer-wins assignment to latest`
+		latest = v
+	}
+	return latest
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `non-integer accumulation is order-dependent`
+		sum += v
+	}
+	return sum
+}
+
+func suppressedRange(m map[int]int) []int {
+	var out []int
+	for k := range m { //air:nondeterministic "fixture: order is scrubbed by the caller"
+		out = append(out, use(k))
+	}
+	return out
+}
+
+// collectThenSort is the canonicalization idiom: collected slices sorted
+// before use stay deterministic.
+func collectThenSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// counter accumulates integers: commutative, order-insensitive.
+func counter(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes only map stores: keyed, not positional.
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func use(k int) int { return k }

@@ -1,0 +1,73 @@
+// Package detfp is the determinism false-positive regression fixture: every
+// shape below was found in the real tree during calibration and must stay
+// clean. No want comments in this file — any diagnostic is a regression.
+//
+//air:deterministic
+package detfp
+
+import (
+	"sort"
+	"time"
+)
+
+// statsAdd mirrors chaos.Proxy.Stats-like commutative accumulation split
+// across fields.
+type stats struct{ hits, misses int }
+
+func merge(m map[string]stats) stats {
+	var total stats
+	for _, s := range m {
+		total.hits += s.hits
+		total.misses += s.misses
+	}
+	return total
+}
+
+// collectSortInsideIf mirrors hiti's border collection: the loop sits inside
+// an if, the sort follows in an enclosing block.
+func collectSortInsideIf(m map[int]bool, enabled bool) []int {
+	var keys []int
+	if enabled {
+		for k := range m {
+			if k > 0 {
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// retain mirrors the superedge release loop restructured as pure map writes.
+func retain(in map[int]bool, keep map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range in {
+		if keep[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// prune deletes with pure arguments.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// durations exercises the allowed non-clock surface of package time.
+func durations(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// bitset accumulates with bitwise or: commutative on integers.
+func bitset(m map[int]uint64) uint64 {
+	var bits uint64
+	for _, v := range m {
+		bits |= v
+	}
+	return bits
+}

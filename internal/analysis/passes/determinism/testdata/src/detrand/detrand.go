@@ -1,0 +1,11 @@
+// Package detrand exercises the math/rand import rule in a designated
+// deterministic package.
+//
+//air:deterministic
+package detrand
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+)
+
+func seeded() *rand.Rand { return rand.New(rand.NewSource(1)) }

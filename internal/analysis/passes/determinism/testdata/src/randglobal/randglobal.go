@@ -1,0 +1,23 @@
+// Package randglobal is NOT a designated deterministic package: wall clocks
+// are fine here, but the process-global math/rand draws are reported in
+// every package — no replayable code path may touch the shared source.
+package randglobal
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the unseeded process-global source`
+}
+
+func shuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand\.Shuffle draws from the unseeded process-global source`
+}
+
+// seededDraw goes through a constructed generator: allowed everywhere.
+func seededDraw(r *rand.Rand) int { return r.Intn(10) }
+
+// clock is fine outside deterministic packages.
+func clock() time.Time { return time.Now() }

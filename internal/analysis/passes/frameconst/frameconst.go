@@ -1,0 +1,291 @@
+// Package frameconst keeps every literal that must agree with the wire in
+// exactly one place: the frame magic, the file-format magics (AIRG, AIRM,
+// AIRB, AIRC, AIRD and the border end sentinel), and packet kind codes are
+// defined in their codec packages and must be referenced by name — never
+// re-spelled — everywhere else. A re-spelled wire literal is the classic
+// silent-drift bug: the copy keeps compiling after the canonical value
+// moves.
+package frameconst
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "frameconst",
+	Doc: `forbid re-spelled wire-format literals outside their defining codec package
+
+The canonical table (value -> home package, constant):
+
+  0x46524941   packet      FrameMagic (the "AIRF" datagram magic)
+  155          packet      MaxFrameSize (only in packages importing packet)
+  "AIRF"       packet      frame magic string form
+  "AIRG"       graph       binary graph codec magic
+  "AIRM"       graph       mapped (mmap) graph magic
+  "AIRB"       precompute  border/precompute file magic
+  "BENDBEND"   precompute  border file end sentinel
+  "AIRC"       broadcast   cycle file magic
+  "AIRD"       diskcache   disk cache entry magic
+
+plus every typed packet.Kind code: a Kind-typed integer literal (in a
+conversion, comparison or switch case) outside internal/packet must be
+spelled as the named constant (packet.KindData, ...), not its numeric
+value.
+
+Where the named constant is already importable at the finding site, the
+diagnostic carries a machine-applicable fix (airvet -fix).`,
+	Run: run,
+}
+
+// homes maps canonical string literals to the base name of their defining
+// package and the constant to reference instead.
+var stringHomes = map[string]struct{ home, constName string }{
+	"AIRF":     {"packet", "packet.FrameMagic"},
+	"AIRG":     {"graph", "the graph codec magic"},
+	"AIRM":     {"graph", "the mapped-graph magic"},
+	"AIRB":     {"precompute", "the border-file magic"},
+	"BENDBEND": {"precompute", "the border-file end sentinel"},
+	"AIRC":     {"broadcast", "the cycle-file magic"},
+	"AIRD":     {"diskcache", "the cache-entry magic"},
+}
+
+// frameMagic is packet.FrameMagic's value ("AIRF" little endian).
+const frameMagic = 0x46524941
+
+// maxFrameSize is packet.MaxFrameSize's value; only reported in packages
+// that import packet (anywhere else 155 is just a number).
+const maxFrameSize = 155
+
+func run(pass *analysis.Pass) (any, error) {
+	// The analysis packages themselves are the one legitimate second home
+	// for these literals: the detection table has to spell them. Fixtures
+	// under their testdata are NOT exempt — they exercise the rules.
+	if p := pass.Pkg.Path(); !strings.Contains(p, "testdata") &&
+		(strings.Contains(p, "internal/analysis") || strings.HasSuffix(p, "/airvet")) {
+		return nil, nil
+	}
+	pkgBase := pathBase(pass.Pkg.Path())
+	importsPacket := false
+	for _, imp := range pass.Pkg.Imports() {
+		if pathBase(imp.Path()) == "packet" {
+			importsPacket = true
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkFile(pass, f, pkgBase, importsPacket)
+	}
+	return nil, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File, pkgBase string, importsPacket bool) {
+	info := pass.TypesInfo
+	analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			return false // the path string is not a wire literal
+		case *ast.BasicLit:
+			checkLit(pass, f, n, stack, pkgBase, importsPacket)
+		}
+		return true
+	})
+
+	// Kind-typed literals outside packet.
+	if pkgBase == "packet" {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Conversion packet.Kind(3).
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && isKind(tv.Type) && len(n.Args) == 1 {
+				if lit, ok := n.Args[0].(*ast.BasicLit); ok {
+					reportKind(pass, n, lit)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ || n.Op == token.LSS ||
+				n.Op == token.GTR || n.Op == token.LEQ || n.Op == token.GEQ {
+				checkKindCompare(pass, info, n.X, n.Y)
+				checkKindCompare(pass, info, n.Y, n.X)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			if t := info.TypeOf(n.Tag); t != nil && isKind(t) {
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if lit, ok := e.(*ast.BasicLit); ok {
+							reportKind(pass, lit, lit)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isKind reports whether t is the named type Kind of a packet package.
+func isKind(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "packet"
+}
+
+func checkKindCompare(pass *analysis.Pass, info *types.Info, typed, other ast.Expr) {
+	t := info.TypeOf(typed)
+	if t == nil || !isKind(t) {
+		return
+	}
+	if lit, ok := other.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		reportKind(pass, lit, lit)
+	}
+}
+
+// reportKind reports a Kind code spelled numerically, with a fix when the
+// named constant is resolvable through an imported packet package.
+func reportKind(pass *analysis.Pass, at ast.Node, lit *ast.BasicLit) {
+	val, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return
+	}
+	d := analysis.Diagnostic{
+		Pos: at.Pos(), End: at.End(), Category: "frameconst",
+		Message: fmt.Sprintf("packet kind code %s re-spelled numerically; reference the named packet.Kind constant", lit.Value),
+	}
+	if name, qual := kindConstName(pass, val); name != "" {
+		d.Message = fmt.Sprintf("packet kind code %s re-spelled numerically; use %s.%s", lit.Value, qual, name)
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message:   fmt.Sprintf("replace %s with %s.%s", lit.Value, qual, name),
+			TextEdits: []analysis.TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: []byte(qual + "." + name)}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// kindConstName finds the named Kind constant with the given value in an
+// imported packet package, along with the local qualifier.
+func kindConstName(pass *analysis.Pass, val int64) (name, qualifier string) {
+	for _, imp := range pass.Pkg.Imports() {
+		if pathBase(imp.Path()) != "packet" {
+			continue
+		}
+		scope := imp.Scope()
+		for _, n := range scope.Names() {
+			c, ok := scope.Lookup(n).(*types.Const)
+			if !ok || !isKind(c.Type()) {
+				continue
+			}
+			if v, ok := constant.Int64Val(c.Val()); ok && v == val {
+				return c.Name(), imp.Name()
+			}
+		}
+	}
+	return "", ""
+}
+
+func checkLit(pass *analysis.Pass, f *ast.File, lit *ast.BasicLit, stack []ast.Node, pkgBase string, importsPacket bool) {
+	switch lit.Kind {
+	case token.STRING:
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		home, ok := stringHomes[s]
+		if !ok {
+			return
+		}
+		if pkgBase == home.home && inConstOrVarDecl(stack) {
+			return // the canonical definition site
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: lit.Pos(), End: lit.End(), Category: "frameconst",
+			Message: fmt.Sprintf("wire magic %q re-spelled outside %s: reference %s so format drift cannot silently fork the codec", s, home.home, home.constName),
+		})
+	case token.INT:
+		val, err := strconv.ParseUint(lit.Value, 0, 64)
+		if err != nil {
+			return
+		}
+		switch val {
+		case frameMagic:
+			if pkgBase == "packet" && inConstOrVarDecl(stack) {
+				return
+			}
+			d := analysis.Diagnostic{
+				Pos: lit.Pos(), End: lit.End(), Category: "frameconst",
+				Message: fmt.Sprintf("frame magic %s re-spelled outside packet; use packet.FrameMagic", lit.Value),
+			}
+			if q := importQualifier(pass, "packet"); q != "" {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message:   "replace with " + q + ".FrameMagic",
+					TextEdits: []analysis.TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: []byte(q + ".FrameMagic")}},
+				}}
+			}
+			pass.Report(d)
+		case maxFrameSize:
+			if !importsPacket || pkgBase == "packet" {
+				return // 155 is only meaningful next to the packet codec
+			}
+			d := analysis.Diagnostic{
+				Pos: lit.Pos(), End: lit.End(), Category: "frameconst",
+				Message: "frame size 155 re-spelled; use packet.MaxFrameSize (it moves when the envelope or payload layout does)",
+			}
+			if q := importQualifier(pass, "packet"); q != "" {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message:   "replace with " + q + ".MaxFrameSize",
+					TextEdits: []analysis.TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: []byte(q + ".MaxFrameSize")}},
+				}}
+			}
+			pass.Report(d)
+		}
+	}
+}
+
+// importQualifier returns the local package name under which a package with
+// the given base name is imported, or "".
+func importQualifier(pass *analysis.Pass, base string) string {
+	for _, imp := range pass.Pkg.Imports() {
+		if pathBase(imp.Path()) == base {
+			return imp.Name()
+		}
+	}
+	return ""
+}
+
+// inConstOrVarDecl reports whether the literal sits inside a top-level
+// const or var declaration (the one place a canonical value may be spelled).
+func inConstOrVarDecl(stack []ast.Node) bool {
+	for _, n := range stack {
+		if gd, ok := n.(*ast.GenDecl); ok && (gd.Tok == token.CONST || gd.Tok == token.VAR) {
+			return true
+		}
+	}
+	return false
+}

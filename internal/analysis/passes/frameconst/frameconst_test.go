@@ -1,0 +1,47 @@
+package frameconst_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/frameconst"
+)
+
+func TestRespelledLiterals(t *testing.T) {
+	analysistest.Run(t, "testdata", frameconst.Analyzer, "wire")
+}
+
+// TestFalsePositives locks in the calibrated-clean shapes: without a packet
+// import 155 is just a number, and a local Kind type is not packet.Kind.
+func TestFalsePositives(t *testing.T) {
+	analysistest.Run(t, "testdata", frameconst.Analyzer, "wirefp")
+}
+
+// TestSuggestedFixes applies the machine fixes over the wire fixture and
+// asserts the re-spelled literals come back as named constants — what
+// `airvet -fix` writes to disk.
+func TestSuggestedFixes(t *testing.T) {
+	fixed := analysistest.RunFixSuggestions(t, "testdata", frameconst.Analyzer, "wire")
+	src, ok := fixed["wire.go"]
+	if !ok {
+		t.Fatalf("no fixes produced for wire.go (got %d fixed files)", len(fixed))
+	}
+	for _, want := range []string{
+		"uint32(packet.FrameMagic)",
+		"make([]byte, packet.MaxFrameSize)",
+		"k == packet.KindMeta",
+		"case packet.KindDelta:",
+		"packet.Kind(packet.KindData)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("fixed wire.go missing %q", want)
+		}
+	}
+	// The want comments still spell the literals; the code must not.
+	for _, stale := range []string{"uint32(0x46524941)", "make([]byte, 155)", "k == 2", "case 3:", "packet.Kind(1)"} {
+		if strings.Contains(src, stale) {
+			t.Errorf("fixed wire.go still contains re-spelled form %q", stale)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package packet is a stub of the repo's internal/packet constant surface:
+// the frameconst analyzer binds by package base name, so this fixture is
+// the canonical home for the frame magic, the frame size, and the Kind
+// codes within testdata.
+package packet
+
+// Kind discriminates frame payloads.
+type Kind uint8
+
+const (
+	KindPad   Kind = 0
+	KindData  Kind = 1
+	KindMeta  Kind = 2
+	KindDelta Kind = 3
+)
+
+// FrameMagic is the datagram magic ("AIRF" little endian).
+const FrameMagic uint32 = 0x46524941
+
+// MaxFrameSize is the fixed on-air frame envelope size.
+const MaxFrameSize = 155

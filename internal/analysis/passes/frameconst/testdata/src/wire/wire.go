@@ -1,0 +1,42 @@
+// Package wire re-spells canonical wire literals that packet (and the
+// other codec homes) own: every one must be reported, and the packet-owned
+// ones must carry a machine-applicable fix.
+package wire
+
+import "packet"
+
+// A const declaration outside the home package is still a re-spelling.
+const borderMagic = "AIRB" // want `wire magic "AIRB" re-spelled outside precompute: reference the border-file magic`
+
+func header(buf []byte) uint32 {
+	copy(buf, "AIRF")         // want `wire magic "AIRF" re-spelled outside packet: reference packet\.FrameMagic`
+	return uint32(0x46524941) // want `frame magic 0x46524941 re-spelled outside packet; use packet\.FrameMagic`
+}
+
+func alloc() []byte {
+	return make([]byte, 155) // want `frame size 155 re-spelled; use packet\.MaxFrameSize`
+}
+
+func classify(k packet.Kind) int {
+	if k == packet.KindPad { // named constant: the one right spelling
+		return -1
+	}
+	if k == 2 { // want `packet kind code 2 re-spelled numerically; use packet\.KindMeta`
+		return 2
+	}
+	switch k {
+	case 3: // want `packet kind code 3 re-spelled numerically; use packet\.KindDelta`
+		return 3
+	case packet.KindData:
+		return 1
+	}
+	return 0
+}
+
+func convert() packet.Kind {
+	return packet.Kind(1) // want `packet kind code 1 re-spelled numerically; use packet\.KindData`
+}
+
+func cycles(buf []byte) {
+	copy(buf, "AIRC") // want `wire magic "AIRC" re-spelled outside broadcast: reference the cycle-file magic`
+}

@@ -1,0 +1,34 @@
+// Package wirefp locks in calibrated-clean shapes for the frameconst
+// analyzer: without a packet import, 155 is just a number, and a local Kind
+// type is not packet.Kind. Any diagnostic in this file is a false positive
+// and a regression.
+package wirefp
+
+// Kind here is a local enumeration, unrelated to packet.Kind.
+type Kind uint8
+
+const (
+	kindA Kind = 1
+	kindB Kind = 2
+)
+
+// batch sizes, retry counts: 155 with no packet import in sight is not the
+// frame size.
+func sizes() []byte {
+	b := make([]byte, 155)
+	for i := 0; i < 155; i++ {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func localKinds(k Kind) bool {
+	if k == 2 {
+		return true
+	}
+	switch k {
+	case 1:
+		return false
+	}
+	return Kind(1) == k
+}

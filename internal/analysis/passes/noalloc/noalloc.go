@@ -1,0 +1,351 @@
+// Package noalloc statically checks the bodies of //air:noalloc-annotated
+// functions — the hot paths pinned at zero allocations per operation by
+// testing.AllocsPerRun tests — for constructs that obviously heap-allocate.
+// The runtime pins prove the property; this analyzer explains, at the
+// source line, where a regression would come from, and catches it at vet
+// time instead of at test time.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: `check //air:noalloc functions for obviously heap-allocating constructs
+
+A function whose doc comment carries //air:noalloc declares itself a
+zero-allocation hot path (by convention it is also pinned by an
+AllocsPerRun=0 test; internal/analysis/noallocpin cross-checks the two
+lists). Inside its body the analyzer reports:
+
+  - fmt.* calls (interface boxing plus formatting state);
+  - make, new, composite literals of slice/map/chan type, and &T{...};
+  - go statements, and defer inside a loop (deferred frames heap-allocate
+    when the defer count is not static);
+  - implicit concrete-to-interface conversions at call arguments,
+    assignments and returns (boxing);
+  - string<->[]byte/[]rune conversions and non-constant string
+    concatenation;
+  - function literals that capture variables, unless returned, invoked in
+    place, or passed to a same-package //air:noalloc function (those stay
+    on the stack when the pin holds);
+  - append whose destination escapes the function (a field, a global, a
+    captured variable).
+
+Arguments of panic(...) are exempt: an aborting path may allocate its
+error. A justified finding is suppressed line-level with
+//air:alloc-ok "why this does not allocate per operation".`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Names of //air:noalloc functions in this package, so closures handed
+	// to them are trusted (e.g. packet.All passing its yield adapter to
+	// packet.ForEachRecord).
+	trusted := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && analysis.FuncDirective(fn, analysis.DirNoAlloc) {
+				trusted[fn.Name.Name] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		dirs := analysis.ParseDirectives(pass.Fset, f)
+		analysis.CheckJustified(pass, dirs, analysis.DirAllocOK)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncDirective(fn, analysis.DirNoAlloc) {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fn, trusted: trusted}
+			c.check()
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	dirs    *analysis.Directives
+	fn      *ast.FuncDecl
+	trusted map[string]bool
+}
+
+func (c *checker) report(n ast.Node, format string, args ...any) {
+	if _, ok := c.dirs.SuppressedAt(analysis.DirAllocOK, n.Pos()); ok {
+		return
+	}
+	c.pass.Report(analysis.Diagnostic{
+		Pos: n.Pos(), End: n.End(), Category: "noalloc",
+		Message: fmt.Sprintf("//air:noalloc %s: %s", c.fn.Name.Name, fmt.Sprintf(format, args...)),
+	})
+}
+
+func (c *checker) check() {
+	info := c.pass.TypesInfo
+	analysis.WithStack(c.fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// panic(...) may allocate: it is the abort path, outside the
+			// per-operation budget. Prune the whole argument subtree.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch b.Name() {
+					case "panic":
+						return false
+					case "make":
+						c.report(n, "make allocates")
+						return true
+					case "new":
+						c.report(n, "new allocates")
+						return true
+					case "append":
+						c.checkAppend(n, stack)
+						return true
+					}
+				}
+			}
+			c.checkCall(n)
+		case *ast.DeferStmt:
+			if inLoop(stack) {
+				c.report(n, "defer in a loop heap-allocates its frame")
+			}
+		case *ast.GoStmt:
+			c.report(n, "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			c.checkFuncLit(n, stack)
+		case *ast.CompositeLit:
+			c.checkComposite(n, stack)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if info.Types[n].Value == nil { // non-constant concatenation
+							c.report(n, "string concatenation allocates")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall reports fmt calls, string conversions, and implicit
+// concrete-to-interface conversions at the arguments of one call.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			c.report(call, "fmt.%s allocates (formatting state and interface boxing)", fn.Name())
+			return
+		}
+	}
+	// Conversions: string([]byte), []byte(string), []rune(string).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, info.TypeOf(call.Args[0])
+		if from != nil && convAllocates(to, from) && info.Types[call.Args[0]].Value == nil {
+			c.report(call, "%s conversion copies and allocates", types.TypeString(to, types.RelativeTo(c.pass.Pkg)))
+		}
+		return
+	}
+	// Implicit interface conversions at arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, param)
+	}
+}
+
+// checkBoxing reports a concrete value converted to an interface.
+func (c *checker) checkBoxing(expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() {
+		return // nil converts to an interface without allocating
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return // interface-to-interface carries the existing box
+	}
+	if tv.Value != nil {
+		return // constants box from static storage, not per operation
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return // pointer-shaped values box without allocating
+	}
+	c.report(expr, "implicit conversion of %s to interface %s boxes on the heap",
+		types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(target, types.RelativeTo(c.pass.Pkg)))
+}
+
+// checkFuncLit reports capturing closures except in the shapes the pinned
+// hot paths prove allocation-free: returned iterators, immediate
+// invocation, and callbacks handed to same-package //air:noalloc functions.
+func (c *checker) checkFuncLit(lit *ast.FuncLit, stack []ast.Node) {
+	if !c.captures(lit) {
+		return
+	}
+	if len(stack) >= 2 {
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.ReturnStmt:
+			return // returned iterator: the caller's range loop keeps it on the stack
+		case *ast.CallExpr:
+			if parent.Fun == lit {
+				return // immediately invoked
+			}
+			if c.trustedCallee(parent) {
+				return // handed to a pinned same-package hot path
+			}
+		}
+	}
+	c.report(lit, "capturing closure may heap-allocate its environment")
+}
+
+func (c *checker) trustedCallee(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return c.trusted[fun.Name]
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() == c.pass.Pkg {
+			return c.trusted[fn.Name()]
+		}
+	}
+	return false
+}
+
+// captures reports whether the literal references identifiers declared
+// outside it.
+func (c *checker) captures(lit *ast.FuncLit) bool {
+	info := c.pass.TypesInfo
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe {
+			return true
+		}
+		// Declared outside the literal but inside the enclosing function?
+		if v.Pos() < lit.Pos() && v.Pos() >= c.fn.Pos() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkComposite reports slice/map/chan literals and &T{...}.
+func (c *checker) checkComposite(lit *ast.CompositeLit, stack []ast.Node) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Chan:
+		c.report(lit, "%s literal allocates", types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+		return
+	}
+	if len(stack) >= 2 {
+		if u, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.report(u, "&%s{...} escapes to the heap", types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+		}
+	}
+}
+
+// checkAppend reports append whose destination escapes the function.
+func (c *checker) checkAppend(call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := call.Args[0].(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[dst]
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pos() < c.fn.Pos() || v.Pos() > c.fn.End() {
+				c.report(call, "append to %s (declared outside the function) may grow a heap slice", dst.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[dst]; ok && sel.Kind() == types.FieldVal {
+			c.report(call, "append to field %s escapes; growth heap-allocates", dst.Sel.Name)
+		}
+	}
+}
+
+// convAllocates reports whether a conversion between these types copies
+// backing storage: string <-> []byte / []rune in either direction.
+func convAllocates(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+}
+
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}

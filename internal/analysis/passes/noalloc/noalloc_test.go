@@ -1,0 +1,19 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/noalloc"
+)
+
+func TestAnnotatedFunctions(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "alloc")
+}
+
+// TestFalsePositives locks in the calibrated-clean shapes mirrored from the
+// repo's pinned hot paths: any diagnostic in the allocfp fixture is a
+// regression.
+func TestFalsePositives(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "allocfp")
+}

@@ -1,0 +1,121 @@
+// Package alloc exercises the noalloc analyzer on annotated functions.
+package alloc
+
+import "fmt"
+
+type buf struct {
+	data  []byte
+	count int
+}
+
+// unannotated may allocate freely: the analyzer only binds //air:noalloc.
+func unannotated(n int) []int { return make([]int, n) }
+
+//air:noalloc
+func makes(n int) {
+	_ = make([]int, n) // want `//air:noalloc makes: make allocates`
+	_ = new(buf)       // want `//air:noalloc makes: new allocates`
+}
+
+//air:noalloc
+func literals() {
+	_ = []int{1, 2}      // want `literal allocates`
+	_ = map[string]int{} // want `literal allocates`
+	_ = &buf{}           // want `escapes to the heap`
+	_ = buf{count: 1}    // plain struct value stays on the stack
+}
+
+//air:noalloc
+func formats(n int) {
+	_ = fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+}
+
+//air:noalloc
+func conversions(s string, b []byte) {
+	_ = []byte(s) // want `conversion copies and allocates`
+	_ = string(b) // want `conversion copies and allocates`
+	_ = len(s)    // builtins are fine
+}
+
+//air:noalloc
+func concat(a, b string) string {
+	const pre = "x"
+	_ = pre + "y" // constant concatenation folds at compile time
+	return a + b  // want `string concatenation allocates`
+}
+
+func sink(v any) { _ = v }
+
+//air:noalloc
+func boxing(n int, p *buf) {
+	sink(n) // want `implicit conversion of int to interface`
+	sink(p) // pointer-shaped: boxes without allocating
+	sink(3) // constants box from static storage
+}
+
+//air:noalloc
+func control(items []int) {
+	go formats(1) // want `go statement allocates a goroutine`
+	for range items {
+		defer sink(nil) // want `defer in a loop heap-allocates its frame`
+	}
+}
+
+//air:noalloc
+func appends(b *buf, local []byte, v byte) []byte {
+	b.data = append(b.data, v) // want `append to field data escapes`
+	local = append(local, v)   // growth of a local stays local when it fits
+	return local
+}
+
+//air:noalloc
+func iterate(fn func(int) bool) {
+	for i := 0; i < 4; i++ {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+//air:noalloc
+func closures(total *int) {
+	iterate(func(i int) bool { // trusted callee: iterate is //air:noalloc
+		*total += i
+		return true
+	})
+	f := func(i int) bool { // want `capturing closure may heap-allocate`
+		*total += i
+		return true
+	}
+	_ = f
+	func() { *total++ }() // immediately invoked: stays on the stack
+}
+
+//air:noalloc
+func returnsIterator(data []byte) func(func(byte) bool) {
+	return func(yield func(byte) bool) { // returned iterator: caller keeps it on the stack
+		for _, b := range data {
+			if !yield(b) {
+				return
+			}
+		}
+	}
+}
+
+//air:noalloc
+func aborts(n int) {
+	if n < 0 {
+		panic(fmt.Errorf("negative: %d", n)) // abort path may allocate its error
+	}
+}
+
+//air:noalloc
+func suppressed(n int) {
+	_ = make([]int, n) //air:alloc-ok "fixture: amortized by the caller's pool"
+}
+
+//air:noalloc
+func badSuppression(n int) {
+	//air:alloc-ok want `requires a quoted justification`
+	_ = make([]int, n)
+}

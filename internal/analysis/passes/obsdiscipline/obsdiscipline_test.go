@@ -1,0 +1,18 @@
+package obsdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/obsdiscipline"
+)
+
+func TestRegistrationRules(t *testing.T) {
+	analysistest.Run(t, "testdata", obsdiscipline.Analyzer, "metrics")
+}
+
+// TestFalsePositives locks in the calibrated-clean registration shapes:
+// any diagnostic in the metricsfp fixture is a regression.
+func TestFalsePositives(t *testing.T) {
+	analysistest.Run(t, "testdata", obsdiscipline.Analyzer, "metricsfp")
+}

@@ -1,0 +1,24 @@
+// Package suite enumerates the airvet analyzers in their canonical order.
+// The driver (cmd/airvet), the analysistest fixtures and the annotation
+// cross-check tests all draw from this one list so an analyzer cannot be
+// registered in one place and forgotten in another.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/frameconst"
+	"repro/internal/analysis/passes/noalloc"
+	"repro/internal/analysis/passes/obsdiscipline"
+)
+
+// Analyzers returns the full airvet suite, ordered by name. The slice is
+// freshly allocated; callers may filter it in place.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		frameconst.Analyzer,
+		noalloc.Analyzer,
+		obsdiscipline.Analyzer,
+	}
+}

@@ -221,6 +221,8 @@ func (t *Tuner) CyclePos() int {
 // Listen receives the packet at the current position and advances. The
 // boolean reports whether the packet arrived intact; a lost packet still
 // counts toward tuning time.
+//
+//air:noalloc
 func (t *Tuner) Listen() (packet.Packet, bool) {
 	if t.ctx != nil {
 		t.checkCtx()

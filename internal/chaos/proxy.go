@@ -106,7 +106,7 @@ func (p *Proxy) Close() error {
 	}
 	p.closed = true
 	flows := make([]*flow, 0, len(p.flows))
-	for _, f := range p.flows {
+	for _, f := range p.flows { //air:nondeterministic "flow close order is irrelevant; each flow tears down independently"
 		flows = append(flows, f)
 	}
 	p.mu.Unlock()
@@ -123,7 +123,7 @@ func (p *Proxy) Close() error {
 func (p *Proxy) Stats() (down, up Stats) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, f := range p.flows {
+	for _, f := range p.flows { //air:nondeterministic "Stats.Add is commutative counter accumulation; the sum is order-independent"
 		down.Add(f.injDown.Stats())
 		up.Add(f.injUp.Stats())
 	}
@@ -147,7 +147,7 @@ func (p *Proxy) serve() {
 		if err != nil {
 			return // proxy closing
 		}
-		f.lastSeen.Store(time.Now().UnixNano())
+		f.lastSeen.Store(time.Now().UnixNano()) //air:nondeterministic "live-socket NAT bookkeeping; injected fault draws stay seeded"
 		if p.blackhole.Load() {
 			obsBlackholed.Inc()
 			continue
@@ -184,7 +184,7 @@ func (p *Proxy) flowFor(raddr *net.UDPAddr) (*flow, error) {
 	injUp, _ := NewInjector(withSeed(p.opts.Up, DeriveSeed(p.opts.Up.Seed, idx)))
 	injDown, _ := NewInjector(withSeed(p.opts.Down, DeriveSeed(p.opts.Down.Seed, idx)))
 	f := &flow{client: raddr, up: up, injUp: injUp, injDown: injDown}
-	f.lastSeen.Store(time.Now().UnixNano())
+	f.lastSeen.Store(time.Now().UnixNano()) //air:nondeterministic "live-socket NAT bookkeeping; injected fault draws stay seeded"
 
 	p.mu.Lock()
 	if p.closed {
@@ -213,13 +213,13 @@ func (p *Proxy) relayDown(f *flow) {
 	defer p.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		f.up.SetReadDeadline(time.Now().Add(p.opts.IdleTimeout))
+		f.up.SetReadDeadline(time.Now().Add(p.opts.IdleTimeout)) //air:nondeterministic "live-socket idle deadline; injected fault draws stay seeded"
 		n, err := f.up.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				// Idle flow: expire the NAT entry if the client has been
 				// silent the whole window, else keep listening.
-				if time.Since(time.Unix(0, f.lastSeen.Load())) >= p.opts.IdleTimeout {
+				if time.Since(time.Unix(0, f.lastSeen.Load())) >= p.opts.IdleTimeout { //air:nondeterministic "live-socket idle expiry; injected fault draws stay seeded"
 					p.mu.Lock()
 					if p.flows[f.client.String()] == f {
 						delete(p.flows, f.client.String())

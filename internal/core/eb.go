@@ -407,7 +407,7 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	// Client retains splits, the n×n min/max matrix and the directory.
 	mem.Alloc(4*(n-1) + 8*n*n + 8*n)
 
-	start := time.Now()
+	start := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
 	if err != nil {
 		return scheme.Result{}, fmt.Errorf("core: EB client: %w", err)
@@ -424,7 +424,7 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 		}
 	}
 	c.needed = needed
-	cpu += time.Since(start)
+	cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	// Step 3: receive the needed regions (lines 11-15), contracting each
 	// into super-edges on arrival when memory-bound processing is on.
@@ -458,8 +458,8 @@ func (c *EBClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 // received regions otherwise. search is the client's reusable Dijkstra
 // state.
 func finishSearch(ctr *contractor, coll *netdata.Collector, q scheme.Query, mem *metrics.Mem, cpu *time.Duration, search *spath.Search) scheme.Result {
-	start := time.Now()
-	defer func() { *cpu += time.Since(start) }()
+	start := time.Now()                          //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
+	defer func() { *cpu += time.Since(start) }() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	if ctr != nil {
 		return ctr.finish()
 	}

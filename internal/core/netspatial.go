@@ -55,7 +55,7 @@ func (c *SpatialClient) RangeOnAir(t *broadcast.Tuner, q scheme.Query, radius fl
 	n := idx.meta.NumRegions
 	mem.Alloc(4*(n-1) + 8*n*n + 8*n)
 
-	start := time.Now()
+	start := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
 	if err != nil {
 		return nil, metrics.Query{}, fmt.Errorf("core: spatial client: %w", err)
@@ -67,7 +67,7 @@ func (c *SpatialClient) RangeOnAir(t *broadcast.Tuner, q scheme.Query, radius fl
 			needed = append(needed, r)
 		}
 	}
-	cpu += time.Since(start)
+	cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
 	// Spatial queries need complete regions (POIs are often local nodes),
@@ -76,9 +76,9 @@ func (c *SpatialClient) RangeOnAir(t *broadcast.Tuner, q scheme.Query, radius fl
 	// segments are off.
 	receiveRegions(t, coll, idx.offs.Offs, needed, -1, -1, false, nil, nil)
 
-	start = time.Now()
+	start = time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	res := collectWithin(coll, q.S, radius, math.MaxInt32)
-	cpu += time.Since(start)
+	cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	return res, metrics.Query{
 		TuningPackets:  t.Tuning(),
@@ -106,7 +106,7 @@ func (c *SpatialClient) KNNOnAir(t *broadcast.Tuner, q scheme.Query, k int) ([]P
 		return nil, metrics.Query{}, fmt.Errorf("core: kNN: k must be positive")
 	}
 
-	start := time.Now()
+	start := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	kd, err := partition.KDTreeFromSplits(idx.splits.Vals)
 	if err != nil {
 		return nil, metrics.Query{}, fmt.Errorf("core: spatial client: %w", err)
@@ -124,7 +124,7 @@ func (c *SpatialClient) KNNOnAir(t *broadcast.Tuner, q scheme.Query, k int) ([]P
 		return idx.cells.MinAt(rs, r)
 	}
 	sort.Slice(order, func(i, j int) bool { return lower(order[i]) < lower(order[j]) })
-	cpu += time.Since(start)
+	cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	coll := netdata.NewCollector(idx.meta.NumNodes, &mem)
 	received := 0
@@ -138,9 +138,9 @@ func (c *SpatialClient) KNNOnAir(t *broadcast.Tuner, q scheme.Query, k int) ([]P
 		}
 		receiveRegions(t, coll, idx.offs.Offs, batch, -1, -1, false, nil, nil)
 
-		start = time.Now()
+		start = time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 		res = collectWithin(coll, q.S, math.Inf(1), k)
-		cpu += time.Since(start)
+		cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 		// Confirmed when k POIs are closer than the next unexplored
 		// region's lower bound.
 		if len(res) >= k && (received >= len(order) || res[k-1].Dist <= lower(order[received])) {

@@ -354,14 +354,14 @@ func (c *NRClient) Query(t *broadcast.Tuner, q scheme.Query) (scheme.Result, err
 	n := st.meta.NumRegions
 	mem.Alloc(4*(n-1) + 12*n) // retained splits + directory
 
-	start := time.Now()
+	start := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	kd, err := partition.KDTreeFromSplits(st.splits.Vals)
 	if err != nil {
 		return scheme.Result{}, fmt.Errorf("core: NR client: %w", err)
 	}
 	rs := kd.RegionOf(q.SX, q.SY)
 	rt := kd.RegionOf(q.TX, q.TY)
-	cpu += time.Since(start)
+	cpu += time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	if c.coll == nil {
 		c.coll = netdata.NewCollector(st.meta.NumNodes, &mem)

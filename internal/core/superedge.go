@@ -47,8 +47,8 @@ func newContractor(kd *partition.KDTree, coll *netdata.Collector, q scheme.Query
 // contract reduces the received region to its shortest-path skeleton and
 // releases every other node of the region.
 func (c *contractor) contract(region int) {
-	start := time.Now()
-	defer func() { *c.cpu += time.Since(start) }()
+	start := time.Now()                            //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
+	defer func() { *c.cpu += time.Since(start) }() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 
 	inRegion := make(map[graph.NodeID]bool)
 	var terminals []graph.NodeID
@@ -98,7 +98,7 @@ func (c *contractor) contract(region int) {
 	}
 
 	// Release everything off the skeleton.
-	for v := range inRegion {
+	for v := range inRegion { //air:nondeterministic "Release drops nodes one by one; the final collector state is order-independent"
 		if !keep[v] {
 			c.coll.Release(v)
 		}
@@ -122,11 +122,17 @@ func (c *contractor) finish() scheme.Result {
 // region size, not the network size — the device is memory-bound. It
 // returns the parent map and the settle order.
 func regionDijkstra(net *spath.SubNetwork, inRegion map[graph.NodeID]bool, src graph.NodeID) (map[graph.NodeID]graph.NodeID, []graph.NodeID) {
-	local := make(map[graph.NodeID]int32, len(inRegion))
+	// Assign local indices in sorted node order, not map order: the index
+	// breaks priority-queue ties, so map iteration here would let the
+	// process-random map seed pick between equal-length paths.
 	nodes := make([]graph.NodeID, 0, len(inRegion))
 	for v := range inRegion {
-		local[v] = int32(len(nodes))
 		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	local := make(map[graph.NodeID]int32, len(inRegion))
+	for i, v := range nodes {
+		local[v] = int32(i)
 	}
 	dist := make([]float64, len(nodes))
 	parent := make([]graph.NodeID, len(nodes))

@@ -60,6 +60,8 @@ type Graph struct {
 }
 
 // NumNodes returns the number of nodes.
+//
+//air:noalloc
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumArcs returns the number of directed arcs.
@@ -67,6 +69,8 @@ func (g *Graph) NumArcs() int { return len(g.dst) }
 
 // Node returns the node with the given ID. It panics if id is out of range,
 // consistent with slice indexing semantics.
+//
+//air:noalloc
 func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
 
 // Nodes returns the underlying node slice. Callers must not modify it.
@@ -74,12 +78,16 @@ func (g *Graph) Nodes() []Node { return g.nodes }
 
 // Out returns the outgoing arcs of v as parallel slices (targets, weights).
 // The slices alias internal storage and must not be modified.
+//
+//air:noalloc
 func (g *Graph) Out(v NodeID) ([]NodeID, []float64) {
 	lo, hi := g.off[v], g.off[v+1]
 	return g.dst[lo:hi], g.wgt[lo:hi]
 }
 
 // In returns the incoming arcs of v as parallel slices (sources, weights).
+//
+//air:noalloc
 func (g *Graph) In(v NodeID) ([]NodeID, []float64) {
 	lo, hi := g.roff[v], g.roff[v+1]
 	return g.rdst[lo:hi], g.rwgt[lo:hi]

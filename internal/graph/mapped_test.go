@@ -192,3 +192,39 @@ func TestMappedEmptyGraph(t *testing.T) {
 		t.Fatalf("empty graph decoded as %d nodes, %d arcs", got.NumNodes(), got.NumArcs())
 	}
 }
+
+// TestMappedReadZeroAlloc pins the mapped-graph read path at zero
+// allocations per operation: Out, In and Node on an OpenMapped graph are
+// pure slice views into the mapping. The //air:noalloc annotations on those
+// methods (checked by airvet) and this pin must agree; see
+// internal/analysis/noallocpin.
+func TestMappedReadZeroAlloc(t *testing.T) {
+	g := randomGraph(t, 64, 64, 7)
+	var buf bytes.Buffer
+	if err := WriteMapped(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	aligned := make([]byte, buf.Len())
+	copy(aligned, buf.Bytes())
+	mg, err := OpenMapped(aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		for v := NodeID(0); int(v) < mg.NumNodes(); v++ {
+			dst, wgt := mg.Out(v)
+			for i := range dst {
+				sink += wgt[i]
+			}
+			rdst, rwgt := mg.In(v)
+			for i := range rdst {
+				sink += rwgt[i]
+			}
+			sink += mg.Node(v).X
+		}
+	}); n != 0 {
+		t.Errorf("mapped read path allocates %v per run, want 0", n)
+	}
+	_ = sink
+}

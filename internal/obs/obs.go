@@ -62,6 +62,8 @@ func (k Kind) String() string {
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//air:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0; counters only go up).
@@ -78,6 +80,8 @@ type Gauge struct{ v atomic.Int64 }
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adds n (negative to decrease).
+//
+//air:noalloc
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Inc adds one.
@@ -95,9 +99,9 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // (linear scan over a handful of bounds, one atomic add, one CAS loop for
 // the float sum).
 type Histogram struct {
-	bounds []float64 // upper bounds, ascending; +Inf implied
-	counts []atomic.Int64
-	count  atomic.Int64
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	counts  []atomic.Int64
+	count   atomic.Int64
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
 }
 
@@ -109,6 +113,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//air:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

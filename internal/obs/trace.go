@@ -90,6 +90,8 @@ func NewTrace(capacity int) *Trace {
 
 // Record appends one event, overwriting the oldest once the ring is full.
 // Safe (a no-op) on a nil or zero-capacity trace; never allocates.
+//
+//air:noalloc
 func (t *Trace) Record(kind EventKind, pos, arg int64) {
 	if t == nil || len(t.buf) == 0 {
 		return

@@ -118,6 +118,8 @@ func DecodeDeltaMeta(data []byte) (DeltaMeta, bool) {
 // every changed arc until it returns false. Like ForEachRecord it is a view
 // decode: no copies, no allocation (TestForEachDeltaArcZeroAlloc pins it),
 // and a truncated record yields its valid prefix.
+//
+//air:noalloc
 func ForEachDeltaArc(data []byte, fn func(a DeltaArc) bool) {
 	for off := 0; off+deltaArcBytes <= len(data); off += deltaArcBytes {
 		a := DeltaArc{

@@ -248,6 +248,8 @@ func AppendRecord(b []byte, tag uint8, data []byte) []byte {
 // The data slice aliases payload: callers that retain record bytes past the
 // packet must copy them. Every decode loop in the client hot path runs
 // through here, and TestForEachRecordZeroAlloc pins it at zero allocs/op.
+//
+//air:noalloc
 func ForEachRecord(payload []byte, fn func(tag uint8, data []byte) bool) {
 	for off := 0; off+recordHeader <= len(payload); {
 		tag := payload[off]
@@ -270,6 +272,8 @@ func ForEachRecord(payload []byte, fn func(tag uint8, data []byte) bool) {
 // payload: `for rec := range packet.All(p.Payload)`. Like ForEachRecord,
 // the yielded Record.Data views alias payload and the loop allocates
 // nothing.
+//
+//air:noalloc
 func All(payload []byte) func(yield func(Record) bool) {
 	return func(yield func(Record) bool) {
 		ForEachRecord(payload, func(tag uint8, data []byte) bool {

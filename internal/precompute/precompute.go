@@ -282,7 +282,7 @@ func ParallelFor(n int, fn func(i int)) {
 // unions and cross-border unions are all order-independent — which
 // TestParallelMatchesSerial pins on the five harness networks.
 func ComputeWorkers(g *graph.Graph, r *Regions, workers int) *BorderData {
-	start := time.Now()
+	start := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	n := r.N
 	nn := g.NumNodes()
 
@@ -340,7 +340,7 @@ func ComputeWorkers(g *graph.Graph, r *Regions, workers int) *BorderData {
 			bd.CrossBorder[v] = true
 		}
 	}
-	bd.Elapsed = time.Since(start)
+	bd.Elapsed = time.Since(start) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	return bd
 }
 

@@ -2,7 +2,7 @@ package update
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //air:nondeterministic "caller passes a seeded *rand.Rand; the draw sequence is part of the replay fixture"
 
 	"repro/internal/broadcast"
 	"repro/internal/graph"

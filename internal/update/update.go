@@ -165,7 +165,7 @@ func (m *Manager) Delta() []packet.Packet {
 // cycle re-stamps and carries an empty patch — useful for forcing clients
 // through the swap path, and the identity the no-op fuzz corpus pins.
 func (m *Manager) Apply(ups []graph.WeightUpdate) (*Build, error) {
-	started := time.Now()
+	started := time.Now() //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(ups) > packet.MaxDeltaArcs {
@@ -212,7 +212,7 @@ func (m *Manager) Apply(ups []graph.WeightUpdate) (*Build, error) {
 	cyc.SetVersion(v2)
 	m.g, m.srv, m.version, m.cycle, m.delta, m.sig = g2, srv2, v2, cyc, delta, sig2
 	obsRebuilds.Inc()
-	obsRebuildSecs.Observe(time.Since(started).Seconds())
+	obsRebuildSecs.Observe(time.Since(started).Seconds()) //air:nondeterministic "stats timing only; measured wall time is reported, never encoded or steering"
 	obsDeltaArcs.Observe(float64(len(ups)))
 	obsVersion.Set(int64(v2))
 	return &Build{

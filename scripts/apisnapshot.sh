@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/bin/bash
 # Regenerate the committed public-API surface listing. Run from the repo
 # root after an intentional facade change:
 #
@@ -6,6 +6,15 @@
 #
 # CI regenerates the listing and diffs it against api.txt, so any change
 # to the exported surface must land together with its refreshed snapshot.
-set -eu
+#
+# Two sections: the exported facade of the root package, then the
+# user-facing surface of cmd/airvet — its analyzer roster and the flags it
+# mirrors into `go vet` — so renaming an analyzer or changing the vet
+# contract is a reviewed, deliberate act too.
+set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./internal/tools/apisnapshot .
+go run ./internal/tools/apisnapshot .
+echo "# cmd/airvet: analyzer suite"
+go run ./cmd/airvet -list
+echo "# cmd/airvet: flags mirrored into go vet"
+go run ./cmd/airvet -flags
